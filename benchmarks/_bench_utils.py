@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["write_result"]
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    """Persist one benchmark's formatted output under ``results_dir``."""
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,53 @@
+"""Ablation benchmark: the top-contribution share ``Ps``.
+
+DESIGN.md calls out ``Ps`` (the share of each soft-training selection filled
+by the highest-contribution neurons, paper Sec. VI-A suggests 0.05–0.1) as a
+design choice worth ablating.  This benchmark sweeps ``Ps`` from pure-random
+selection (0.0) to contribution-only selection (1.0) on the LeNet/MNIST
+2-straggler setting.
+"""
+
+from repro.core import HeliosConfig, HeliosStrategy
+from repro.experiments import (ExperimentSetting, get_scale,
+                               make_simulation_factory, run_strategies)
+from repro.metrics import format_table
+
+from _bench_utils import write_result
+
+PS_VALUES = (0.0, 0.1, 0.3, 1.0)
+
+
+def run_ps_sweep(scale_name):
+    scale = get_scale(scale_name)
+    setting = ExperimentSetting(dataset="mnist", model="lenet",
+                                num_capable=2, num_stragglers=2,
+                                partition="iid", seed=0)
+    factory, num_cycles = make_simulation_factory(setting, scale)
+    strategies = []
+    for ps_value in PS_VALUES:
+        strategy = HeliosStrategy(HeliosConfig(top_share=ps_value,
+                                               straggler_top_k=2, seed=0))
+        strategy.name = f"Helios (Ps={ps_value})"
+        strategies.append(strategy)
+    return run_strategies(factory, strategies, num_cycles)
+
+
+def test_ablation_top_share(benchmark, bench_scale, results_dir):
+    histories = benchmark.pedantic(lambda: run_ps_sweep(bench_scale),
+                                   rounds=1, iterations=1)
+    rows = [{"Ps": name.split("=")[-1].rstrip(")"),
+             "converged_accuracy": round(history.converged_accuracy(), 4),
+             "best_accuracy": round(history.best_accuracy(), 4)}
+            for name, history in histories.items()]
+    text = format_table(rows, title="Ablation — top-contribution share Ps")
+    write_result(results_dir, "ablation_ps", text)
+    print("\n" + text)
+
+    accuracies = {row["Ps"]: row["converged_accuracy"] for row in rows}
+    # Every setting must learn; the mixed selections (the paper's
+    # recommended regime) should not be dominated by either extreme by a
+    # large margin.
+    assert all(value > 0.3 for value in accuracies.values())
+    mixed_best = max(accuracies["0.1"], accuracies["0.3"])
+    extreme_best = max(accuracies["0.0"], accuracies["1.0"])
+    assert mixed_best >= extreme_best - 0.1

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 1 (straggler idle-time motivation example).
+
+Paper artefact: Fig. 1 — three heterogeneous devices training the same
+model synchronously; the straggler dictates the cycle length and the
+capable devices idle for most of it.
+"""
+
+from repro.experiments import format_fig1, run_fig1
+
+from _bench_utils import write_result
+
+
+def test_fig1_idle_time_analysis(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(lambda: run_fig1(scale=bench_scale),
+                                rounds=1, iterations=1)
+    text = format_fig1(result)
+    write_result(results_dir, "fig1_motivation", text)
+    print("\n" + text)
+
+    # Reproduction checks: the DeepLens-class device straggles, the fastest
+    # device idles for the overwhelming share of the cycle, and the
+    # slowdown factor is in the paper's double-digit regime (paper: ~35x).
+    assert result.straggler_name == "deeplens-cpu"
+    assert result.slowdown_factor > 10.0
+    fastest_row = max(result.rows, key=lambda row: row["idle_share"])
+    assert fastest_row["idle_share"] > 0.9

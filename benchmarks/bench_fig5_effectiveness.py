@@ -1,0 +1,91 @@
+"""Benchmark: regenerate Fig. 5 (soft-training effectiveness evaluation).
+
+Paper artefact: Fig. 5 — accuracy vs. aggregation cycles for Asyn. FL,
+AFO, Syn. FL, Random and Helios on (a) LeNet/MNIST, (b) AlexNet/CIFAR-10,
+(c) ResNet/CIFAR-100, under the 2-straggler + 2-capable and
+3-straggler + 3-capable settings.
+
+The MNIST panels run at the configured scale; the CIFAR-10/CIFAR-100 panels
+run one fleet setting each (the heavier models dominate the NumPy budget) —
+set ``REPRO_BENCH_SCALE=full`` for sharper curves.
+"""
+
+import pytest
+
+from repro.experiments import run_fig5_panel
+from repro.experiments.fig5_effectiveness import Fig5Result, format_fig5
+
+from _bench_utils import write_result
+
+
+def _check_panel(panel, accuracy_tolerance=0.05):
+    """Shape checks shared by every Fig. 5 panel."""
+    accuracies = {name: history.converged_accuracy()
+                  for name, history in panel.histories.items()}
+    times = {name: history.total_time()
+             for name, history in panel.histories.items()}
+    # Helios must be competitive with the best baseline...
+    best_baseline = max(value for name, value in accuracies.items()
+                        if name != "Helios")
+    assert accuracies["Helios"] >= best_baseline - accuracy_tolerance
+    # ...and must not fall behind the asynchronous baseline.
+    assert accuracies["Helios"] >= accuracies["Asyn. FL"] - accuracy_tolerance
+    # Synchronous FL pays the straggler wall-clock penalty.
+    assert times["Syn. FL"] > times["Helios"]
+    assert times["Syn. FL"] > times["Random"]
+
+
+@pytest.mark.parametrize("num_capable,num_stragglers", [(2, 2), (3, 3)])
+def test_fig5_lenet_mnist(benchmark, bench_scale, results_dir, num_capable,
+                          num_stragglers):
+    panel = benchmark.pedantic(
+        lambda: run_fig5_panel("mnist", num_capable, num_stragglers,
+                               scale=bench_scale),
+        rounds=1, iterations=1)
+    text = format_fig5(Fig5Result(panels=[panel]))
+    write_result(results_dir,
+                 f"fig5a_mnist_{num_stragglers}strag", text)
+    print("\n" + text)
+    _check_panel(panel)
+
+
+def test_fig5_alexnet_cifar10(benchmark, bench_scale, results_dir):
+    panel = benchmark.pedantic(
+        lambda: run_fig5_panel("cifar10", 2, 2, scale=bench_scale),
+        rounds=1, iterations=1)
+    text = format_fig5(Fig5Result(panels=[panel]))
+    write_result(results_dir, "fig5b_cifar10_2strag", text)
+    print("\n" + text)
+    # The CIFAR-10 stand-in is still far from convergence at the reduced
+    # NumPy scale (the paper trains for many more cycles), so the robust
+    # shape checks are: soft-training beats random masking, and the
+    # synchronous baseline pays the straggler wall-clock penalty.  See
+    # EXPERIMENTS.md for the accuracy discussion.
+    accuracies = {name: history.converged_accuracy()
+                  for name, history in panel.histories.items()}
+    times = {name: history.total_time()
+             for name, history in panel.histories.items()}
+    assert accuracies["Helios"] >= accuracies["Random"] - 0.02
+    assert times["Syn. FL"] > times["Helios"]
+    assert times["Syn. FL"] > times["Random"]
+
+
+def test_fig5_resnet_cifar100(benchmark, results_dir):
+    # The ResNet/CIFAR-100 pairing is the heaviest; it always runs at the
+    # smoke scale unless the full harness is requested explicitly.
+    import os
+    scale = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    scale = "smoke" if scale == "fast" else scale
+    panel = benchmark.pedantic(
+        lambda: run_fig5_panel("cifar100", 2, 2, scale=scale),
+        rounds=1, iterations=1)
+    text = format_fig5(Fig5Result(panels=[panel]))
+    write_result(results_dir, "fig5c_cifar100_2strag", text)
+    print("\n" + text)
+    times = {name: history.total_time()
+             for name, history in panel.histories.items()}
+    # At smoke scale the accuracy curves are noisy; the robust shape check
+    # is the wall-clock ordering (Syn. FL pays for its stragglers).
+    assert times["Syn. FL"] > times["Helios"]
+    assert set(panel.histories) == {"Asyn. FL", "AFO", "Syn. FL", "Random",
+                                    "Helios"}

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Fig. 7 (Non-IID evaluation).
+
+Paper artefact: Fig. 7 — the strategy comparison under shard-based Non-IID
+client data, on LeNet/MNIST (2 stragglers + 2 capable and 3 + 3) and
+AlexNet/CIFAR-10 (2 + 2).
+"""
+
+import pytest
+
+from repro.experiments import format_fig7, run_fig7
+
+from _bench_utils import write_result
+
+
+@pytest.mark.parametrize("dataset,num_capable,num_stragglers",
+                         [("mnist", 2, 2), ("mnist", 3, 3),
+                          ("cifar10", 2, 2)])
+def test_fig7_non_iid(benchmark, bench_scale, results_dir, dataset,
+                      num_capable, num_stragglers):
+    result = benchmark.pedantic(
+        lambda: run_fig7(panels=[(dataset, num_capable, num_stragglers)],
+                         scale=bench_scale),
+        rounds=1, iterations=1)
+    text = format_fig7(result)
+    write_result(results_dir,
+                 f"fig7_noniid_{dataset}_{num_stragglers}strag", text)
+    print("\n" + text)
+
+    panel = result.panels[0]
+    accuracies = {name: history.converged_accuracy()
+                  for name, history in panel.histories.items()}
+    times = {name: history.total_time()
+             for name, history in panel.histories.items()}
+    # Paper shape under Non-IID: Helios stays ahead of the asynchronous
+    # methods (which lose the stragglers' unique label information) and
+    # remains much faster than synchronous FL.  The CIFAR-10 stand-in is
+    # still far from convergence at this scale, so only the MNIST panels
+    # carry the accuracy-ordering assertion; the CIFAR-10 panel checks the
+    # soft-training-vs-random ordering and the wall-clock shape.
+    if dataset == "mnist":
+        assert accuracies["Helios"] >= accuracies["Asyn. FL"] - 0.02
+        assert accuracies["Helios"] >= accuracies["AFO"] - 0.02
+    else:
+        assert accuracies["Helios"] >= accuracies["Random"] - 0.03
+    assert times["Syn. FL"] > times["Helios"]

@@ -1,0 +1,27 @@
+"""Benchmark: check the abstract's headline claims.
+
+Paper artefact: the abstract / Sec. VII-B summary numbers — "up to 2.5x
+training acceleration and maximum 4.64% convergence accuracy improvement".
+Derived here from the LeNet/MNIST Fig. 5 panels (2+2 and 3+3 fleets).
+"""
+
+from repro.experiments import format_headline, run_headline
+
+from _bench_utils import write_result
+
+
+def test_headline_speedup_and_accuracy(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_headline(panels=(("mnist", 2, 2), ("mnist", 3, 3)),
+                             scale=bench_scale),
+        rounds=1, iterations=1)
+    text = format_headline(result)
+    write_result(results_dir, "headline_claims", text)
+    print("\n" + text)
+
+    # Shape checks: Helios accelerates the collaboration (the paper reports
+    # up to 2.5x; the simulated fleet should land in the >1.2x regime) and
+    # does not give up meaningful accuracy against the best baseline.
+    assert result.max_speedup > 1.2
+    assert result.max_accuracy_gain_pp > -3.0
+    assert len(result.per_panel) == 2

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the substrates themselves.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+hot paths every experiment exercises: a CNN training step, neuron-granular
+partial aggregation, the soft-training selection, and the analytical cost
+model.  They make regressions in the substrate visible independently of the
+figure-level experiments.
+"""
+
+import numpy as np
+
+from repro.core import SoftTrainingSelector
+from repro.fl import ClientUpdate
+from repro.fl.aggregation import ModelStructure, aggregate_partial
+from repro.hardware import JETSON_NANO_CPU, TrainingCostModel
+from repro.nn import SGD, ModelMask, SoftmaxCrossEntropy
+from repro.nn.models import build_lenet
+
+
+def _lenet():
+    return build_lenet(width_multiplier=0.4, rng=np.random.default_rng(0))
+
+
+def test_bench_lenet_train_step(benchmark):
+    model = _lenet()
+    loss_fn = SoftmaxCrossEntropy()
+    optimizer = SGD(model.parameters(), lr=0.05)
+    rng = np.random.default_rng(1)
+    images = rng.normal(size=(32, 1, 28, 28))
+    labels = rng.integers(0, 10, 32)
+    benchmark(lambda: model.train_step(images, labels, loss_fn, optimizer))
+
+
+def test_bench_partial_aggregation(benchmark):
+    model = _lenet()
+    structure = ModelStructure.from_model(model)
+    global_weights = model.get_weights()
+    rng = np.random.default_rng(0)
+    updates = []
+    for client_id in range(6):
+        mask = None
+        if client_id >= 3:
+            mask = ModelMask.random(
+                model, {layer.name: 0.3 for layer in model.neuron_layers()},
+                rng)
+        weights = {name: value + rng.normal(0, 0.01, value.shape)
+                   for name, value in global_weights.items()}
+        updates.append(ClientUpdate(client_id=client_id,
+                                    client_name=f"c{client_id}",
+                                    weights=weights, num_samples=100,
+                                    train_loss=0.0, mask=mask))
+    benchmark(lambda: aggregate_partial(global_weights, updates, structure))
+
+
+def test_bench_soft_training_selection(benchmark):
+    model = _lenet()
+    fractions = {layer.name: 0.25 for layer in model.neuron_layers()}
+    selector = SoftTrainingSelector(model, fractions, top_share=0.1,
+                                    rng=np.random.default_rng(0))
+    contributions = {layer.name: np.random.default_rng(1).random(
+        layer.num_neurons) for layer in model.neuron_layers()}
+    benchmark(lambda: selector.select(contributions))
+
+
+def test_bench_cost_model_estimate(benchmark):
+    model = _lenet()
+    cost_model = TrainingCostModel(model, (1, 28, 28),
+                                   samples_per_cycle=10_000)
+    fractions = {layer.name: 0.4 for layer in model.neuron_layers()}
+    benchmark(lambda: cost_model.estimate(JETSON_NANO_CPU, fractions))

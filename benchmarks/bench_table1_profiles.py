@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table I (straggler resource profiles).
+
+Paper artefact: Table I — per-straggler computation workload, memory usage
+and training-cycle time for AlexNet on CIFAR-10 across the four throttled
+device configurations.
+"""
+
+from repro.experiments import format_table1, run_table1
+
+from _bench_utils import write_result
+
+
+def test_table1_straggler_profiles(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(lambda: run_table1(scale=bench_scale),
+                                rounds=1, iterations=1)
+    text = format_table1(result)
+    write_result(results_dir, "table1_profiles", text)
+    print("\n" + text)
+
+    # Reproduction checks: four rows, paper ordering, paper time regime.
+    assert len(result.rows) == 4
+    assert result.ordering_matches_paper
+    minutes = [row["cycle_minutes"] for row in result.rows]
+    assert minutes == sorted(minutes)
+    assert 5.0 < minutes[0] < 60.0
+    assert 1.2 < minutes[-1] / minutes[0] < 3.0

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+experiment scale is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable (``smoke`` < ``fast`` < ``full``); the default ``fast`` keeps the
+whole harness at laptop scale while producing meaningful curves.  Each
+benchmark also writes its formatted output under ``benchmarks/results/`` so
+the numbers that went into EXPERIMENTS.md can be re-inspected.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+RESULTS_DIR = os.path.join(_HERE, "results")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Experiment scale for benchmark runs (env: REPRO_BENCH_SCALE)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "fast")
+    if scale not in ("smoke", "fast", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be smoke/fast/full, "
+                         f"got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory where formatted benchmark outputs are written."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

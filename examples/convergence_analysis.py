@@ -1,0 +1,69 @@
+"""Convergence analysis: checking the Proposition-2 bound numerically.
+
+The paper proves (Sec. V-B) that soft-training keeps the gradient variance
+within ``(1 + ε)`` of the full gradient's second moment provided the
+``v`` highest-contribution neurons always train and every other neuron keeps
+a non-zero selection probability, with the expected number of active
+neurons bounded by ``(1 + ρ) v``.
+
+This example extracts a real gradient snapshot from a model, runs the
+analysis for several ε values, and verifies the bound empirically by
+sampling soft-training masks.
+
+Run with:  python examples/convergence_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import analyze_soft_training, contributions_from_gradients
+from repro.data import load_synthetic_dataset
+from repro.metrics import format_table
+from repro.nn import SGD, SoftmaxCrossEntropy
+from repro.nn.models import build_lenet
+
+
+def main() -> None:
+    # Train a few steps so the gradient snapshot is not the random init.
+    train, _ = load_synthetic_dataset("mnist", num_train=400, num_test=100,
+                                      seed=0)
+    model = build_lenet(width_multiplier=0.4, rng=np.random.default_rng(7))
+    loss_fn = SoftmaxCrossEntropy()
+    optimizer = SGD(model.parameters(), lr=0.05)
+    rng = np.random.default_rng(1)
+    for images, labels in train.batches(32, rng=rng):
+        model.train_step(images, labels, loss_fn, optimizer)
+
+    # One more forward/backward to leave fresh gradients on the parameters.
+    model.zero_grad()
+    logits = model.forward(train.images[:64])
+    loss_fn.forward(logits, train.labels[:64])
+    model.backward(loss_fn.backward())
+    gradients = model.get_gradients()
+
+    # Per-neuron gradient magnitudes across the whole model.
+    per_layer = contributions_from_gradients(model, gradients)
+    all_neurons = np.concatenate([scores for scores in per_layer.values()])
+
+    rows = []
+    for epsilon in (0.1, 0.5, 1.0, 2.0):
+        analysis = analyze_soft_training(all_neurons, epsilon=epsilon)
+        rows.append({
+            "epsilon": epsilon,
+            "always_kept_v": analysis.v,
+            "expected_active": round(analysis.expected_active, 1),
+            "variance_budget_ok": analysis.bound_satisfied,
+            "rho_implied": round(analysis.rho_implied, 2),
+        })
+    print(format_table(rows, title="Proposition 2 — soft-training bounds"))
+    print(f"\ntotal neurons in the model: {all_neurons.size}")
+    print("Smaller ε forces more neurons to stay active every cycle; "
+          "larger ε lets soft-training shrink the per-cycle model further "
+          "while the gradient-variance budget (Eq. 7) still holds.  "
+          "rho_implied is the ρ that makes the Eq. 9 active-neuron bound "
+          "tight for this (not perfectly sparsifiable) gradient snapshot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Dynamic collaboration scaling: a device joins the FL mid-training.
+
+Demonstrates the paper's Sec. VI-C scalability optimization: the
+collaboration starts with three devices; after a few aggregation cycles a
+fourth (weak) device joins.  Helios profiles it on the fly, classifies it
+as a straggler, assigns it an expected model volume and lets it participate
+from the next cycle on.
+
+Run with:  python examples/dynamic_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HeliosConfig, HeliosStrategy
+from repro.data import load_synthetic_dataset, partition_iid
+from repro.fl import ClientConfig, FLClient, build_simulation
+from repro.hardware import DEEPLENS_CPU, build_fleet
+from repro.nn.models import build_lenet
+
+
+def main() -> None:
+    train, test = load_synthetic_dataset("mnist", num_train=1000,
+                                         num_test=250, seed=0)
+    # Reserve the last partition for the late-joining device.
+    partitions = partition_iid(train, num_clients=4,
+                               rng=np.random.default_rng(1))
+    initial_datasets, late_dataset = partitions[:3], partitions[3]
+    devices = build_fleet(num_capable=2, num_stragglers=1)
+
+    def model_factory():
+        return build_lenet(width_multiplier=0.4,
+                           rng=np.random.default_rng(7))
+
+    config = ClientConfig(batch_size=32, local_epochs=1, learning_rate=0.05)
+    simulation = build_simulation(model_factory, initial_datasets, devices,
+                                  test, input_shape=(1, 28, 28),
+                                  client_config=config, workload_scale=40.0,
+                                  seed=0)
+    strategy = HeliosStrategy(HeliosConfig(straggler_top_k=1, seed=0))
+
+    # Phase 1: run the initial three-device collaboration.
+    history_before = simulation.run(strategy, num_cycles=5, verbose=True)
+    print(f"\naccuracy before join: {history_before.final_accuracy():.3f}")
+
+    # Phase 2: a DeepLens (CPU mode) joins with its own local data.
+    newcomer = FLClient(client_id=simulation.num_clients(),
+                        dataset=late_dataset,
+                        device=DEEPLENS_CPU.scaled(name="late-joiner"),
+                        model_factory=model_factory, config=config, seed=99)
+    decision = strategy.register_new_client(simulation, newcomer)
+    print(f"\nnew device {decision.device_name!r}: "
+          f"straggler={decision.is_straggler}, "
+          f"expected cycle {decision.expected_cycle_seconds:.1f}s vs pace "
+          f"{decision.reference_seconds:.1f}s, "
+          f"assigned volume {decision.volume:.2f}")
+
+    # Phase 3: keep training with the enlarged fleet.
+    history_after = simulation.run(strategy, num_cycles=7, verbose=True)
+    print(f"\naccuracy after join: {history_after.final_accuracy():.3f} "
+          f"with {simulation.num_clients()} devices collaborating")
+
+
+if __name__ == "__main__":
+    main()

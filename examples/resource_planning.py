@@ -1,0 +1,79 @@
+"""Resource planning: sizing model volumes for a fleet before deployment.
+
+Before starting a collaboration, an operator wants to know: which devices
+will straggle, what per-cycle time budget is realistic, what model volume
+each straggler needs to stay on pace, and what simply dropping the slow
+devices (FedCS-style selection) would cost in participating data.  This
+example answers those questions with the hardware cost model alone — no
+training required — and archives the resulting plan.
+
+Run with:  python examples/resource_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import (DEVICE_PRESETS, FleetProfiler, TrainingCostModel,
+                            build_fleet)
+from repro.metrics import format_table
+from repro.nn.models import build_alexnet
+
+
+def main() -> None:
+    input_shape = (3, 32, 32)
+    samples_per_cycle = 12_500  # half of CIFAR-10 per device, one epoch
+    model = build_alexnet(input_shape, 10, width_multiplier=1.0,
+                          dropout_rate=0.0, rng=np.random.default_rng(0))
+    fleet = build_fleet(num_capable=2, num_stragglers=4)
+
+    # ---------------------------------------------------------------- #
+    # 1. Profile every device on the full-size workload.
+    # ---------------------------------------------------------------- #
+    profiler = FleetProfiler(model, input_shape,
+                             samples_per_cycle=samples_per_cycle)
+    reports = profiler.profile_fleet(fleet)
+    print(format_table([report.as_row() for report in reports],
+                       title="Per-device full-model cycle profile"))
+
+    # ---------------------------------------------------------------- #
+    # 2. Choose the collaboration pace and size the straggler volumes.
+    # ---------------------------------------------------------------- #
+    pace_seconds = min(report.cycle_minutes for report in reports) * 60 * 1.1
+    print(f"\ncollaboration pace (fastest device + 10% slack): "
+          f"{pace_seconds / 60:.1f} min/cycle")
+
+    cost_model = TrainingCostModel(model, input_shape,
+                                   samples_per_cycle=samples_per_cycle)
+    plan_rows = []
+    for device, report in zip(fleet, reports):
+        volume = cost_model.volume_for_budget(device, pace_seconds,
+                                              min_fraction=0.05)
+        fractions = {layer.name: volume for layer in model.neuron_layers()}
+        shrunk_minutes = cost_model.estimate(device, fractions).total_minutes
+        plan_rows.append({
+            "device": device.name,
+            "full_cycle_min": round(report.cycle_minutes, 1),
+            "assigned_volume": round(volume, 2),
+            "shrunk_cycle_min": round(shrunk_minutes, 1),
+            "meets_pace": shrunk_minutes <= pace_seconds / 60 * 1.001,
+        })
+    print()
+    print(format_table(plan_rows, title="Helios deployment plan"))
+
+    # ---------------------------------------------------------------- #
+    # 3. What would dropping the stragglers cost instead?
+    # ---------------------------------------------------------------- #
+    kept = [row for row in plan_rows if row["assigned_volume"] == 1.0]
+    dropped = [row for row in plan_rows if row["assigned_volume"] < 1.0]
+    data_lost = len(dropped) / len(plan_rows)
+    print(f"\nFedCS-style selection at the same pace would drop "
+          f"{len(dropped)} of {len(plan_rows)} devices "
+          f"(~{data_lost:.0%} of the local data), while Helios keeps them "
+          f"training partial models every cycle.")
+
+    print("\navailable device presets:", ", ".join(sorted(DEVICE_PRESETS)))
+
+
+if __name__ == "__main__":
+    main()

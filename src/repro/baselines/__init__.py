@@ -1,0 +1,21 @@
+"""Baseline collaboration strategies the paper compares Helios against."""
+
+from .afo import AFOStrategy
+from .async_fl import AsynchronousFLStrategy, PendingJob
+from .common import StragglerAwareStrategy
+from .fixed_pruning import FixedPruningStrategy
+from .random_masking import RandomMaskingStrategy
+from .st_only import SoftTrainingOnlyStrategy, make_st_only_config
+from .sync_fl import SynchronousFLStrategy
+
+__all__ = [
+    "StragglerAwareStrategy",
+    "SynchronousFLStrategy",
+    "AsynchronousFLStrategy",
+    "PendingJob",
+    "AFOStrategy",
+    "RandomMaskingStrategy",
+    "FixedPruningStrategy",
+    "SoftTrainingOnlyStrategy",
+    "make_st_only_config",
+]

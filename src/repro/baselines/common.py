@@ -1,0 +1,95 @@
+"""Shared plumbing for the baseline strategies.
+
+Every baseline needs to know who the stragglers are and (for the
+partial-model baselines) which expected model volume keeps them on pace.
+:class:`StragglerAwareStrategy` performs that identification once during
+``setup`` using the same components Helios uses, so all methods compete
+under identical straggler/volume assumptions and differences in the results
+come purely from the collaboration scheme — matching the paper's
+experimental protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.straggler import StragglerIdentifier, StragglerReport
+from ..core.targets import OptimizationTargetPolicy, VolumeAssignment
+from ..fl.simulation import FederatedSimulation
+from ..fl.strategy import FederatedStrategy
+
+__all__ = ["StragglerAwareStrategy"]
+
+
+class StragglerAwareStrategy(FederatedStrategy):
+    """Base class: identifies stragglers and their volumes during setup."""
+
+    name = "straggler-aware"
+
+    def __init__(self, straggler_top_k: Optional[int] = None,
+                 slowdown_threshold: float = 1.5,
+                 min_volume: float = 0.1, pace_slack: float = 1.1,
+                 seed: int = 0) -> None:
+        self.straggler_top_k = straggler_top_k
+        self.slowdown_threshold = slowdown_threshold
+        self.min_volume = min_volume
+        self.pace_slack = pace_slack
+        self.seed = seed
+        self.report: Optional[StragglerReport] = None
+        self.assignment: Optional[VolumeAssignment] = None
+        self.volumes: Dict[int, float] = {}
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def setup(self, sim: FederatedSimulation) -> None:
+        model = sim.server.global_model
+        devices = [client.device for client in sim.clients]
+        samples = [max(1, int(round(client.num_samples
+                                    * client.config.local_epochs
+                                    * sim.workload_scale)))
+                   for client in sim.clients]
+        representative = int(np.median(samples)) if samples else 1
+        batch_size = sim.clients[0].config.batch_size
+        identifier = StragglerIdentifier(
+            model, sim.input_shape,
+            samples_per_cycle=max(1, representative),
+            batch_size=batch_size,
+            slowdown_threshold=self.slowdown_threshold)
+        self.report = identifier.identify_by_resources(
+            devices, top_k=self.straggler_top_k)
+        policy = OptimizationTargetPolicy(
+            model, sim.input_shape, batch_size=batch_size,
+            min_volume=self.min_volume, pace_slack=self.pace_slack)
+        self.assignment = policy.assign_resource_adapted(
+            self.report, devices,
+            samples_per_cycle={index: samples[index]
+                               for index in range(len(sim.clients))})
+        self.volumes = dict(self.assignment.volumes)
+
+    # ------------------------------------------------------------------ #
+    def straggler_indices(self) -> List[int]:
+        """Indices of the identified stragglers."""
+        if self.report is None:
+            return []
+        return list(self.report.straggler_indices)
+
+    def capable_indices(self, sim: FederatedSimulation) -> List[int]:
+        """Indices of the capable (non-straggler) devices."""
+        stragglers = set(self.straggler_indices())
+        return [index for index in sim.client_indices()
+                if index not in stragglers]
+
+    def capable_pace_seconds(self, sim: FederatedSimulation) -> float:
+        """Cycle duration of the capable devices (the collaboration pace)."""
+        capable = self.capable_indices(sim)
+        indices = capable if capable else sim.client_indices()
+        return max(sim.client_cycle_seconds(index) for index in indices)
+
+    def layer_fractions(self, sim: FederatedSimulation,
+                        client_index: int) -> Dict[str, float]:
+        """Uniform per-layer volume fractions for one straggler."""
+        volume = self.volumes.get(client_index, 1.0)
+        return {layer.name: volume
+                for layer in sim.server.global_model.neuron_layers()}

@@ -1,0 +1,72 @@
+"""Fixed structured pruning (Jiang et al. style, paper ref. [14]).
+
+Each straggler's model is pruned *once* to the expected volume and the same
+subnetwork trains every cycle.  The collaboration is synchronous and fast,
+but — as the paper argues in Sec. II-B and V-A — the permanently pruned
+neurons never contribute again, which caps the straggler's information
+capacity and hurts global convergence.  This baseline isolates exactly that
+effect against Helios' rotating selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..fl.client import ClientUpdate
+from ..fl.simulation import FederatedSimulation
+from ..fl.strategy import CycleOutcome
+from ..nn.masking import ModelMask
+from .common import StragglerAwareStrategy
+
+__all__ = ["FixedPruningStrategy"]
+
+
+class FixedPruningStrategy(StragglerAwareStrategy):
+    """Synchronous FL with a permanently pruned model on each straggler."""
+
+    name = "Fixed Pruning"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.fixed_masks: Dict[int, ModelMask] = {}
+
+    def setup(self, sim: FederatedSimulation) -> None:
+        super().setup(sim)
+        self.fixed_masks = {}
+        for client_index in self.straggler_indices():
+            fractions = self.layer_fractions(sim, client_index)
+            self.fixed_masks[client_index] = ModelMask.random(
+                sim.server.global_model, fractions, rng=self.rng)
+
+    def execute_cycle(self, cycle: int,
+                      sim: FederatedSimulation) -> CycleOutcome:
+        global_weights = sim.server.get_global_weights()
+        updates: List[ClientUpdate] = []
+        durations: List[float] = []
+        straggler_fractions: List[float] = []
+
+        for client_index in sim.client_indices():
+            mask = self.fixed_masks.get(client_index)
+            if mask is not None:
+                update = sim.train_client(client_index, global_weights,
+                                          mask=mask, base_cycle=cycle)
+                durations.append(sim.client_cycle_seconds(client_index,
+                                                          mask=mask))
+                straggler_fractions.append(mask.active_fraction())
+            else:
+                update = sim.train_client(client_index, global_weights,
+                                          base_cycle=cycle)
+                durations.append(sim.client_cycle_seconds(client_index))
+            updates.append(update)
+
+        sim.server.aggregate(updates, partial=True)
+        mean_loss = float(np.mean([update.train_loss for update in updates]))
+        return CycleOutcome(
+            duration_s=float(max(durations)),
+            participating_clients=len(updates),
+            mean_train_loss=mean_loss,
+            straggler_fraction_trained=(float(np.mean(straggler_fractions))
+                                        if straggler_fractions else 1.0),
+        )

@@ -1,0 +1,63 @@
+"""Random partial-model training (the paper's "Random" baseline, ref. [12]).
+
+Following Caldas et al.'s federated dropout, each straggler trains a
+*random* subset of neurons of the expected model volume every cycle.  The
+collaboration stays synchronous (the shrunk stragglers keep up with the
+pace), but the selection ignores neuron contributions, provides no explicit
+rotation guarantee and uses plain sample-count aggregation — the three
+ingredients Helios adds on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..fl.client import ClientUpdate
+from ..fl.simulation import FederatedSimulation
+from ..fl.strategy import CycleOutcome
+from ..nn.masking import ModelMask
+from .common import StragglerAwareStrategy
+
+__all__ = ["RandomMaskingStrategy"]
+
+
+class RandomMaskingStrategy(StragglerAwareStrategy):
+    """Synchronous FL with uniformly random partial models on stragglers."""
+
+    name = "Random"
+
+    def execute_cycle(self, cycle: int,
+                      sim: FederatedSimulation) -> CycleOutcome:
+        global_weights = sim.server.get_global_weights()
+        stragglers = set(self.straggler_indices())
+        updates: List[ClientUpdate] = []
+        durations: List[float] = []
+        straggler_fractions: List[float] = []
+
+        for client_index in sim.client_indices():
+            if client_index in stragglers:
+                fractions = self.layer_fractions(sim, client_index)
+                mask = ModelMask.random(sim.server.global_model, fractions,
+                                        rng=self.rng)
+                update = sim.train_client(client_index, global_weights,
+                                          mask=mask, base_cycle=cycle)
+                durations.append(sim.client_cycle_seconds(client_index,
+                                                          mask=mask))
+                straggler_fractions.append(mask.active_fraction())
+            else:
+                update = sim.train_client(client_index, global_weights,
+                                          base_cycle=cycle)
+                durations.append(sim.client_cycle_seconds(client_index))
+            updates.append(update)
+
+        sim.server.aggregate(updates, partial=True)
+        mean_loss = float(np.mean([update.train_loss for update in updates]))
+        return CycleOutcome(
+            duration_s=float(max(durations)),
+            participating_clients=len(updates),
+            mean_train_loss=mean_loss,
+            straggler_fraction_trained=(float(np.mean(straggler_fractions))
+                                        if straggler_fractions else 1.0),
+        )

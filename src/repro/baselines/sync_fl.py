@@ -1,0 +1,45 @@
+"""Synchronous federated learning (the paper's "Syn. FL" baseline).
+
+Every device — stragglers included — trains the full model every cycle and
+the server waits for all of them before aggregating.  Accuracy per cycle is
+the best of all baselines (nothing is dropped or shrunk), but the cycle
+duration is dictated by the slowest straggler, which is exactly the
+motivation example of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..fl.client import ClientUpdate
+from ..fl.simulation import FederatedSimulation
+from ..fl.strategy import CycleOutcome
+from .common import StragglerAwareStrategy
+
+__all__ = ["SynchronousFLStrategy"]
+
+
+class SynchronousFLStrategy(StragglerAwareStrategy):
+    """Classical synchronous FedAvg over the whole fleet."""
+
+    name = "Syn. FL"
+
+    def execute_cycle(self, cycle: int,
+                      sim: FederatedSimulation) -> CycleOutcome:
+        global_weights = sim.server.get_global_weights()
+        updates: List[ClientUpdate] = []
+        durations: List[float] = []
+        for client_index in sim.client_indices():
+            updates.append(sim.train_client(client_index, global_weights,
+                                            base_cycle=cycle))
+            durations.append(sim.client_cycle_seconds(client_index))
+        sim.server.aggregate(updates, partial=False)
+        mean_loss = float(np.mean([update.train_loss for update in updates]))
+        return CycleOutcome(
+            duration_s=float(max(durations)),
+            participating_clients=len(updates),
+            mean_train_loss=mean_loss,
+            straggler_fraction_trained=1.0,
+        )

@@ -1,0 +1,102 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1 --scale fast
+    python -m repro run fig5 --scale smoke --output results/fig5.txt
+    python -m repro scales
+
+Every experiment prints the same rows/series the paper reports; the
+optional ``--output`` flag additionally writes the formatted text to a
+file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (SCALES, available_experiments, get_experiment,
+                          run_experiment)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Helios (DAC 2021): run the paper's "
+                    "tables and figures.")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser("scales", help="list the available scale presets")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment and print its table/series")
+    run_parser.add_argument("experiment",
+                            help="experiment id (see 'repro list')")
+    run_parser.add_argument("--scale", default="fast",
+                            choices=sorted(SCALES),
+                            help="experiment scale preset (default: fast)")
+    run_parser.add_argument("--seed", type=int, default=0,
+                            help="random seed (default: 0)")
+    run_parser.add_argument("--output", default=None,
+                            help="also write the formatted output to a file")
+    return parser
+
+
+def _print_experiment_list() -> None:
+    for identifier in available_experiments():
+        entry = get_experiment(identifier)
+        print(f"{identifier:10s} {entry.description}")
+
+
+def _print_scales() -> None:
+    for name, scale in sorted(SCALES.items()):
+        print(f"{name:6s} train={scale.num_train:<5d} "
+              f"cycles={scale.num_cycles:<3d} "
+              f"width={scale.width_multiplier}")
+
+
+def _run(experiment: str, scale: str, seed: int,
+         output: Optional[str]) -> int:
+    kwargs = {"scale": scale}
+    entry = get_experiment(experiment)
+    # Profiling-only experiments take no seed; training experiments do.
+    if "seed" in entry.runner.__code__.co_varnames:
+        kwargs["seed"] = seed
+    _, text = run_experiment(experiment, **kwargs)
+    print(text)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n(written to {output})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        _print_experiment_list()
+        return 0
+    if args.command == "scales":
+        _print_scales()
+        return 0
+    if args.command == "run":
+        try:
+            return _run(args.experiment, args.scale, args.seed, args.output)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

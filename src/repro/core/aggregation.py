@@ -1,0 +1,65 @@
+"""Heterogeneity-aware model aggregation (paper Sec. VI-B, Eq. 10).
+
+When stragglers upload partial models, cycles mix updates with very
+different structural completeness.  Helios weights every device's
+contribution by the completeness of the model it actually trained:
+
+    α_n = r_n / Σ_k r_k
+
+where ``r_n`` is the fraction of neurons device ``n`` selected this cycle.
+A more complete update therefore moves the global model more.  The weights
+can optionally be combined with the classical FedAvg sample-count weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..fl.aggregation import normalize_weights, sample_count_weights
+from ..fl.client import ClientUpdate
+
+__all__ = ["heterogeneity_ratios", "heterogeneity_weights"]
+
+
+def heterogeneity_ratios(updates: Sequence[ClientUpdate]) -> List[float]:
+    """Per-update trained-neuron ratio ``r_n`` (1.0 for full-model updates)."""
+    return [update.neuron_fraction for update in updates]
+
+
+def heterogeneity_weights(updates: Sequence[ClientUpdate],
+                          combine_with_sample_counts: bool = True,
+                          ratio_exponent: float = 1.0
+                          ) -> np.ndarray:
+    """Aggregation weights ``α_n`` for one cycle's updates.
+
+    Parameters
+    ----------
+    updates:
+        Client updates of the current cycle.
+    combine_with_sample_counts:
+        Multiply ``α_n`` by the FedAvg sample-count weight so devices with
+        larger local datasets keep their proportional influence (the paper
+        formulates Eq. 10 on top of the FedAvg objective).
+    ratio_exponent:
+        Exponent applied to ``r_n`` before normalization; 1.0 reproduces
+        the paper, values > 1 emphasize complete models more aggressively
+        (exposed for the ablation benchmark).
+
+    Returns
+    -------
+    np.ndarray
+        Normalized weights summing to 1, aligned with ``updates``.
+    """
+    if not updates:
+        raise ValueError("need at least one update")
+    if ratio_exponent < 0:
+        raise ValueError("ratio_exponent must be non-negative")
+    ratios = np.asarray(heterogeneity_ratios(updates), dtype=np.float64)
+    if np.any(ratios <= 0):
+        raise ValueError("neuron fractions must be positive")
+    alpha = ratios ** ratio_exponent
+    if combine_with_sample_counts:
+        alpha = alpha * sample_count_weights(updates)
+    return normalize_weights(alpha)

@@ -1,0 +1,320 @@
+"""The Helios collaboration strategy (paper Sec. III–VI).
+
+:class:`HeliosStrategy` wires every piece of the framework together:
+
+1. **Setup** — identify potential stragglers (time- or resource-based),
+   determine each straggler's expected model volume, and create its
+   soft-training selector and rotation tracker.
+2. **Every cycle** — capable devices train the full model; each straggler
+   trains the subset of neurons chosen from last cycle's contributions
+   (top-``Ps`` by contribution + rotating random remainder + forced
+   rejoins), so its cycle time matches the collaboration pace.
+3. **Aggregation** — neuron-granular weighted averaging with the
+   heterogeneity weights ``α_n = r_n / Σ r_k``.
+4. **Pace adaptation** — during the first cycles the straggler volumes are
+   nudged so shrunk-cycle times converge to the capable devices' pace
+   (paper Sec. IV-C, "dynamically adjusted to an optimal point during the
+   first several training cycles").
+5. **Scalability** — devices joining mid-run are profiled and admitted
+   with an appropriate volume (Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..fl.client import ClientUpdate, FLClient
+from ..fl.simulation import FederatedSimulation
+from ..fl.strategy import CycleOutcome, FederatedStrategy
+from ..nn.masking import ModelMask
+from .aggregation import heterogeneity_weights
+from .contribution import neuron_contributions
+from .rotation import NeuronRotationTracker
+from .scalability import DynamicJoinManager, JoinDecision
+from .selection import SoftTrainingSelector
+from .straggler import StragglerIdentifier, StragglerReport
+from .targets import OptimizationTargetPolicy, VolumeAssignment
+
+__all__ = ["HeliosConfig", "HeliosStrategy"]
+
+
+@dataclass
+class HeliosConfig:
+    """Hyper-parameters of the Helios framework."""
+
+    #: ``Ps`` — share of each selection filled by top-contribution neurons.
+    top_share: float = 0.1
+    #: Straggler identification path: ``"resource"`` (white box) or
+    #: ``"time"`` (black box).
+    identification: str = "resource"
+    #: Flag exactly this many slowest devices as stragglers (None = use the
+    #: relative slowdown threshold).
+    straggler_top_k: Optional[int] = None
+    #: Relative threshold for the straggler decision.
+    slowdown_threshold: float = 1.5
+    #: Volume policy: ``"resource"`` (cost-model search) or ``"levels"``.
+    volume_policy: str = "resource"
+    #: Lower bound on any straggler volume.
+    min_volume: float = 0.1
+    #: Pace slack multiplier for volume sizing.
+    pace_slack: float = 1.1
+    #: Aggregation: ``"heterogeneous"`` (Eq. 10) or ``"fedavg"``
+    #: (the paper's "S.T. Only" ablation).
+    aggregation: str = "heterogeneous"
+    #: Multiply the heterogeneity weights by FedAvg sample-count weights.
+    combine_sample_counts: bool = True
+    #: Additive margin of the forced-rejoin threshold.
+    rejoin_margin: float = 1.0
+    #: Number of initial cycles with active volume adaptation.
+    adapt_volume_cycles: int = 3
+    #: Relative volume step of the pace adaptation.
+    volume_adapt_rate: float = 0.15
+    #: RNG seed for the rotating random selection.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.top_share <= 1.0:
+            raise ValueError("top_share must be in [0, 1]")
+        if self.identification not in ("resource", "time"):
+            raise ValueError("identification must be 'resource' or 'time'")
+        if self.volume_policy not in ("resource", "levels"):
+            raise ValueError("volume_policy must be 'resource' or 'levels'")
+        if self.aggregation not in ("heterogeneous", "fedavg"):
+            raise ValueError("aggregation must be 'heterogeneous' or 'fedavg'")
+        if not 0.0 < self.min_volume <= 1.0:
+            raise ValueError("min_volume must be in (0, 1]")
+        if self.adapt_volume_cycles < 0:
+            raise ValueError("adapt_volume_cycles must be non-negative")
+        if not 0.0 <= self.volume_adapt_rate < 1.0:
+            raise ValueError("volume_adapt_rate must be in [0, 1)")
+
+
+class HeliosStrategy(FederatedStrategy):
+    """Heterogeneity-aware FL with soft-training (the paper's contribution)."""
+
+    name = "Helios"
+
+    def __init__(self, config: Optional[HeliosConfig] = None) -> None:
+        self.config = config or HeliosConfig()
+        if self.config.aggregation == "fedavg":
+            self.name = "S.T. Only"
+        self.report: Optional[StragglerReport] = None
+        self.assignment: Optional[VolumeAssignment] = None
+        self.selectors: Dict[int, SoftTrainingSelector] = {}
+        self.trackers: Dict[int, NeuronRotationTracker] = {}
+        self.contributions: Dict[int, Dict[str, np.ndarray]] = {}
+        self.volumes: Dict[int, float] = {}
+        self.join_decisions: List[JoinDecision] = []
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def setup(self, sim: FederatedSimulation) -> None:
+        if self.report is not None and getattr(self, "_sim_id", None) == id(sim):
+            # Re-running the same simulation (e.g. after a device joined via
+            # :meth:`register_new_client`): keep the existing straggler
+            # state instead of re-identifying from scratch.
+            return
+        self._sim_id = id(sim)
+        model = sim.server.global_model
+        devices = [client.device for client in sim.clients]
+        samples = [max(1, int(round(client.num_samples
+                                    * client.config.local_epochs
+                                    * sim.workload_scale)))
+                   for client in sim.clients]
+        representative_samples = int(np.median(samples)) if samples else 1
+        batch_size = sim.clients[0].config.batch_size
+
+        identifier = StragglerIdentifier(
+            model, sim.input_shape,
+            samples_per_cycle=max(1, representative_samples),
+            batch_size=batch_size,
+            slowdown_threshold=self.config.slowdown_threshold)
+        if self.config.identification == "resource":
+            self.report = identifier.identify_by_resources(
+                devices, top_k=self.config.straggler_top_k)
+        else:
+            self.report = identifier.identify_by_time(
+                devices, top_k=self.config.straggler_top_k, rng=self._rng)
+
+        policy = OptimizationTargetPolicy(
+            model, sim.input_shape, batch_size=batch_size,
+            min_volume=self.config.min_volume,
+            pace_slack=self.config.pace_slack)
+        if self.config.volume_policy == "resource":
+            self.assignment = policy.assign_resource_adapted(
+                self.report, devices,
+                samples_per_cycle={index: samples[index]
+                                   for index in range(len(sim.clients))})
+        else:
+            self.assignment = policy.assign_predefined_levels(self.report)
+
+        self.selectors.clear()
+        self.trackers.clear()
+        self.contributions.clear()
+        self.volumes = dict(self.assignment.volumes)
+        for client_index in self.report.straggler_indices:
+            fractions = self._layer_fractions(sim, client_index)
+            self.selectors[client_index] = SoftTrainingSelector(
+                model, fractions, top_share=self.config.top_share,
+                rng=np.random.default_rng(
+                    self.config.seed + 17 * (client_index + 1)))
+            self.trackers[client_index] = NeuronRotationTracker(
+                model, fractions, threshold_margin=self.config.rejoin_margin)
+
+    def _layer_fractions(self, sim: FederatedSimulation,
+                         client_index: int) -> Dict[str, float]:
+        volume = self.volumes.get(client_index, 1.0)
+        return {layer.name: volume
+                for layer in sim.server.global_model.neuron_layers()}
+
+    # ------------------------------------------------------------------ #
+    # straggler bookkeeping
+    # ------------------------------------------------------------------ #
+    def straggler_indices(self) -> List[int]:
+        """Client indices Helios treats as stragglers."""
+        if self.report is None:
+            return []
+        return list(self.report.straggler_indices)
+
+    def is_straggler(self, client_index: int) -> bool:
+        """Whether a client is currently treated as a straggler."""
+        return client_index in self.selectors
+
+    # ------------------------------------------------------------------ #
+    # per-cycle execution
+    # ------------------------------------------------------------------ #
+    def execute_cycle(self, cycle: int,
+                      sim: FederatedSimulation) -> CycleOutcome:
+        if self.report is None:
+            raise RuntimeError("setup() must run before execute_cycle()")
+        global_weights = sim.server.get_global_weights()
+        model = sim.server.global_model
+
+        updates: List[ClientUpdate] = []
+        durations: List[float] = []
+        straggler_fractions: List[float] = []
+        capable_durations: List[float] = []
+
+        for client_index in sim.client_indices():
+            if self.is_straggler(client_index):
+                selector = self.selectors[client_index]
+                tracker = self.trackers[client_index]
+                forced = tracker.overdue_neurons()
+                mask = selector.select(
+                    contributions=self.contributions.get(client_index),
+                    forced=forced)
+                update = sim.train_client(client_index, global_weights,
+                                          mask=mask, base_cycle=cycle)
+                duration = sim.client_cycle_seconds(client_index, mask=mask)
+                tracker.record_cycle(mask)
+                self.contributions[client_index] = neuron_contributions(
+                    model, global_weights, update.weights)
+                straggler_fractions.append(mask.active_fraction())
+            else:
+                update = sim.train_client(client_index, global_weights,
+                                          base_cycle=cycle)
+                duration = sim.client_cycle_seconds(client_index)
+                capable_durations.append(duration)
+            updates.append(update)
+            durations.append(duration)
+
+        if self.config.aggregation == "heterogeneous":
+            weights = heterogeneity_weights(
+                updates,
+                combine_with_sample_counts=self.config.combine_sample_counts)
+        else:
+            weights = None
+        sim.server.aggregate(updates, client_weights=weights, partial=True)
+
+        if cycle <= self.config.adapt_volume_cycles and capable_durations:
+            self._adapt_volumes(sim, updates, durations, capable_durations)
+
+        mean_loss = float(np.mean([update.train_loss for update in updates]))
+        mean_straggler_fraction = (float(np.mean(straggler_fractions))
+                                   if straggler_fractions else 1.0)
+        return CycleOutcome(
+            duration_s=float(max(durations)),
+            participating_clients=len(updates),
+            mean_train_loss=mean_loss,
+            straggler_fraction_trained=mean_straggler_fraction,
+            extra={"capable_pace_s": (float(max(capable_durations))
+                                      if capable_durations else 0.0)},
+        )
+
+    # ------------------------------------------------------------------ #
+    # pace adaptation (first few cycles)
+    # ------------------------------------------------------------------ #
+    def _adapt_volumes(self, sim: FederatedSimulation,
+                       updates: List[ClientUpdate],
+                       durations: List[float],
+                       capable_durations: List[float]) -> None:
+        pace = max(capable_durations) * self.config.pace_slack
+        duration_by_client = {update.client_id: duration
+                              for update, duration in zip(updates, durations)}
+        for client_index in list(self.selectors):
+            duration = duration_by_client.get(client_index)
+            if duration is None:
+                continue
+            volume = self.volumes.get(client_index, 1.0)
+            if duration > pace:
+                volume *= (1.0 - self.config.volume_adapt_rate)
+            elif duration < pace / (1.0 + self.config.volume_adapt_rate):
+                volume *= (1.0 + self.config.volume_adapt_rate)
+            volume = float(np.clip(volume, self.config.min_volume, 1.0))
+            if volume != self.volumes.get(client_index):
+                self.volumes[client_index] = volume
+                fractions = self._layer_fractions(sim, client_index)
+                self.selectors[client_index].set_volume(fractions)
+                self.trackers[client_index].update_volume(fractions)
+
+    # ------------------------------------------------------------------ #
+    # scalability: devices joining mid-collaboration
+    # ------------------------------------------------------------------ #
+    def register_new_client(self, sim: FederatedSimulation,
+                            client: FLClient) -> JoinDecision:
+        """Admit a device that joins after setup (paper Sec. VI-C).
+
+        The client is added to the simulation, profiled against the current
+        collaboration pace and — if it would straggle — given a volume,
+        selector and rotation tracker so it participates from the next
+        cycle on.
+        """
+        if self.report is None:
+            raise RuntimeError("setup() must run before clients can join")
+        client_index = sim.add_client(client)
+        manager = DynamicJoinManager(
+            sim.server.global_model, sim.input_shape,
+            batch_size=client.config.batch_size,
+            slowdown_threshold=self.config.slowdown_threshold,
+            min_volume=self.config.min_volume,
+            pace_slack=self.config.pace_slack)
+        decision = manager.evaluate_device(
+            client.device,
+            samples_per_cycle=max(1, int(round(
+                client.num_samples * client.config.local_epochs
+                * sim.workload_scale))),
+            reference_seconds=self.report.reference_seconds)
+        self.join_decisions.append(decision)
+        self.report.cycle_seconds[client_index] = decision.expected_cycle_seconds
+        self.report.ranking = sorted(
+            self.report.cycle_seconds,
+            key=lambda idx: -self.report.cycle_seconds[idx])
+        if decision.is_straggler:
+            self.report.straggler_indices.append(client_index)
+            self.report.straggler_indices.sort()
+            self.volumes[client_index] = decision.volume
+            fractions = self._layer_fractions(sim, client_index)
+            self.selectors[client_index] = SoftTrainingSelector(
+                sim.server.global_model, fractions,
+                top_share=self.config.top_share,
+                rng=np.random.default_rng(
+                    self.config.seed + 17 * (client_index + 1)))
+            self.trackers[client_index] = NeuronRotationTracker(
+                sim.server.global_model, fractions,
+                threshold_margin=self.config.rejoin_margin)
+        return decision

@@ -1,0 +1,106 @@
+"""Neuron-rotation regulation (paper Sec. VI-A).
+
+Soft-training convergence requires that no neuron stays inactive
+indefinitely (its selection probability ``p_i`` must not be 0).  The global
+device therefore tracks, for every straggler, how many consecutive cycles
+each neuron has been skipped (``C_s``); once ``C_s`` exceeds the threshold
+
+    1 + m / Σ P_i n_i
+
+(the ratio of total neurons to per-cycle selected neurons, plus one), the
+neuron is forced back into the next training cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from ..nn.masking import ModelMask
+from ..nn.model import Sequential
+
+__all__ = ["NeuronRotationTracker"]
+
+
+class NeuronRotationTracker:
+    """Tracks skipped-cycle counts for one straggler's neurons."""
+
+    def __init__(self, model: Sequential,
+                 volume_fractions: Mapping[str, float],
+                 threshold_margin: float = 1.0) -> None:
+        """
+        Parameters
+        ----------
+        model:
+            Reference model for layer names and neuron counts.
+        volume_fractions:
+            The straggler's expected model volume per layer (``P_i``); used
+            to compute the skip threshold.
+        threshold_margin:
+            The additive constant of the threshold (the paper uses 1).
+        """
+        if threshold_margin < 0:
+            raise ValueError("threshold_margin must be non-negative")
+        self.layer_neurons: Dict[str, int] = {
+            layer.name: layer.num_neurons for layer in model.neuron_layers()}
+        self.skip_counts: Dict[str, np.ndarray] = {
+            name: np.zeros(count, dtype=np.int64)
+            for name, count in self.layer_neurons.items()}
+        self.threshold_margin = threshold_margin
+        self._threshold = self._compute_threshold(volume_fractions)
+
+    # ------------------------------------------------------------------ #
+    def _compute_threshold(self,
+                           volume_fractions: Mapping[str, float]) -> float:
+        total_neurons = sum(self.layer_neurons.values())
+        selected = 0.0
+        for name, count in self.layer_neurons.items():
+            fraction = float(volume_fractions.get(name, 1.0))
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"volume fraction for {name!r} must be in (0, 1]")
+            selected += fraction * count
+        if selected <= 0:
+            raise ValueError("total selected neurons must be positive")
+        return self.threshold_margin + total_neurons / selected
+
+    @property
+    def threshold(self) -> float:
+        """Maximum allowed consecutive skipped cycles before forced rejoin."""
+        return self._threshold
+
+    def update_volume(self, volume_fractions: Mapping[str, float]) -> None:
+        """Recompute the threshold after a pace-adaptation volume change."""
+        self._threshold = self._compute_threshold(volume_fractions)
+
+    # ------------------------------------------------------------------ #
+    def record_cycle(self, mask: ModelMask) -> None:
+        """Update skip counters after a training cycle executed ``mask``."""
+        for name, counts in self.skip_counts.items():
+            if name not in mask:
+                raise KeyError(f"mask is missing layer {name!r}")
+            selected = mask[name]
+            if selected.shape != counts.shape:
+                raise ValueError(f"mask size mismatch for layer {name!r}")
+            counts[selected] = 0
+            counts[~selected] += 1
+
+    def overdue_neurons(self) -> Dict[str, List[int]]:
+        """Neurons whose skip count exceeds the threshold, per layer."""
+        overdue: Dict[str, List[int]] = {}
+        for name, counts in self.skip_counts.items():
+            indices = np.flatnonzero(counts >= self._threshold)
+            if indices.size:
+                overdue[name] = indices.tolist()
+        return overdue
+
+    def max_skip_count(self) -> int:
+        """Largest current skip count across all neurons (diagnostics)."""
+        return int(max((counts.max() if counts.size else 0)
+                       for counts in self.skip_counts.values()))
+
+    def reset(self) -> None:
+        """Clear all counters (e.g. when a straggler is re-assigned)."""
+        for counts in self.skip_counts.values():
+            counts[:] = 0

@@ -1,0 +1,119 @@
+"""Collaboration-scalability optimization (paper Sec. VI-C).
+
+During a real deployment new devices join the collaboration while training
+is in progress.  Helios profiles the newcomer (via either identification
+path), compares it with the existing collaboration pace, and — if it would
+straggle — assigns it an expected model volume before it participates in
+its first cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..hardware.cost_model import TrainingCostModel
+from ..hardware.device import DeviceProfile
+from ..nn.model import Sequential
+
+__all__ = ["JoinDecision", "DynamicJoinManager"]
+
+
+@dataclass(frozen=True)
+class JoinDecision:
+    """Admission decision for one newly joining device."""
+
+    device_name: str
+    is_straggler: bool
+    expected_cycle_seconds: float
+    reference_seconds: float
+    volume: float
+
+    @property
+    def slowdown_factor(self) -> float:
+        """How much slower than the collaboration pace the device would be."""
+        if self.reference_seconds <= 0:
+            return 1.0
+        return self.expected_cycle_seconds / self.reference_seconds
+
+
+class DynamicJoinManager:
+    """Decide how a newly joining device participates.
+
+    Parameters
+    ----------
+    model:
+        The (current) global training model.
+    input_shape:
+        Shape of one input sample.
+    batch_size:
+        Local mini-batch size used by the memory term.
+    slowdown_threshold:
+        A newcomer is a straggler when its expected cycle exceeds
+        ``slowdown_threshold ×`` the collaboration pace.
+    min_volume:
+        Lower bound for any assigned model volume.
+    pace_slack:
+        The shrunk model must fit ``pace_slack ×`` the collaboration pace.
+    """
+
+    def __init__(self, model: Sequential, input_shape: Tuple[int, ...],
+                 batch_size: int = 32, slowdown_threshold: float = 1.5,
+                 min_volume: float = 0.1, pace_slack: float = 1.1) -> None:
+        if slowdown_threshold <= 1.0:
+            raise ValueError("slowdown_threshold must be greater than 1")
+        if not 0.0 < min_volume <= 1.0:
+            raise ValueError("min_volume must be in (0, 1]")
+        self.model = model
+        self.input_shape = tuple(input_shape)
+        self.batch_size = batch_size
+        self.slowdown_threshold = slowdown_threshold
+        self.min_volume = min_volume
+        self.pace_slack = pace_slack
+
+    def evaluate_device(self, device: DeviceProfile,
+                        samples_per_cycle: int,
+                        reference_seconds: float,
+                        measured_cycle_seconds: Optional[float] = None
+                        ) -> JoinDecision:
+        """Profile a joining device and decide its volume.
+
+        Parameters
+        ----------
+        device:
+            Resource profile of the newcomer (white-box path).
+        samples_per_cycle:
+            Samples it will process per local cycle.
+        reference_seconds:
+            Current collaboration pace (fastest capable device's cycle).
+        measured_cycle_seconds:
+            If the deployment only has black-box access, a measured cycle
+            time can be supplied and is used instead of the cost-model
+            estimate for the straggler decision.
+        """
+        if reference_seconds <= 0:
+            raise ValueError("reference_seconds must be positive")
+        if samples_per_cycle <= 0:
+            raise ValueError("samples_per_cycle must be positive")
+        cost_model = TrainingCostModel(self.model, self.input_shape,
+                                       samples_per_cycle=samples_per_cycle,
+                                       batch_size=self.batch_size)
+        expected = (measured_cycle_seconds
+                    if measured_cycle_seconds is not None
+                    else cost_model.estimate(device).total_seconds)
+        is_straggler = expected > self.slowdown_threshold * reference_seconds
+        volume = 1.0
+        if is_straggler:
+            volume = cost_model.volume_for_budget(
+                device, self.pace_slack * reference_seconds,
+                min_fraction=self.min_volume)
+            volume = float(np.clip(volume, self.min_volume, 1.0))
+        return JoinDecision(
+            device_name=device.name,
+            is_straggler=is_straggler,
+            expected_cycle_seconds=expected,
+            reference_seconds=reference_seconds,
+            volume=volume,
+        )

@@ -1,0 +1,151 @@
+"""Rotating neuron selection for soft-training (paper Sec. V-A, Eq. 2).
+
+Every training cycle a straggler trains only ``P_i · n_i`` neurons per
+layer.  The selected set is composed of
+
+* the highest-contribution neurons (``Ps`` share of the selection —
+  "primary converge guarantee"), and
+* a random draw from the remaining neurons ("further converge
+  optimization"), which rotates across cycles so every neuron periodically
+  participates.
+
+Neurons the rotation regulator flags as *forced* (skipped too long, paper
+Sec. VI-A) are always included, taking precedence over the random draw.
+
+Note on ``Ps``: the paper uses ``Ps`` both as a share of the selected set
+(Eq. 2, ``K = Ps · P_i · n_i``) and as a share of all neurons (Sec. VI-A,
+"``Ps = 1`` means full training").  This implementation follows Eq. 2 —
+``Ps`` is the fraction of the *selected* neurons chosen by contribution —
+because that is the formula the selection algorithm is defined with; the
+``Ps`` ablation benchmark sweeps the value either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..nn.masking import ModelMask
+from ..nn.model import Sequential
+
+__all__ = ["SoftTrainingSelector"]
+
+
+class SoftTrainingSelector:
+    """Builds per-cycle neuron masks for one straggler."""
+
+    def __init__(self, model: Sequential, volume_fractions: Mapping[str, float],
+                 top_share: float = 0.1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        """
+        Parameters
+        ----------
+        model:
+            Reference model (provides layer names and neuron counts).
+        volume_fractions:
+            Expected model volume per layer (``P_i``), each in ``(0, 1]``.
+        top_share:
+            ``Ps`` — the share of each layer's selection filled with the
+            highest-contribution neurons (paper suggests 0.05–0.1).
+        rng:
+            Random generator for the rotating random draw.
+        """
+        if not 0.0 <= top_share <= 1.0:
+            raise ValueError("top_share must be in [0, 1]")
+        self.model = model
+        self.top_share = top_share
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.layer_neurons: Dict[str, int] = {
+            layer.name: layer.num_neurons for layer in model.neuron_layers()}
+        self.volume_fractions: Dict[str, float] = {}
+        for name, count in self.layer_neurons.items():
+            fraction = float(volume_fractions.get(name, 1.0))
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"volume fraction for {name!r} must be in (0, 1]")
+            self.volume_fractions[name] = fraction
+
+    # ------------------------------------------------------------------ #
+    def set_volume(self, volume_fractions: Mapping[str, float]) -> None:
+        """Update the expected model volume (pace adaptation)."""
+        for name, fraction in volume_fractions.items():
+            if name not in self.layer_neurons:
+                raise KeyError(f"unknown layer {name!r}")
+            if not 0.0 < float(fraction) <= 1.0:
+                raise ValueError("volume fractions must be in (0, 1]")
+            self.volume_fractions[name] = float(fraction)
+
+    def selection_counts(self) -> Dict[str, int]:
+        """Number of neurons selected per layer under the current volume."""
+        return {
+            name: max(1, int(round(self.volume_fractions[name] * count)))
+            for name, count in self.layer_neurons.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    def select(self, contributions: Optional[Mapping[str, np.ndarray]] = None,
+               forced: Optional[Mapping[str, Sequence[int]]] = None
+               ) -> ModelMask:
+        """Build the neuron mask for the next training cycle.
+
+        Parameters
+        ----------
+        contributions:
+            Per-layer contribution scores ``U_ij`` from the previous cycle;
+            ``None`` (first cycle) falls back to a purely random selection.
+        forced:
+            Per-layer neuron indices that must be included (long-skipped
+            neurons pulled back by the rotation regulator).
+        """
+        forced = forced or {}
+        masks: Dict[str, np.ndarray] = {}
+        counts = self.selection_counts()
+        for name, total_neurons in self.layer_neurons.items():
+            budget = counts[name]
+            mask = np.zeros(total_neurons, dtype=bool)
+
+            forced_idx = np.unique(np.asarray(forced.get(name, ()),
+                                              dtype=np.int64))
+            if forced_idx.size:
+                if forced_idx.min() < 0 or forced_idx.max() >= total_neurons:
+                    raise IndexError(
+                        f"forced neuron index out of range for layer {name!r}")
+                # Forced neurons consume the budget first but never shrink
+                # below it — if more neurons are overdue than the budget
+                # allows, the budget grows for this cycle (the paper pulls
+                # them back "timely" rather than dropping them).
+                mask[forced_idx] = True
+
+            scores = None
+            if contributions is not None and name in contributions:
+                scores = np.asarray(contributions[name], dtype=np.float64)
+                if scores.shape != (total_neurons,):
+                    raise ValueError(
+                        f"contribution scores for {name!r} have shape "
+                        f"{scores.shape}, expected ({total_neurons},)")
+
+            remaining_budget = budget - int(mask.sum())
+            if remaining_budget > 0:
+                top_count = int(round(self.top_share * remaining_budget))
+                if scores is not None and top_count > 0:
+                    candidate_order = np.argsort(-scores)
+                    picked = 0
+                    for index in candidate_order:
+                        if picked >= top_count:
+                            break
+                        if not mask[index]:
+                            mask[index] = True
+                            picked += 1
+                remaining_budget = budget - int(mask.sum())
+                if remaining_budget > 0:
+                    pool = np.flatnonzero(~mask)
+                    chosen = self.rng.choice(pool, size=min(remaining_budget,
+                                                            pool.size),
+                                             replace=False)
+                    mask[chosen] = True
+            if not mask.any():
+                # Degenerate safeguard: always train at least one neuron.
+                mask[self.rng.integers(0, total_neurons)] = True
+            masks[name] = mask
+        return ModelMask(masks)

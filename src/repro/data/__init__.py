@@ -1,0 +1,20 @@
+"""Data substrate: synthetic datasets and federated partitioning."""
+
+from .dataset import Dataset
+from .partition import (partition_dataset, partition_dirichlet, partition_iid,
+                        partition_shards)
+from .synthetic import (DATASET_SPECS, SyntheticImageSpec, available_datasets,
+                        load_synthetic_dataset, make_classification_images)
+
+__all__ = [
+    "Dataset",
+    "SyntheticImageSpec",
+    "DATASET_SPECS",
+    "available_datasets",
+    "load_synthetic_dataset",
+    "make_classification_images",
+    "partition_dataset",
+    "partition_iid",
+    "partition_shards",
+    "partition_dirichlet",
+]

@@ -1,0 +1,86 @@
+"""Fig. 1 — the straggler issue in original (synchronous) FL.
+
+The paper motivates Helios with a three-device example: when a Jetson Nano,
+a Raspberry Pi and an AWS DeepLens train the same AlexNet synchronously, the
+DeepLens straggles and the two faster devices spend most of every cycle
+idle.  This experiment regenerates that picture from the analytical cost
+model: per-device training time, the synchronous cycle length, and the idle
+time each device wastes waiting for the straggler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..hardware import (DEEPLENS_CPU, FleetProfiler, JETSON_NANO_GPU,
+                        RASPBERRY_PI_4)
+from ..metrics import format_table
+from ..nn.models import build_model
+from .common import ExperimentScale, get_scale
+
+__all__ = ["Fig1Result", "run_fig1", "format_fig1"]
+
+#: Per-device local dataset size of the motivating example (samples/cycle).
+MOTIVATION_SAMPLES_PER_CYCLE = 12_500
+
+
+@dataclass
+class Fig1Result:
+    """Rows of the Fig. 1 motivation example."""
+
+    rows: List[Dict[str, float]] = field(default_factory=list)
+    cycle_hours: float = 0.0
+    straggler_name: str = ""
+    slowdown_factor: float = 0.0
+
+
+def run_fig1(scale: str = "fast") -> Fig1Result:
+    """Regenerate the Fig. 1 idle-time analysis.
+
+    The devices are the paper's three example nodes; the workload is the
+    AlexNet-on-CIFAR-10 pairing.  Only the cost model runs — no training —
+    so this experiment is instantaneous at any scale.
+    """
+    scale_config: ExperimentScale = get_scale(scale)
+    # Profiling never trains the model, so the full-width AlexNet is used at
+    # every scale to keep the time magnitudes comparable with the paper.
+    model = build_model("alexnet", (3, 32, 32), 10, width_multiplier=1.0,
+                        rng=np.random.default_rng(0))
+    profiler = FleetProfiler(model, (3, 32, 32),
+                             samples_per_cycle=MOTIVATION_SAMPLES_PER_CYCLE,
+                             batch_size=scale_config.batch_size)
+    devices = [JETSON_NANO_GPU, RASPBERRY_PI_4, DEEPLENS_CPU]
+    reports = profiler.profile_fleet(devices)
+    cycle_seconds = max(report.cycle_minutes * 60.0 for report in reports)
+    slowest = max(reports, key=lambda report: report.cycle_minutes)
+    fastest = min(reports, key=lambda report: report.cycle_minutes)
+
+    result = Fig1Result(
+        cycle_hours=cycle_seconds / 3600.0,
+        straggler_name=slowest.device.name,
+        slowdown_factor=slowest.cycle_minutes / max(fastest.cycle_minutes,
+                                                    1e-9),
+    )
+    for report in reports:
+        training_seconds = report.cycle_minutes * 60.0
+        result.rows.append({
+            "device": report.device.name,
+            "training_hours": round(training_seconds / 3600.0, 2),
+            "idle_hours": round((cycle_seconds - training_seconds) / 3600.0, 2),
+            "idle_share": round(1.0 - training_seconds / cycle_seconds, 3),
+        })
+    return result
+
+
+def format_fig1(result: Fig1Result) -> str:
+    """Text rendering of the Fig. 1 analysis."""
+    lines = [
+        format_table(result.rows, title="Fig. 1 — straggler idle-time analysis"),
+        (f"synchronous cycle length: {result.cycle_hours:.2f} h; "
+         f"straggler: {result.straggler_name} "
+         f"({result.slowdown_factor:.1f}x slower than the fastest device)"),
+    ]
+    return "\n".join(lines)

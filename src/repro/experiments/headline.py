@@ -1,0 +1,71 @@
+"""Headline-claim check: "up to 2.5× acceleration, up to 4.64 % accuracy gain".
+
+The abstract's two numbers are derived from the Fig. 5 comparison.  This
+module reduces a set of Fig. 5 panels to the same two aggregates: the
+largest wall-clock speed-up of Helios over the synchronous baseline
+(time-to-target-accuracy ratio) and the largest converged-accuracy
+improvement of Helios over the best competing baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics import format_table
+from .fig5_effectiveness import Fig5Result, run_fig5
+
+__all__ = ["HeadlineResult", "run_headline", "format_headline"]
+
+#: The paper's reported headline numbers.
+PAPER_MAX_SPEEDUP = 2.5
+PAPER_MAX_ACCURACY_GAIN_PP = 4.64
+
+
+@dataclass
+class HeadlineResult:
+    """Maximum speed-up and accuracy gain over a set of Fig. 5 panels."""
+
+    per_panel: List[Dict[str, object]] = field(default_factory=list)
+    max_speedup: float = 0.0
+    max_accuracy_gain_pp: float = 0.0
+    paper_max_speedup: float = PAPER_MAX_SPEEDUP
+    paper_max_accuracy_gain_pp: float = PAPER_MAX_ACCURACY_GAIN_PP
+
+
+def summarize_headline(fig5: Fig5Result) -> HeadlineResult:
+    """Reduce Fig. 5 panels to the abstract's two headline numbers."""
+    result = HeadlineResult()
+    for panel in fig5.panels:
+        result.per_panel.append({
+            "setting": panel.setting_label,
+            "helios_speedup_vs_sync": round(panel.helios_speedup_vs_sync, 2),
+            "helios_accuracy_gain_pp": round(
+                panel.helios_accuracy_improvement_pp, 2),
+        })
+        result.max_speedup = max(result.max_speedup,
+                                 panel.helios_speedup_vs_sync)
+        result.max_accuracy_gain_pp = max(result.max_accuracy_gain_pp,
+                                          panel.helios_accuracy_improvement_pp)
+    return result
+
+
+def run_headline(panels: Sequence[Tuple[str, int, int]] = (("mnist", 2, 2),
+                                                           ("mnist", 3, 3)),
+                 scale: str = "fast", seed: int = 0) -> HeadlineResult:
+    """Run a (reduced) set of Fig. 5 panels and extract the headline numbers."""
+    fig5 = run_fig5(panels=panels, scale=scale, seed=seed)
+    return summarize_headline(fig5)
+
+
+def format_headline(result: HeadlineResult) -> str:
+    """Text rendering of the headline comparison."""
+    lines = [
+        format_table(result.per_panel, title="Headline claims per setting"),
+        "",
+        (f"measured max speed-up over Syn. FL: {result.max_speedup:.2f}x "
+         f"(paper reports up to {result.paper_max_speedup:.1f}x)"),
+        (f"measured max accuracy gain: {result.max_accuracy_gain_pp:+.2f} pp "
+         f"(paper reports up to {result.paper_max_accuracy_gain_pp:.2f} pp)"),
+    ]
+    return "\n".join(lines)

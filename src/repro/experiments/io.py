@@ -1,0 +1,73 @@
+"""Persistence for experiment results.
+
+Training histories (and dictionaries of them) are serialized to JSON so a
+benchmark run can be archived, compared against later runs, or plotted with
+external tooling.  Only plain Python/NumPy scalars are stored — no pickling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Mapping
+
+from ..fl.history import CycleRecord, TrainingHistory
+
+__all__ = ["history_to_dict", "history_from_dict", "save_histories",
+           "load_histories"]
+
+
+def history_to_dict(history: TrainingHistory) -> Dict:
+    """Convert a history into a JSON-serializable dictionary."""
+    return {
+        "strategy_name": history.strategy_name,
+        "records": [
+            {
+                "cycle": record.cycle,
+                "sim_time_s": float(record.sim_time_s),
+                "global_accuracy": float(record.global_accuracy),
+                "mean_train_loss": float(record.mean_train_loss),
+                "participating_clients": record.participating_clients,
+                "straggler_fraction_trained": float(
+                    record.straggler_fraction_trained),
+                "extra": {key: float(value)
+                          for key, value in record.extra.items()},
+            }
+            for record in history.records
+        ],
+    }
+
+
+def history_from_dict(payload: Mapping) -> TrainingHistory:
+    """Rebuild a history from :func:`history_to_dict` output."""
+    history = TrainingHistory(strategy_name=payload.get("strategy_name", ""))
+    for record in payload.get("records", []):
+        history.append(CycleRecord(
+            cycle=int(record["cycle"]),
+            sim_time_s=float(record["sim_time_s"]),
+            global_accuracy=float(record["global_accuracy"]),
+            mean_train_loss=float(record["mean_train_loss"]),
+            participating_clients=int(record["participating_clients"]),
+            straggler_fraction_trained=float(
+                record.get("straggler_fraction_trained", 1.0)),
+            extra=dict(record.get("extra", {})),
+        ))
+    return history
+
+
+def save_histories(histories: Mapping[str, TrainingHistory],
+                   path: str) -> None:
+    """Write a mapping of strategy name → history to a JSON file."""
+    payload = {name: history_to_dict(history)
+               for name, history in histories.items()}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_histories(path: str) -> Dict[str, TrainingHistory]:
+    """Load a mapping previously written by :func:`save_histories`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {name: history_from_dict(data) for name, data in payload.items()}

@@ -1,0 +1,72 @@
+"""Experiment registry: look up every paper table/figure by its identifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .fig1_motivation import format_fig1, run_fig1
+from .fig2_async_analysis import format_fig2, run_fig2
+from .fig5_effectiveness import format_fig5, run_fig5
+from .fig6_aggregation_opt import format_fig6, run_fig6
+from .fig7_non_iid import format_fig7, run_fig7
+from .headline import format_headline, run_headline
+from .table1_profiles import format_table1, run_table1
+
+__all__ = ["ExperimentEntry", "EXPERIMENTS", "available_experiments",
+           "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible paper artefact."""
+
+    experiment_id: str
+    description: str
+    runner: Callable[..., object]
+    formatter: Callable[[object], str]
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    "fig1": ExperimentEntry(
+        "fig1", "Straggler idle-time motivation example",
+        run_fig1, format_fig1),
+    "fig2": ExperimentEntry(
+        "fig2", "Synchronous vs. asynchronous aggregation periods",
+        run_fig2, format_fig2),
+    "table1": ExperimentEntry(
+        "table1", "Straggler resource profiles (workload/memory/cycle time)",
+        run_table1, format_table1),
+    "fig5": ExperimentEntry(
+        "fig5", "Soft-training effectiveness: Helios vs. four baselines",
+        run_fig5, format_fig5),
+    "fig6": ExperimentEntry(
+        "fig6", "Aggregation-optimization ablation (Helios vs. S.T. Only)",
+        run_fig6, format_fig6),
+    "fig7": ExperimentEntry(
+        "fig7", "Non-IID evaluation",
+        run_fig7, format_fig7),
+    "headline": ExperimentEntry(
+        "headline", "Abstract headline claims (speed-up, accuracy gain)",
+        run_headline, format_headline),
+}
+
+
+def available_experiments() -> Tuple[str, ...]:
+    """Identifiers accepted by :func:`get_experiment`."""
+    return tuple(sorted(EXPERIMENTS))
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up one experiment entry."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"available: {available_experiments()}")
+    return EXPERIMENTS[experiment_id]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> Tuple[object, str]:
+    """Run an experiment and return ``(raw result, formatted text)``."""
+    entry = get_experiment(experiment_id)
+    result = entry.runner(**kwargs)
+    return result, entry.formatter(result)

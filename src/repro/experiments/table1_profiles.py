@@ -1,0 +1,88 @@
+"""Table I — straggler resource profiles.
+
+The paper's Table I lists, for AlexNet on CIFAR-10, the per-cycle
+computation workload (GFLOPs), memory usage (MB) and training-cycle time
+(minutes) of the four straggler configurations (Jetson Nano CPU, Raspberry
+Pi, DeepLens GPU, DeepLens CPU).  This experiment regenerates those rows
+from the resource-based profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..hardware import FleetProfiler, table1_stragglers
+from ..metrics import format_table
+from ..nn.models import build_model
+from .common import get_scale
+
+__all__ = ["Table1Result", "run_table1", "format_table1"]
+
+#: Samples per local training cycle assumed for the Table I workload.
+TABLE1_SAMPLES_PER_CYCLE = 12_500
+
+#: The paper's reported values, kept for side-by-side comparison.
+PAPER_TABLE1 = [
+    {"device": "jetson-nano-cpu", "workload_gflops": 7.0,
+     "memory_mb": 252.0, "cycle_minutes": 20.6},
+    {"device": "raspberry-pi-4", "workload_gflops": 6.0,
+     "memory_mb": 150.0, "cycle_minutes": 23.8},
+    {"device": "deeplens-gpu", "workload_gflops": 5.5,
+     "memory_mb": 100.0, "cycle_minutes": 27.2},
+    {"device": "deeplens-cpu", "workload_gflops": 4.5,
+     "memory_mb": 110.0, "cycle_minutes": 34.0},
+]
+
+
+@dataclass
+class Table1Result:
+    """Measured and reference rows of Table I."""
+
+    rows: List[Dict[str, float]] = field(default_factory=list)
+    paper_rows: List[Dict[str, float]] = field(default_factory=list)
+    ordering_matches_paper: bool = False
+
+
+def run_table1(scale: str = "fast") -> Table1Result:
+    """Profile the four straggler presets on the AlexNet/CIFAR-10 workload.
+
+    Profiling only traces the model once (no training), so the *full-width*
+    AlexNet is used at every scale — this keeps the workload/memory/time
+    magnitudes in the same regime as the paper's table.
+    """
+    scale_config = get_scale(scale)
+    model = build_model("alexnet", (3, 32, 32), 10, width_multiplier=1.0,
+                        rng=np.random.default_rng(0))
+    profiler = FleetProfiler(model, (3, 32, 32),
+                             samples_per_cycle=TABLE1_SAMPLES_PER_CYCLE,
+                             batch_size=scale_config.batch_size)
+    devices = table1_stragglers()
+    reports = profiler.profile_fleet(devices)
+    rows = [report.as_row() for report in reports]
+    measured_order = [row["device"] for row in
+                      sorted(rows, key=lambda row: row["cycle_minutes"])]
+    paper_order = [row["device"] for row in
+                   sorted(PAPER_TABLE1, key=lambda row: row["cycle_minutes"])]
+    return Table1Result(
+        rows=rows,
+        paper_rows=[dict(row) for row in PAPER_TABLE1],
+        ordering_matches_paper=measured_order == paper_order,
+    )
+
+
+def format_table1(result: Table1Result) -> str:
+    """Text rendering: measured rows next to the paper's values."""
+    lines = [
+        format_table(result.rows,
+                     title="Table I (measured) — straggler profiles"),
+        "",
+        format_table(result.paper_rows,
+                     title="Table I (paper-reported values)"),
+        "",
+        ("cycle-time ordering matches the paper: "
+         f"{result.ordering_matches_paper}"),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Federated-learning substrate: clients, server, aggregation, simulation."""
+
+from .aggregation import (ModelStructure, aggregate_full, aggregate_partial,
+                          normalize_weights, sample_count_weights)
+from .client import ClientConfig, ClientUpdate, FLClient
+from .history import CycleRecord, TrainingHistory
+from .sampling import (ClientSampler, FullParticipation, RandomSampling,
+                       ResourceAwareSampling)
+from .server import FLServer
+from .simulation import FederatedSimulation, build_simulation
+from .strategy import CycleOutcome, FederatedStrategy
+
+__all__ = [
+    "FLClient",
+    "ClientConfig",
+    "ClientUpdate",
+    "FLServer",
+    "ModelStructure",
+    "aggregate_full",
+    "aggregate_partial",
+    "sample_count_weights",
+    "normalize_weights",
+    "TrainingHistory",
+    "CycleRecord",
+    "FederatedStrategy",
+    "CycleOutcome",
+    "FederatedSimulation",
+    "build_simulation",
+    "ClientSampler",
+    "FullParticipation",
+    "RandomSampling",
+    "ResourceAwareSampling",
+]

@@ -1,0 +1,193 @@
+"""Server-side parameter aggregation.
+
+Two aggregation modes are provided:
+
+* :func:`aggregate_full` — classical FedAvg: a weighted average of complete
+  model updates (weights default to local sample counts).
+* :func:`aggregate_partial` — neuron-granular aggregation for partial-model
+  updates (soft-training, Random/federated-dropout baselines): every neuron
+  of the global model is averaged only over the devices that actually
+  trained it this cycle; untouched neurons keep their previous global
+  value.  Per-device aggregation weights are where Helios' heterogeneity
+  adjustment ``α_n = r_n / Σ r_n`` plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..nn.model import Sequential
+from .client import ClientUpdate
+
+__all__ = ["ModelStructure", "aggregate_full", "aggregate_partial",
+           "sample_count_weights", "normalize_weights"]
+
+
+@dataclass(frozen=True)
+class ParameterInfo:
+    """Structural metadata for one named parameter."""
+
+    name: str
+    layer_name: Optional[str]
+    neuron_axis: Optional[int]
+    shape: tuple
+
+
+class ModelStructure:
+    """Mapping from parameter names to the maskable layer that owns them.
+
+    The server needs this to know, for every exchanged tensor, which axis
+    indexes neurons and which soft-training mask (keyed by layer name)
+    applies to it.
+    """
+
+    def __init__(self, parameters: Sequence[ParameterInfo]) -> None:
+        self._by_name: Dict[str, ParameterInfo] = {
+            info.name: info for info in parameters}
+
+    @classmethod
+    def from_model(cls, model: Sequential) -> "ModelStructure":
+        """Build the structure table from a reference model instance."""
+        owner_by_param_id: Dict[int, str] = {}
+        for layer in model.neuron_layers():
+            for param in layer.parameters():
+                owner_by_param_id[id(param)] = layer.name
+        infos: List[ParameterInfo] = []
+        for name, param in model.named_parameters().items():
+            layer_name = owner_by_param_id.get(id(param))
+            infos.append(ParameterInfo(
+                name=name,
+                layer_name=layer_name,
+                neuron_axis=param.neuron_axis if layer_name else None,
+                shape=tuple(param.data.shape),
+            ))
+        return cls(infos)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ParameterInfo:
+        return self._by_name[name]
+
+    def parameter_names(self) -> List[str]:
+        """All parameter names in the structure."""
+        return list(self._by_name)
+
+    def layer_of(self, parameter_name: str) -> Optional[str]:
+        """Maskable layer owning a parameter (None for shared parameters)."""
+        return self._by_name[parameter_name].layer_name
+
+
+def sample_count_weights(updates: Sequence[ClientUpdate]) -> np.ndarray:
+    """FedAvg weights proportional to each client's local sample count."""
+    counts = np.array([float(update.num_samples) for update in updates])
+    if counts.sum() <= 0:
+        raise ValueError("total sample count must be positive")
+    return counts / counts.sum()
+
+
+def normalize_weights(weights: Sequence[float]) -> np.ndarray:
+    """Normalize non-negative weights to sum to one."""
+    values = np.asarray(weights, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("weights must be a 1-D sequence")
+    if np.any(values < 0):
+        raise ValueError("weights must be non-negative")
+    total = values.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    return values / total
+
+
+def aggregate_full(updates: Sequence[ClientUpdate],
+                   client_weights: Optional[Sequence[float]] = None
+                   ) -> Dict[str, np.ndarray]:
+    """Weighted average of complete model updates (FedAvg)."""
+    if not updates:
+        raise ValueError("need at least one update to aggregate")
+    if client_weights is None:
+        weights = sample_count_weights(updates)
+    else:
+        if len(client_weights) != len(updates):
+            raise ValueError("client_weights length must match updates")
+        weights = normalize_weights(client_weights)
+    aggregated: Dict[str, np.ndarray] = {}
+    for name in updates[0].weights:
+        stacked = np.stack([update.weights[name] for update in updates])
+        aggregated[name] = np.tensordot(weights, stacked, axes=1)
+    return aggregated
+
+
+def _neuron_weight_vector(mask: Optional[np.ndarray], size: int,
+                          weight: float) -> np.ndarray:
+    """Per-neuron contribution weight of one client for one layer."""
+    if mask is None:
+        return np.full(size, weight)
+    return np.where(mask, weight, 0.0)
+
+
+def aggregate_partial(global_weights: Mapping[str, np.ndarray],
+                      updates: Sequence[ClientUpdate],
+                      structure: ModelStructure,
+                      client_weights: Optional[Sequence[float]] = None
+                      ) -> Dict[str, np.ndarray]:
+    """Neuron-granular weighted aggregation of partial-model updates.
+
+    Parameters
+    ----------
+    global_weights:
+        The current global model (provides values for neurons nobody
+        trained this cycle).
+    updates:
+        Client updates; an update with ``mask=None`` contributes to every
+        neuron.
+    structure:
+        Parameter-to-layer mapping of the global model.
+    client_weights:
+        Per-update aggregation weight (defaults to sample counts).  Helios
+        passes FedAvg sample weights multiplied by ``α_n``.
+    """
+    if not updates:
+        raise ValueError("need at least one update to aggregate")
+    if client_weights is None:
+        weights = sample_count_weights(updates)
+    else:
+        if len(client_weights) != len(updates):
+            raise ValueError("client_weights length must match updates")
+        weights = normalize_weights(client_weights)
+
+    aggregated: Dict[str, np.ndarray] = {}
+    for name, global_value in global_weights.items():
+        info = structure[name] if name in structure else None
+        global_value = np.asarray(global_value)
+        if info is None or info.layer_name is None or info.neuron_axis is None:
+            # Shared (non-neuron-structured) parameter: plain weighted mean.
+            stacked = np.stack([update.weights[name] for update in updates])
+            aggregated[name] = np.tensordot(weights, stacked, axes=1)
+            continue
+        axis = info.neuron_axis
+        num_neurons = global_value.shape[axis]
+        numerator = np.zeros_like(global_value, dtype=np.float64)
+        denominator = np.zeros(num_neurons, dtype=np.float64)
+        for weight, update in zip(weights, updates):
+            layer_mask = None
+            if update.mask is not None and info.layer_name in update.mask:
+                layer_mask = update.mask[info.layer_name]
+            neuron_weights = _neuron_weight_vector(layer_mask, num_neurons,
+                                                   float(weight))
+            denominator += neuron_weights
+            broadcast_shape = [1] * global_value.ndim
+            broadcast_shape[axis] = num_neurons
+            weight_tensor = neuron_weights.reshape(broadcast_shape)
+            numerator += weight_tensor * np.asarray(update.weights[name])
+        covered = denominator > 0
+        safe_denominator = np.where(covered, denominator, 1.0)
+        broadcast_shape = [1] * global_value.ndim
+        broadcast_shape[axis] = num_neurons
+        blended = numerator / safe_denominator.reshape(broadcast_shape)
+        keep_mask = (~covered).reshape(broadcast_shape)
+        aggregated[name] = np.where(keep_mask, global_value, blended)
+    return aggregated

@@ -1,0 +1,167 @@
+"""Federated-learning client.
+
+A client owns a local dataset, a device profile and a local replica of the
+training model.  Its job is purely numerical: load global weights, train the
+(optionally masked) model on the local data for a number of epochs and
+return the resulting weights.  Time accounting is the scheduler's job — the
+simulator derives per-cycle durations from the hardware cost model so that
+a weak device training a shrunk model is *numerically* identical to this
+code but *temporally* cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..hardware.device import DeviceProfile
+from ..nn.losses import Loss, SoftmaxCrossEntropy
+from ..nn.masking import ModelMask
+from ..nn.model import Sequential
+from ..nn.optimizers import SGD, Optimizer
+
+__all__ = ["ClientConfig", "ClientUpdate", "FLClient"]
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Local-training hyper-parameters shared by all strategies."""
+
+    batch_size: int = 32
+    local_epochs: int = 1
+    learning_rate: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.local_epochs <= 0:
+            raise ValueError("local_epochs must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+@dataclass
+class ClientUpdate:
+    """What a client sends back to the server after a local training cycle."""
+
+    client_id: int
+    client_name: str
+    weights: Dict[str, np.ndarray]
+    num_samples: int
+    train_loss: float
+    mask: Optional[ModelMask] = None
+    local_epochs: int = 1
+    base_cycle: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def neuron_fraction(self) -> float:
+        """Fraction of neurons this update actually trained."""
+        return self.mask.active_fraction() if self.mask is not None else 1.0
+
+
+class FLClient:
+    """One edge device participating in the collaboration."""
+
+    def __init__(self, client_id: int, dataset: Dataset,
+                 device: DeviceProfile,
+                 model_factory: Callable[[], Sequential],
+                 config: Optional[ClientConfig] = None,
+                 loss_factory: Callable[[], Loss] = SoftmaxCrossEntropy,
+                 seed: int = 0) -> None:
+        if len(dataset) == 0:
+            raise ValueError("client dataset must not be empty")
+        self.client_id = client_id
+        self.dataset = dataset
+        self.device = device
+        self.config = config or ClientConfig()
+        self.model_factory = model_factory
+        self.loss_factory = loss_factory
+        self.model = model_factory()
+        self.rng = np.random.default_rng(seed + 1000 * client_id)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Device name used in reports."""
+        return self.device.name
+
+    @property
+    def num_samples(self) -> int:
+        """Number of local training samples."""
+        return len(self.dataset)
+
+    def _make_optimizer(self) -> Optimizer:
+        if self.config.momentum > 0:
+            from ..nn.optimizers import MomentumSGD
+            return MomentumSGD(self.model.parameters(),
+                               lr=self.config.learning_rate,
+                               momentum=self.config.momentum,
+                               weight_decay=self.config.weight_decay)
+        return SGD(self.model.parameters(), lr=self.config.learning_rate,
+                   weight_decay=self.config.weight_decay)
+
+    # ------------------------------------------------------------------ #
+    def local_train(self, global_weights: Dict[str, np.ndarray],
+                    mask: Optional[ModelMask] = None,
+                    local_epochs: Optional[int] = None,
+                    base_cycle: int = 0) -> ClientUpdate:
+        """Run one local training cycle and return the updated weights.
+
+        Parameters
+        ----------
+        global_weights:
+            The global model the server distributed for this cycle.
+        mask:
+            Optional neuron mask (Helios soft-training / Random baseline).
+            ``None`` trains the full model.
+        local_epochs:
+            Override the configured number of local epochs (asynchronous
+            baselines let stragglers accumulate several epochs).
+        base_cycle:
+            The aggregation cycle whose global weights this training is
+            based on (used by staleness-aware aggregation).
+        """
+        epochs = local_epochs if local_epochs is not None else self.config.local_epochs
+        if epochs <= 0:
+            raise ValueError("local_epochs must be positive")
+        self.model.set_weights(global_weights)
+        if mask is not None:
+            mask.apply(self.model)
+        else:
+            self.model.clear_neuron_masks()
+        self.model.train()
+        loss_fn = self.loss_factory()
+        optimizer = self._make_optimizer()
+        losses = []
+        for _ in range(epochs):
+            for images, labels in self.dataset.batches(
+                    self.config.batch_size, rng=self.rng):
+                losses.append(self.model.train_step(
+                    images, labels, loss_fn, optimizer))
+        # Masks are training-time only; the exchanged weights are full-size.
+        self.model.clear_neuron_masks()
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        return ClientUpdate(
+            client_id=self.client_id,
+            client_name=self.name,
+            weights=self.model.get_weights(),
+            num_samples=self.num_samples,
+            train_loss=mean_loss,
+            mask=mask.copy() if mask is not None else None,
+            local_epochs=epochs,
+            base_cycle=base_cycle,
+        )
+
+    def evaluate(self, dataset: Dataset,
+                 weights: Optional[Dict[str, np.ndarray]] = None) -> float:
+        """Accuracy of (optionally provided) weights on ``dataset``."""
+        if weights is not None:
+            self.model.set_weights(weights)
+        self.model.clear_neuron_masks()
+        return self.model.evaluate_accuracy(dataset.images, dataset.labels)

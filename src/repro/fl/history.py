@@ -1,0 +1,119 @@
+"""Training history: the record every experiment and benchmark reads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CycleRecord", "TrainingHistory"]
+
+
+@dataclass
+class CycleRecord:
+    """Metrics captured at the end of one parameter-aggregation cycle."""
+
+    cycle: int
+    sim_time_s: float
+    global_accuracy: float
+    mean_train_loss: float
+    participating_clients: int
+    straggler_fraction_trained: float = 1.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Ordered list of :class:`CycleRecord` plus convenience accessors."""
+
+    strategy_name: str = ""
+    records: List[CycleRecord] = field(default_factory=list)
+
+    def append(self, record: CycleRecord) -> None:
+        """Add a cycle record (cycles must be appended in order)."""
+        if self.records and record.cycle <= self.records[-1].cycle:
+            raise ValueError("cycle records must be appended in increasing order")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    # series accessors
+    # ------------------------------------------------------------------ #
+    def cycles(self) -> List[int]:
+        """Aggregation-cycle indices."""
+        return [record.cycle for record in self.records]
+
+    def accuracies(self) -> List[float]:
+        """Global-model accuracy per cycle."""
+        return [record.global_accuracy for record in self.records]
+
+    def times_s(self) -> List[float]:
+        """Simulated wall-clock time (seconds) at the end of each cycle."""
+        return [record.sim_time_s for record in self.records]
+
+    def losses(self) -> List[float]:
+        """Mean local training loss per cycle."""
+        return [record.mean_train_loss for record in self.records]
+
+    # ------------------------------------------------------------------ #
+    # summary metrics
+    # ------------------------------------------------------------------ #
+    def final_accuracy(self) -> float:
+        """Accuracy after the last recorded cycle (0 when empty)."""
+        return self.records[-1].global_accuracy if self.records else 0.0
+
+    def best_accuracy(self) -> float:
+        """Best accuracy over the run (0 when empty)."""
+        if not self.records:
+            return 0.0
+        return max(record.global_accuracy for record in self.records)
+
+    def converged_accuracy(self, window: int = 3) -> float:
+        """Mean accuracy over the last ``window`` cycles (the paper's
+        "convergence accuracy")."""
+        if not self.records:
+            return 0.0
+        tail = self.records[-window:]
+        return sum(record.global_accuracy for record in tail) / len(tail)
+
+    def cycles_to_accuracy(self, target: float) -> Optional[int]:
+        """First cycle index reaching ``target`` accuracy (None if never)."""
+        for record in self.records:
+            if record.global_accuracy >= target:
+                return record.cycle
+        return None
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated seconds to reach ``target`` accuracy (None if never)."""
+        for record in self.records:
+            if record.global_accuracy >= target:
+                return record.sim_time_s
+        return None
+
+    def total_time(self) -> float:
+        """Simulated seconds for the entire run."""
+        return self.records[-1].sim_time_s if self.records else 0.0
+
+    def accuracy_variance(self, window: int = 5) -> float:
+        """Variance of the accuracy curve over its last ``window`` cycles.
+
+        Used by the Fig. 6 analysis (aggregation optimization reduces the
+        fluctuation caused by partial-model aggregation).
+        """
+        values = self.accuracies()[-window:]
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        return sum((value - mean) ** 2 for value in values) / len(values)
+
+    def summary(self) -> Dict[str, float]:
+        """Compact summary dictionary used by the reporting helpers."""
+        return {
+            "strategy": self.strategy_name,
+            "cycles": float(len(self.records)),
+            "final_accuracy": self.final_accuracy(),
+            "best_accuracy": self.best_accuracy(),
+            "converged_accuracy": self.converged_accuracy(),
+            "total_time_s": self.total_time(),
+        }

@@ -1,0 +1,112 @@
+"""Client-selection (sampling) policies.
+
+The paper's experiments let every device participate in every cycle, but
+real FL deployments select a subset of clients per round.  Three policies
+are provided:
+
+* :class:`FullParticipation` — everyone, every cycle (the paper's setting);
+* :class:`RandomSampling` — a uniform random fraction per cycle (FedAvg's
+  classical setting);
+* :class:`ResourceAwareSampling` — prefer devices whose expected cycle time
+  fits a deadline, the FedCS idea of the paper's ref. [11].  This is the
+  "kick the stragglers out" policy Helios argues against, so it doubles as
+  an additional baseline ingredient.
+
+Policies are deliberately independent of the strategies: a strategy asks
+the policy which client indices participate this cycle and proceeds with
+that subset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .simulation import FederatedSimulation
+
+__all__ = ["ClientSampler", "FullParticipation", "RandomSampling",
+           "ResourceAwareSampling"]
+
+
+class ClientSampler:
+    """Base class for per-cycle client selection."""
+
+    def select(self, cycle: int, sim: FederatedSimulation) -> List[int]:
+        """Return the client indices participating in ``cycle``."""
+        raise NotImplementedError
+
+
+class FullParticipation(ClientSampler):
+    """Every client participates in every cycle."""
+
+    def select(self, cycle: int, sim: FederatedSimulation) -> List[int]:
+        return sim.client_indices()
+
+
+class RandomSampling(ClientSampler):
+    """A uniform random fraction of clients participates each cycle."""
+
+    def __init__(self, fraction: float = 0.5, minimum: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if minimum < 1:
+            raise ValueError("minimum must be at least 1")
+        self.fraction = fraction
+        self.minimum = minimum
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select(self, cycle: int, sim: FederatedSimulation) -> List[int]:
+        indices = sim.client_indices()
+        count = max(self.minimum,
+                    int(round(self.fraction * len(indices))))
+        count = min(count, len(indices))
+        chosen = self.rng.choice(indices, size=count, replace=False)
+        return sorted(int(index) for index in chosen)
+
+
+class ResourceAwareSampling(ClientSampler):
+    """Select clients whose expected cycle time fits a deadline (FedCS-like).
+
+    Parameters
+    ----------
+    deadline_s:
+        Per-cycle deadline in simulated seconds.  ``None`` derives it from
+        the fastest client's cycle time times ``deadline_factor``.
+    deadline_factor:
+        Multiplier applied to the fastest cycle when no explicit deadline
+        is given.
+    minimum:
+        Always keep at least this many clients (the fastest ones), even if
+        nobody meets the deadline.
+    """
+
+    def __init__(self, deadline_s: Optional[float] = None,
+                 deadline_factor: float = 1.5, minimum: int = 1) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+        if minimum < 1:
+            raise ValueError("minimum must be at least 1")
+        self.deadline_s = deadline_s
+        self.deadline_factor = deadline_factor
+        self.minimum = minimum
+
+    def cycle_deadline(self, sim: FederatedSimulation) -> float:
+        """The effective deadline for one cycle."""
+        if self.deadline_s is not None:
+            return self.deadline_s
+        return self.deadline_factor * sim.fastest_full_cycle_seconds()
+
+    def select(self, cycle: int, sim: FederatedSimulation) -> List[int]:
+        deadline = self.cycle_deadline(sim)
+        times = {index: sim.client_cycle_seconds(index)
+                 for index in sim.client_indices()}
+        selected = [index for index, seconds in times.items()
+                    if seconds <= deadline]
+        if len(selected) < self.minimum:
+            by_speed = sorted(times, key=times.get)
+            selected = by_speed[:self.minimum]
+        return sorted(selected)

@@ -1,0 +1,239 @@
+"""The federated-learning simulation engine.
+
+:class:`FederatedSimulation` wires together clients (with their datasets and
+device profiles), the aggregation server, the hardware cost model and a
+simulated clock.  Strategies (see :mod:`repro.fl.strategy`) drive it cycle
+by cycle; the engine provides them with
+
+* numerical services — training a client on given weights/mask, evaluating
+  the global model;
+* temporal services — how many simulated seconds a client needs for a
+  (possibly shrunk) local training cycle, including communication.
+
+Keeping numerics and timing separate is what lets a single-process NumPy
+simulation reproduce the paper's wall-clock comparisons: a straggler
+training a 40 %-volume model is numerically identical here and on a real
+testbed, while its cycle *time* comes from the analytical cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..hardware.cost_model import TrainingCostModel
+from ..hardware.network import CommunicationModel
+from ..nn.masking import ModelMask
+from ..nn.model import Sequential
+from .client import ClientUpdate, FLClient
+from .history import CycleRecord, TrainingHistory
+from .server import FLServer
+from .strategy import CycleOutcome, FederatedStrategy
+
+__all__ = ["FederatedSimulation"]
+
+
+class FederatedSimulation:
+    """Discrete-event simulation of one federated collaboration."""
+
+    def __init__(self, clients: Sequence[FLClient], server: FLServer,
+                 input_shape: Tuple[int, ...],
+                 comm_model: Optional[CommunicationModel] = None,
+                 workload_scale: float = 1.0,
+                 seed: int = 0) -> None:
+        if not clients:
+            raise ValueError("a simulation needs at least one client")
+        if workload_scale <= 0:
+            raise ValueError("workload_scale must be positive")
+        self.clients: List[FLClient] = list(clients)
+        self.server = server
+        self.input_shape = tuple(input_shape)
+        self.comm_model = comm_model or CommunicationModel()
+        #: Multiplier applied to every client's per-cycle sample count when
+        #: estimating *simulated* durations.  The numerical training uses a
+        #: reduced synthetic dataset; setting ``workload_scale`` to the
+        #: ratio between the paper's real local dataset size and the
+        #: synthetic one makes the simulated clock reflect full-size
+        #: workloads without paying their NumPy training cost.
+        self.workload_scale = workload_scale
+        self.clock_s = 0.0
+        self.rng = np.random.default_rng(seed)
+        self._cost_models: Dict[int, TrainingCostModel] = {}
+
+    # ------------------------------------------------------------------ #
+    # client access
+    # ------------------------------------------------------------------ #
+    def num_clients(self) -> int:
+        """Number of clients in the collaboration."""
+        return len(self.clients)
+
+    def client(self, index: int) -> FLClient:
+        """Client by index."""
+        return self.clients[index]
+
+    def client_indices(self) -> List[int]:
+        """All client indices."""
+        return list(range(len(self.clients)))
+
+    def add_client(self, client: FLClient) -> int:
+        """Register a new client mid-collaboration (scalability path)."""
+        self.clients.append(client)
+        return len(self.clients) - 1
+
+    # ------------------------------------------------------------------ #
+    # timing services
+    # ------------------------------------------------------------------ #
+    def cost_model_for(self, index: int) -> TrainingCostModel:
+        """Per-epoch training cost model of one client (cached)."""
+        if index not in self._cost_models:
+            client = self.clients[index]
+            scaled_samples = max(1, int(round(client.num_samples
+                                              * self.workload_scale)))
+            self._cost_models[index] = TrainingCostModel(
+                self.server.global_model, self.input_shape,
+                samples_per_cycle=scaled_samples,
+                batch_size=client.config.batch_size)
+        return self._cost_models[index]
+
+    def client_cycle_seconds(self, index: int,
+                             mask: Optional[ModelMask] = None,
+                             local_epochs: Optional[int] = None,
+                             include_communication: bool = True) -> float:
+        """Simulated duration of one local training cycle for a client.
+
+        The compute and memory terms come from the analytical cost model
+        evaluated on the (possibly shrunk) model; the communication term
+        charges the upload of the trained parameters plus the download of
+        the full global model.
+        """
+        client = self.clients[index]
+        cost_model = self.cost_model_for(index)
+        fractions = mask.layer_fractions() if mask is not None else None
+        estimate = cost_model.estimate(client.device, fractions)
+        epochs = (local_epochs if local_epochs is not None
+                  else client.config.local_epochs)
+        duration = (estimate.compute_seconds + estimate.memory_seconds) * epochs
+        if include_communication:
+            model_cost = cost_model.model_cost(fractions)
+            upload_values = model_cost.parameters
+            download_values = cost_model.full_model_cost.parameters
+            duration += self.comm_model.round_trip_seconds(
+                client.device, upload_values, download_values)
+        return duration
+
+    def slowest_full_cycle_seconds(self) -> float:
+        """Duration of a synchronous cycle with every client training fully."""
+        return max(self.client_cycle_seconds(index)
+                   for index in self.client_indices())
+
+    def fastest_full_cycle_seconds(self) -> float:
+        """Cycle duration of the fastest (capable) device."""
+        return min(self.client_cycle_seconds(index)
+                   for index in self.client_indices())
+
+    # ------------------------------------------------------------------ #
+    # numerical services
+    # ------------------------------------------------------------------ #
+    def train_client(self, index: int,
+                     weights: Optional[Dict[str, np.ndarray]] = None,
+                     mask: Optional[ModelMask] = None,
+                     local_epochs: Optional[int] = None,
+                     base_cycle: int = 0) -> ClientUpdate:
+        """Train one client and return its update.
+
+        ``weights`` defaults to the current global model.
+        """
+        if weights is None:
+            weights = self.server.get_global_weights()
+        return self.clients[index].local_train(
+            weights, mask=mask, local_epochs=local_epochs,
+            base_cycle=base_cycle)
+
+    def evaluate_global(self) -> float:
+        """Accuracy of the current global model on the server's test set."""
+        return self.server.evaluate()
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self, strategy: FederatedStrategy, num_cycles: int,
+            eval_every: int = 1,
+            target_accuracy: Optional[float] = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Run ``num_cycles`` aggregation cycles under ``strategy``.
+
+        Parameters
+        ----------
+        strategy:
+            The collaboration strategy to execute.
+        num_cycles:
+            Number of parameter-aggregation cycles (of the capable devices,
+            matching the paper's x-axes).
+        eval_every:
+            Evaluate the global model every this many cycles (the last
+            cycle is always evaluated).
+        target_accuracy:
+            Stop early once the global accuracy reaches this value.
+        verbose:
+            Print a one-line summary per evaluated cycle.
+        """
+        if num_cycles <= 0:
+            raise ValueError("num_cycles must be positive")
+        if eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        history = TrainingHistory(strategy_name=strategy.name)
+        strategy.setup(self)
+        last_accuracy = 0.0
+        for cycle in range(1, num_cycles + 1):
+            outcome = strategy.execute_cycle(cycle, self)
+            self.clock_s += outcome.duration_s
+            should_eval = (cycle % eval_every == 0) or (cycle == num_cycles)
+            if should_eval:
+                last_accuracy = self.evaluate_global()
+            history.append(CycleRecord(
+                cycle=cycle,
+                sim_time_s=self.clock_s,
+                global_accuracy=last_accuracy,
+                mean_train_loss=outcome.mean_train_loss,
+                participating_clients=outcome.participating_clients,
+                straggler_fraction_trained=outcome.straggler_fraction_trained,
+                extra=dict(outcome.extra),
+            ))
+            if verbose:
+                print(f"[{strategy.name}] cycle {cycle:3d} "
+                      f"t={self.clock_s:9.1f}s acc={last_accuracy:.4f} "
+                      f"loss={outcome.mean_train_loss:.4f}")
+            if target_accuracy is not None and last_accuracy >= target_accuracy:
+                break
+        return history
+
+
+def build_simulation(model_factory: Callable[[], Sequential],
+                     client_datasets: Sequence[Dataset],
+                     devices: Sequence,
+                     test_dataset: Dataset,
+                     input_shape: Tuple[int, ...],
+                     client_config=None,
+                     comm_model: Optional[CommunicationModel] = None,
+                     workload_scale: float = 1.0,
+                     seed: int = 0) -> FederatedSimulation:
+    """Convenience constructor used by experiments and examples.
+
+    Builds one :class:`FLClient` per (dataset, device) pair, an
+    :class:`FLServer` around ``model_factory`` and wires them into a
+    :class:`FederatedSimulation`.
+    """
+    if len(client_datasets) != len(devices):
+        raise ValueError("need exactly one device per client dataset")
+    server = FLServer(model_factory, test_dataset=test_dataset)
+    clients = [
+        FLClient(client_id=index, dataset=dataset, device=device,
+                 model_factory=model_factory, config=client_config,
+                 seed=seed)
+        for index, (dataset, device) in enumerate(zip(client_datasets, devices))
+    ]
+    return FederatedSimulation(clients, server, input_shape,
+                               comm_model=comm_model,
+                               workload_scale=workload_scale, seed=seed)

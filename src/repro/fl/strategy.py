@@ -1,0 +1,55 @@
+"""Strategy interface: how one parameter-aggregation cycle is executed.
+
+The simulation engine (:mod:`repro.fl.simulation`) owns clients, the
+server, the hardware cost models and the simulated clock.  A *strategy*
+(Synchronous FL, Asynchronous FL, AFO, Random partial training, Helios, …)
+decides, for every cycle, which clients train, with which neuron masks, how
+the updates are aggregated and how long the cycle takes on the simulated
+clock.  Each strategy returns a :class:`CycleOutcome` the engine turns into
+a history record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .simulation import FederatedSimulation
+
+__all__ = ["CycleOutcome", "FederatedStrategy"]
+
+
+@dataclass
+class CycleOutcome:
+    """What happened during one aggregation cycle."""
+
+    duration_s: float
+    participating_clients: int
+    mean_train_loss: float = 0.0
+    straggler_fraction_trained: float = 1.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if self.participating_clients < 0:
+            raise ValueError("participating_clients must be non-negative")
+
+
+class FederatedStrategy:
+    """Base class for aggregation-cycle strategies."""
+
+    #: Human-readable name used in histories, tables and plots.
+    name: str = "strategy"
+
+    def setup(self, sim: "FederatedSimulation") -> None:
+        """One-time initialization before the first cycle (optional)."""
+
+    def execute_cycle(self, cycle: int,
+                      sim: "FederatedSimulation") -> CycleOutcome:
+        """Run one aggregation cycle; must update the server's global model."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(name={self.name!r})"

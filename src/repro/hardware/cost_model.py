@@ -1,0 +1,165 @@
+"""Analytical training-cost model (paper Sec. IV-B, resource-based profiling).
+
+The paper models a straggler's per-cycle training time as
+
+    Te = W / Ccpu + M / Vmc + M / Bn
+
+where ``W`` is the training computation workload, ``M`` the memory usage,
+``Ccpu`` the device computation bandwidth, ``Vmc`` the memory transfer
+speed and ``Bn`` the communication bandwidth.  This module evaluates that
+expression from a :class:`~repro.nn.flops.ModelCost` and a
+:class:`~repro.hardware.device.DeviceProfile`, including the effect of
+Helios' per-layer neuron fractions (the expected model volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..nn.flops import ModelCost, estimate_model_cost
+from ..nn.model import Sequential
+from .device import DeviceProfile
+
+__all__ = ["TrainingCostEstimate", "TrainingCostModel"]
+
+
+@dataclass(frozen=True)
+class TrainingCostEstimate:
+    """Breakdown of one local training cycle on one device."""
+
+    device_name: str
+    workload_gflops: float
+    memory_mb: float
+    compute_seconds: float
+    memory_seconds: float
+    communication_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Total per-cycle time ``Te``."""
+        return (self.compute_seconds + self.memory_seconds
+                + self.communication_seconds)
+
+    @property
+    def total_minutes(self) -> float:
+        """Total per-cycle time in minutes (the unit of the paper's Table I)."""
+        return self.total_seconds / 60.0
+
+
+class TrainingCostModel:
+    """Estimate local-training-cycle time for a model/workload on a device.
+
+    Parameters
+    ----------
+    model:
+        The model being trained locally.
+    input_shape:
+        Shape of one input sample, e.g. ``(3, 32, 32)``.
+    samples_per_cycle:
+        Number of training samples processed in one local training cycle
+        (local epochs x local dataset size).
+    batch_size:
+        Mini-batch size; the memory term scales with it.
+    """
+
+    def __init__(self, model: Sequential, input_shape: Tuple[int, ...],
+                 samples_per_cycle: int, batch_size: int = 32) -> None:
+        if samples_per_cycle <= 0:
+            raise ValueError("samples_per_cycle must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.input_shape = tuple(input_shape)
+        self.samples_per_cycle = samples_per_cycle
+        self.batch_size = batch_size
+        self._full_cost = estimate_model_cost(model, self.input_shape)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def full_model_cost(self) -> ModelCost:
+        """Cost of the unshrunk model (cached)."""
+        return self._full_cost
+
+    def model_cost(self, neuron_fractions: Optional[Dict[str, float]] = None
+                   ) -> ModelCost:
+        """Cost of the model, optionally shrunk to per-layer neuron fractions."""
+        if not neuron_fractions:
+            return self._full_cost
+        return estimate_model_cost(self.model, self.input_shape,
+                                   neuron_fractions=neuron_fractions)
+
+    def workload_gflops(self, neuron_fractions: Optional[Dict[str, float]] = None
+                        ) -> float:
+        """Training workload ``W`` for one local cycle, in GFLOPs."""
+        cost = self.model_cost(neuron_fractions)
+        return cost.training_gflops(self.samples_per_cycle)
+
+    def memory_megabytes(self, neuron_fractions: Optional[Dict[str, float]] = None
+                         ) -> float:
+        """Training memory usage ``M`` in MB."""
+        cost = self.model_cost(neuron_fractions)
+        return cost.memory_megabytes(self.batch_size)
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, device: DeviceProfile,
+                 neuron_fractions: Optional[Dict[str, float]] = None
+                 ) -> TrainingCostEstimate:
+        """Evaluate ``Te = W/Ccpu + M/Vmc + M/Bn`` on ``device``."""
+        cost = self.model_cost(neuron_fractions)
+        workload_flops = cost.training_flops * self.samples_per_cycle
+        memory_bytes = cost.memory_bytes(self.batch_size)
+        compute_seconds = workload_flops / device.compute_flops_per_second
+        memory_seconds = memory_bytes / device.memory_bytes_per_second
+        communication_seconds = (cost.parameter_bytes
+                                 / device.network_bytes_per_second)
+        return TrainingCostEstimate(
+            device_name=device.name,
+            workload_gflops=workload_flops / 1e9,
+            memory_mb=memory_bytes / 1e6,
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            communication_seconds=communication_seconds,
+        )
+
+    def fits_in_memory(self, device: DeviceProfile,
+                       neuron_fractions: Optional[Dict[str, float]] = None
+                       ) -> bool:
+        """Whether the (possibly shrunk) model's footprint fits the device."""
+        return self.memory_megabytes(neuron_fractions) <= device.memory_capacity_mb
+
+    def volume_for_budget(self, device: DeviceProfile,
+                          target_seconds: float,
+                          min_fraction: float = 0.05,
+                          tolerance: float = 1e-3) -> float:
+        """Largest uniform neuron fraction whose cycle time fits ``target_seconds``.
+
+        This implements the paper's optimization-target determination for
+        the resource-profiling path: "select each layer with ``P_i n_i``
+        neurons simultaneously until the model consumption approaches the
+        resource constraints".  A uniform fraction is searched by bisection
+        because per-cycle time is monotone in the fraction.
+        """
+        if target_seconds <= 0:
+            raise ValueError("target_seconds must be positive")
+        if not 0.0 < min_fraction <= 1.0:
+            raise ValueError("min_fraction must be in (0, 1]")
+        full_time = self.estimate(device).total_seconds
+        if full_time <= target_seconds:
+            return 1.0
+        layer_names = [layer.name for layer in self.model.neuron_layers()]
+
+        def cycle_time(fraction: float) -> float:
+            fractions = {name: fraction for name in layer_names}
+            return self.estimate(device, fractions).total_seconds
+
+        low, high = min_fraction, 1.0
+        if cycle_time(low) > target_seconds:
+            return min_fraction
+        while high - low > tolerance:
+            mid = 0.5 * (low + high)
+            if cycle_time(mid) <= target_seconds:
+                low = mid
+            else:
+                high = mid
+        return low

@@ -1,0 +1,154 @@
+"""Per-cycle energy model (extension beyond the paper's evaluation).
+
+The paper lists battery among the heterogeneous edge resources (Fig. 1) but
+its cost model only covers time.  This module extends the same analytical
+approach to energy: a training cycle's energy is the device's compute power
+draw over the compute/memory time plus its radio power draw over the
+communication time, and a battery budget translates into a number of
+cycles the device can sustain.  Helios' model shrinking therefore extends
+battery life on stragglers in direct proportion to the cycle-time savings —
+a useful planning quantity even though the paper does not evaluate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .cost_model import TrainingCostEstimate
+from .device import DeviceProfile
+
+__all__ = ["DevicePowerProfile", "EnergyEstimate", "EnergyModel",
+           "DEFAULT_POWER_PROFILES"]
+
+
+@dataclass(frozen=True)
+class DevicePowerProfile:
+    """Power draw characteristics of one device class.
+
+    Attributes
+    ----------
+    compute_watts:
+        Average power while training (CPU/GPU + memory).
+    radio_watts:
+        Average power while transmitting or receiving parameters.
+    idle_watts:
+        Power while waiting for the aggregation cycle to finish.
+    """
+
+    compute_watts: float
+    radio_watts: float
+    idle_watts: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("compute_watts", "radio_watts", "idle_watts"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+
+#: Representative power profiles for the paper's device classes (datasheet
+#: ballpark figures; used by the planning example and tests).
+DEFAULT_POWER_PROFILES: Dict[str, DevicePowerProfile] = {
+    "jetson-nano-gpu": DevicePowerProfile(compute_watts=10.0,
+                                          radio_watts=1.5, idle_watts=1.25),
+    "jetson-nano-cpu": DevicePowerProfile(compute_watts=7.5,
+                                          radio_watts=1.5, idle_watts=1.25),
+    "raspberry-pi-4": DevicePowerProfile(compute_watts=6.4,
+                                         radio_watts=1.2, idle_watts=2.1),
+    "deeplens-gpu": DevicePowerProfile(compute_watts=9.0,
+                                       radio_watts=1.3, idle_watts=2.0),
+    "deeplens-cpu": DevicePowerProfile(compute_watts=8.0,
+                                       radio_watts=1.3, idle_watts=2.0),
+}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy breakdown of one training cycle on one device."""
+
+    device_name: str
+    compute_joules: float
+    communication_joules: float
+    idle_joules: float
+
+    @property
+    def active_joules(self) -> float:
+        """Energy spent actually training and communicating."""
+        return self.compute_joules + self.communication_joules
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy including idle waiting."""
+        return self.active_joules + self.idle_joules
+
+    @property
+    def total_milliwatt_hours(self) -> float:
+        """Total energy in mWh (the unit of ``DeviceProfile.battery_mwh``)."""
+        return self.total_joules / 3.6
+
+
+class EnergyModel:
+    """Translate cost-model time estimates into energy and battery figures."""
+
+    def __init__(self, power_profiles: Optional[Dict[str, DevicePowerProfile]]
+                 = None) -> None:
+        self.power_profiles = dict(DEFAULT_POWER_PROFILES)
+        if power_profiles:
+            self.power_profiles.update(power_profiles)
+
+    def power_profile_for(self, device: DeviceProfile) -> DevicePowerProfile:
+        """Look up (or approximate) the power profile of a device.
+
+        Scaled presets keep their base name as a prefix (e.g.
+        ``straggler-1`` derived from ``deeplens-cpu`` via ``scaled``), so an
+        exact match is tried first and a prefix match second; unknown
+        devices fall back to a conservative generic profile.
+        """
+        if device.name in self.power_profiles:
+            return self.power_profiles[device.name]
+        for name, profile in self.power_profiles.items():
+            if device.name.startswith(name) or name.startswith(device.name):
+                return profile
+        return DevicePowerProfile(compute_watts=8.0, radio_watts=1.5,
+                                  idle_watts=1.5)
+
+    def estimate_cycle(self, device: DeviceProfile,
+                       cost: TrainingCostEstimate,
+                       cycle_length_s: Optional[float] = None
+                       ) -> EnergyEstimate:
+        """Energy of one cycle given its time breakdown.
+
+        Parameters
+        ----------
+        device:
+            The device executing the cycle.
+        cost:
+            Time breakdown from :class:`TrainingCostModel.estimate`.
+        cycle_length_s:
+            Length of the full aggregation cycle; the gap between the
+            device's own busy time and the cycle length is charged at idle
+            power (the Fig. 1 waiting time).  ``None`` means no idle time.
+        """
+        profile = self.power_profile_for(device)
+        busy_compute = cost.compute_seconds + cost.memory_seconds
+        compute_joules = profile.compute_watts * busy_compute
+        communication_joules = (profile.radio_watts
+                                * cost.communication_seconds)
+        idle_seconds = 0.0
+        if cycle_length_s is not None:
+            if cycle_length_s < 0:
+                raise ValueError("cycle_length_s must be non-negative")
+            idle_seconds = max(0.0, cycle_length_s - cost.total_seconds)
+        idle_joules = profile.idle_watts * idle_seconds
+        return EnergyEstimate(device_name=device.name,
+                              compute_joules=compute_joules,
+                              communication_joules=communication_joules,
+                              idle_joules=idle_joules)
+
+    def sustainable_cycles(self, device: DeviceProfile,
+                           estimate: EnergyEstimate) -> float:
+        """How many such cycles the device's battery budget can sustain."""
+        per_cycle_mwh = estimate.total_milliwatt_hours
+        if per_cycle_mwh <= 0:
+            return float("inf")
+        return device.battery_mwh / per_cycle_mwh

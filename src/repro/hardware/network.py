@@ -1,0 +1,61 @@
+"""Parameter-exchange communication model.
+
+The FL scheduler charges every device an upload and a download time per
+aggregation cycle, computed from the number of parameter values it actually
+exchanges (Helios stragglers upload only the selected neurons' parameters)
+and the device's network bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceProfile
+
+__all__ = ["CommunicationModel"]
+
+BYTES_PER_VALUE = 4  # float32 on the wire
+
+
+@dataclass
+class CommunicationModel:
+    """Simple bandwidth/latency model for parameter exchange.
+
+    Attributes
+    ----------
+    per_message_latency_s:
+        Fixed latency added to every upload or download (handshake,
+        serialization).
+    server_bandwidth_mbps:
+        Aggregation-server downlink/uplink bandwidth; the effective rate of
+        a transfer is the minimum of the device and server bandwidths.
+    """
+
+    per_message_latency_s: float = 0.05
+    server_bandwidth_mbps: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.per_message_latency_s < 0:
+            raise ValueError("per_message_latency_s must be non-negative")
+        if self.server_bandwidth_mbps <= 0:
+            raise ValueError("server_bandwidth_mbps must be positive")
+
+    def _effective_bytes_per_second(self, device: DeviceProfile) -> float:
+        server_bps = self.server_bandwidth_mbps * 1e6 / 8.0
+        return min(device.network_bytes_per_second, server_bps)
+
+    def transfer_seconds(self, device: DeviceProfile,
+                         num_values: float) -> float:
+        """Time to move ``num_values`` float32 parameters one way."""
+        if num_values < 0:
+            raise ValueError("num_values must be non-negative")
+        payload = num_values * BYTES_PER_VALUE
+        return (self.per_message_latency_s
+                + payload / self._effective_bytes_per_second(device))
+
+    def round_trip_seconds(self, device: DeviceProfile,
+                           upload_values: float,
+                           download_values: float) -> float:
+        """Upload + download time for one aggregation cycle."""
+        return (self.transfer_seconds(device, upload_values)
+                + self.transfer_seconds(device, download_values))

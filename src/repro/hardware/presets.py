@@ -1,0 +1,120 @@
+"""Device presets matching the paper's testbed.
+
+The paper emulates its heterogeneous fleet with Jetson Nano boards whose
+CPU/GPU bandwidth and memory are throttled to imitate a Jetson Nano (GPU and
+CPU mode), an AWS DeepLens (GPU and CPU mode) and a Raspberry Pi.  The
+effective-bandwidth numbers below are chosen so the analytical cost model
+reproduces the *ordering and rough ratios* of the paper's Fig. 1 idle-time
+example and Table I per-cycle training times (Nano CPU < Raspberry Pi <
+DeepLens GPU < DeepLens CPU), which is what the experiments depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .device import DeviceProfile
+
+__all__ = [
+    "JETSON_NANO_GPU",
+    "JETSON_NANO_CPU",
+    "RASPBERRY_PI_4",
+    "DEEPLENS_GPU",
+    "DEEPLENS_CPU",
+    "DEVICE_PRESETS",
+    "get_device",
+    "available_devices",
+    "table1_stragglers",
+    "build_fleet",
+]
+
+
+JETSON_NANO_GPU = DeviceProfile(
+    name="jetson-nano-gpu",
+    compute_gflops=230.0,
+    memory_bandwidth_gbps=25.6,
+    network_bandwidth_mbps=100.0,
+    memory_capacity_mb=4096.0,
+    has_gpu=True,
+)
+
+JETSON_NANO_CPU = DeviceProfile(
+    name="jetson-nano-cpu",
+    compute_gflops=14.0,
+    memory_bandwidth_gbps=8.0,
+    network_bandwidth_mbps=100.0,
+    memory_capacity_mb=2048.0,
+    has_gpu=False,
+)
+
+RASPBERRY_PI_4 = DeviceProfile(
+    name="raspberry-pi-4",
+    compute_gflops=12.0,
+    memory_bandwidth_gbps=4.0,
+    network_bandwidth_mbps=50.0,
+    memory_capacity_mb=1024.0,
+    has_gpu=False,
+)
+
+DEEPLENS_GPU = DeviceProfile(
+    name="deeplens-gpu",
+    compute_gflops=10.5,
+    memory_bandwidth_gbps=3.0,
+    network_bandwidth_mbps=30.0,
+    memory_capacity_mb=1024.0,
+    has_gpu=True,
+)
+
+DEEPLENS_CPU = DeviceProfile(
+    name="deeplens-cpu",
+    compute_gflops=8.4,
+    memory_bandwidth_gbps=2.5,
+    network_bandwidth_mbps=30.0,
+    memory_capacity_mb=768.0,
+    has_gpu=False,
+)
+
+
+DEVICE_PRESETS: Dict[str, DeviceProfile] = {
+    profile.name: profile
+    for profile in (JETSON_NANO_GPU, JETSON_NANO_CPU, RASPBERRY_PI_4,
+                    DEEPLENS_GPU, DEEPLENS_CPU)
+}
+
+
+def available_devices() -> Tuple[str, ...]:
+    """Names accepted by :func:`get_device`."""
+    return tuple(sorted(DEVICE_PRESETS))
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device preset by name."""
+    if name not in DEVICE_PRESETS:
+        raise KeyError(
+            f"unknown device {name!r}; available: {available_devices()}")
+    return DEVICE_PRESETS[name]
+
+
+def table1_stragglers() -> List[DeviceProfile]:
+    """The four straggler profiles of the paper's Table I, in table order."""
+    return [JETSON_NANO_CPU, RASPBERRY_PI_4, DEEPLENS_GPU, DEEPLENS_CPU]
+
+
+def build_fleet(num_capable: int, num_stragglers: int) -> List[DeviceProfile]:
+    """Build a fleet like the paper's experiment settings.
+
+    Capable devices are Jetson Nano (GPU); stragglers cycle through the
+    Table I profiles (Strag. 1 = Nano CPU, Strag. 2 = Raspberry Pi,
+    Strag. 3 = DeepLens GPU, Strag. 4 = DeepLens CPU).
+    """
+    if num_capable < 0 or num_stragglers < 0:
+        raise ValueError("device counts must be non-negative")
+    fleet: List[DeviceProfile] = []
+    for index in range(num_capable):
+        fleet.append(JETSON_NANO_GPU.scaled(
+            name=f"capable-{index + 1}"))
+    straggler_cycle = table1_stragglers()
+    for index in range(num_stragglers):
+        base = straggler_cycle[index % len(straggler_cycle)]
+        fleet.append(base.scaled(name=f"straggler-{index + 1}"))
+    return fleet

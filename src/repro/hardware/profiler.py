@@ -1,0 +1,107 @@
+"""Device profiling front-ends used by straggler identification.
+
+The paper proposes two identification paths (Sec. IV-B):
+
+* *time-based approximation* (black box): run a lightweight test bench on
+  every device and rank them by measured time;
+* *resource-based profiling* (white box): evaluate the analytical cost
+  model from the devices' published resource figures.
+
+In this reproduction the "measured" time of the black-box path is produced
+by the same simulator clock that drives the experiments (optionally with
+measurement noise), so both paths exercise realistic code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.model import Sequential
+from .cost_model import TrainingCostEstimate, TrainingCostModel
+from .device import DeviceProfile
+
+__all__ = ["DeviceProfileReport", "FleetProfiler"]
+
+
+@dataclass(frozen=True)
+class DeviceProfileReport:
+    """Profiling result for one device (one row of the paper's Table I)."""
+
+    device: DeviceProfile
+    workload_gflops: float
+    memory_mb: float
+    cycle_minutes: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Row dictionary used by the reporting helpers."""
+        return {
+            "device": self.device.name,
+            "workload_gflops": round(self.workload_gflops, 2),
+            "memory_mb": round(self.memory_mb, 1),
+            "cycle_minutes": round(self.cycle_minutes, 1),
+        }
+
+
+class FleetProfiler:
+    """Profiles a fleet of devices for a given training workload."""
+
+    def __init__(self, model: Sequential, input_shape: Tuple[int, ...],
+                 samples_per_cycle: int, batch_size: int = 32) -> None:
+        self.cost_model = TrainingCostModel(
+            model, input_shape, samples_per_cycle, batch_size=batch_size)
+
+    # ------------------------------------------------------------------ #
+    # white-box path
+    # ------------------------------------------------------------------ #
+    def profile_device(self, device: DeviceProfile,
+                       neuron_fractions: Optional[Dict[str, float]] = None
+                       ) -> DeviceProfileReport:
+        """Resource-based profile of one device (paper Table I row)."""
+        estimate = self.cost_model.estimate(device, neuron_fractions)
+        return DeviceProfileReport(
+            device=device,
+            workload_gflops=estimate.workload_gflops,
+            memory_mb=estimate.memory_mb,
+            cycle_minutes=estimate.total_minutes,
+        )
+
+    def profile_fleet(self, devices: Sequence[DeviceProfile]
+                      ) -> List[DeviceProfileReport]:
+        """Resource-based profile of every device in the fleet."""
+        return [self.profile_device(device) for device in devices]
+
+    def estimate(self, device: DeviceProfile,
+                 neuron_fractions: Optional[Dict[str, float]] = None
+                 ) -> TrainingCostEstimate:
+        """Raw cost-model estimate (compute/memory/communication split)."""
+        return self.cost_model.estimate(device, neuron_fractions)
+
+    # ------------------------------------------------------------------ #
+    # black-box path
+    # ------------------------------------------------------------------ #
+    def measure_test_bench(self, devices: Sequence[DeviceProfile],
+                           bench_fraction: float = 0.05,
+                           noise_std: float = 0.02,
+                           rng: Optional[np.random.Generator] = None
+                           ) -> Dict[str, float]:
+        """Simulate the lightweight test bench of time-based approximation.
+
+        Each device "runs" a small fraction of a training cycle; the
+        returned measurement includes multiplicative noise to mimic real
+        timing jitter.  Devices are keyed by name.
+        """
+        if not 0.0 < bench_fraction <= 1.0:
+            raise ValueError("bench_fraction must be in (0, 1]")
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        measurements: Dict[str, float] = {}
+        for device in devices:
+            estimate = self.cost_model.estimate(device)
+            noise = rng.normal(1.0, noise_std) if noise_std else 1.0
+            measurements[device.name] = max(
+                1e-9, estimate.total_seconds * bench_fraction * noise)
+        return measurements

@@ -1,0 +1,18 @@
+"""Metrics and reporting: convergence summaries, speed-ups, text tables."""
+
+from .convergence import (ConvergenceSummary, accuracy_improvement,
+                          compare_histories, cycles_speedup, speedup_over,
+                          summarize_history)
+from .reporting import format_accuracy_curves, format_series, format_table
+
+__all__ = [
+    "ConvergenceSummary",
+    "summarize_history",
+    "speedup_over",
+    "cycles_speedup",
+    "accuracy_improvement",
+    "compare_histories",
+    "format_table",
+    "format_series",
+    "format_accuracy_curves",
+]

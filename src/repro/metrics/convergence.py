@@ -1,0 +1,115 @@
+"""Convergence and speed-up metrics derived from training histories.
+
+These are the quantities the paper's evaluation reports: convergence
+accuracy, cycles/time to reach a target, speed-up of one method over
+another (the headline "up to 2.5× training acceleration"), and the accuracy
+improvement of Helios over the best baseline (the "maximum 4.64%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..fl.history import TrainingHistory
+
+__all__ = [
+    "ConvergenceSummary",
+    "summarize_history",
+    "speedup_over",
+    "accuracy_improvement",
+    "cycles_speedup",
+    "compare_histories",
+]
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Compact per-run convergence summary."""
+
+    strategy: str
+    cycles: int
+    final_accuracy: float
+    best_accuracy: float
+    converged_accuracy: float
+    total_time_s: float
+    cycles_to_target: Optional[int]
+    time_to_target_s: Optional[float]
+    target_accuracy: float
+
+
+def summarize_history(history: TrainingHistory,
+                      target_accuracy: float) -> ConvergenceSummary:
+    """Summarize one run against a target accuracy."""
+    return ConvergenceSummary(
+        strategy=history.strategy_name,
+        cycles=len(history),
+        final_accuracy=history.final_accuracy(),
+        best_accuracy=history.best_accuracy(),
+        converged_accuracy=history.converged_accuracy(),
+        total_time_s=history.total_time(),
+        cycles_to_target=history.cycles_to_accuracy(target_accuracy),
+        time_to_target_s=history.time_to_accuracy(target_accuracy),
+        target_accuracy=target_accuracy,
+    )
+
+
+def speedup_over(candidate: TrainingHistory, baseline: TrainingHistory,
+                 target_accuracy: float) -> Optional[float]:
+    """Wall-clock speed-up of ``candidate`` over ``baseline``.
+
+    Measured as the ratio of simulated time-to-target-accuracy; ``None``
+    when either run never reaches the target.
+    """
+    candidate_time = candidate.time_to_accuracy(target_accuracy)
+    baseline_time = baseline.time_to_accuracy(target_accuracy)
+    if candidate_time is None or baseline_time is None or candidate_time <= 0:
+        return None
+    return baseline_time / candidate_time
+
+
+def cycles_speedup(candidate: TrainingHistory, baseline: TrainingHistory,
+                   target_accuracy: float) -> Optional[float]:
+    """Aggregation-cycle speed-up (ratio of cycles-to-target)."""
+    candidate_cycles = candidate.cycles_to_accuracy(target_accuracy)
+    baseline_cycles = baseline.cycles_to_accuracy(target_accuracy)
+    if candidate_cycles is None or baseline_cycles is None or candidate_cycles <= 0:
+        return None
+    return baseline_cycles / candidate_cycles
+
+
+def accuracy_improvement(candidate: TrainingHistory,
+                         baselines: Iterable[TrainingHistory],
+                         use_best: bool = True) -> float:
+    """Accuracy improvement (percentage points) of ``candidate`` over baselines.
+
+    ``use_best=True`` compares against the *best* baseline (the paper's
+    conservative reading of "X% accuracy improvement"); ``False`` compares
+    against the mean of the baselines.
+    """
+    baseline_values = [history.converged_accuracy() for history in baselines]
+    if not baseline_values:
+        raise ValueError("need at least one baseline history")
+    reference = max(baseline_values) if use_best else (
+        sum(baseline_values) / len(baseline_values))
+    return (candidate.converged_accuracy() - reference) * 100.0
+
+
+def compare_histories(histories: Mapping[str, TrainingHistory],
+                      target_accuracy: float) -> List[Dict[str, object]]:
+    """Produce one summary row per strategy, sorted by converged accuracy."""
+    rows: List[Dict[str, object]] = []
+    for name, history in histories.items():
+        summary = summarize_history(history, target_accuracy)
+        rows.append({
+            "strategy": name,
+            "converged_accuracy": round(summary.converged_accuracy, 4),
+            "best_accuracy": round(summary.best_accuracy, 4),
+            "cycles_to_target": summary.cycles_to_target,
+            "time_to_target_s": (round(summary.time_to_target_s, 1)
+                                 if summary.time_to_target_s is not None
+                                 else None),
+            "total_time_s": round(summary.total_time_s, 1),
+        })
+    rows.sort(key=lambda row: -float(row["converged_accuracy"]))
+    return rows

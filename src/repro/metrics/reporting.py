@@ -1,0 +1,72 @@
+"""Plain-text table and series rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place (no plotting dependency is
+available offline, so figures are emitted as aligned text series).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_accuracy_curves"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: str = "") -> str:
+    """Render a list of row-dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append(["" if row.get(column) is None else str(row.get(column))
+                     for column in columns])
+    widths = [max(len(header[i]), *(len(line[i]) for line in body))
+              for i in range(len(header))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i])
+                           for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i])
+                               for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_series(x_values: Sequence[object], y_values: Sequence[float],
+                  x_label: str = "x", y_label: str = "y",
+                  title: str = "", precision: int = 4) -> str:
+    """Render one (x, y) series as two aligned columns."""
+    if len(x_values) != len(y_values):
+        raise ValueError("x and y series must have the same length")
+    rows = [{x_label: x, y_label: round(float(y), precision)}
+            for x, y in zip(x_values, y_values)]
+    return format_table(rows, columns=[x_label, y_label], title=title)
+
+
+def format_accuracy_curves(curves: Mapping[str, Sequence[float]],
+                           title: str = "",
+                           x_label: str = "cycle",
+                           precision: int = 4) -> str:
+    """Render several accuracy-vs-cycle curves side by side.
+
+    ``curves`` maps strategy name to its per-cycle accuracy list; shorter
+    curves are padded with blanks.
+    """
+    if not curves:
+        return f"{title}\n(no curves)" if title else "(no curves)"
+    length = max(len(values) for values in curves.values())
+    rows: List[Dict[str, object]] = []
+    for index in range(length):
+        row: Dict[str, object] = {x_label: index + 1}
+        for name, values in curves.items():
+            row[name] = (round(float(values[index]), precision)
+                         if index < len(values) else None)
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *curves.keys()], title=title)

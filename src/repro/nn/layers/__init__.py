@@ -1,0 +1,30 @@
+"""Layer zoo for the NumPy neural-network substrate."""
+
+from .activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .base import CompositeLayer, Layer
+from .conv import Conv2D
+from .dense import Dense
+from .normalization import BatchNorm1D, BatchNorm2D
+from .pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from .reshape import Dropout, Flatten
+from .residual import ResidualBlock
+
+__all__ = [
+    "Layer",
+    "CompositeLayer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "Flatten",
+    "ResidualBlock",
+]

@@ -1,0 +1,160 @@
+"""Layer abstraction for the NumPy neural-network substrate.
+
+Every layer implements ``forward`` / ``backward`` with explicit NumPy
+arrays.  Layers that own neuron-structured parameters (dense, convolution,
+batch-norm) additionally support a *neuron mask*: a boolean vector with one
+entry per output neuron.  Helios' soft-training sets this mask every training
+cycle; masked-out neurons produce zero activations and receive zero gradient,
+which is the functional equivalent of removing them from the shrunk model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..parameter import Parameter
+
+__all__ = ["Layer", "CompositeLayer"]
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or self.__class__.__name__.lower()
+        self.training = True
+        self._neuron_mask: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # core protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the layer output for ``inputs``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and accumulate parameter grads."""
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters owned by this layer (may be empty)."""
+        return []
+
+    def buffers(self) -> "dict[str, np.ndarray]":
+        """Non-trainable state exchanged alongside the parameters.
+
+        Batch-normalization running statistics are the canonical example:
+        they are not updated by gradients but must travel with the model in
+        federated aggregation, otherwise the global model evaluates with
+        initialization statistics.
+        """
+        return {}
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Install one buffer previously exported by :meth:`buffers`."""
+        raise KeyError(f"layer {self.name!r} has no buffer {name!r}")
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every owned parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> None:
+        """Switch the layer (and sub-layers) to training mode."""
+        self.training = True
+        for child in self.children():
+            child.train()
+
+    def eval(self) -> None:
+        """Switch the layer (and sub-layers) to evaluation mode."""
+        self.training = False
+        for child in self.children():
+            child.eval()
+
+    def children(self) -> Iterable["Layer"]:
+        """Direct sub-layers (empty for leaf layers)."""
+        return []
+
+    # ------------------------------------------------------------------ #
+    # neuron masking (soft-training hook)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_neurons(self) -> int:
+        """Number of maskable output neurons (0 for stateless layers)."""
+        return 0
+
+    @property
+    def neuron_mask(self) -> Optional[np.ndarray]:
+        """Current boolean neuron mask (``None`` means all active)."""
+        return self._neuron_mask
+
+    def set_neuron_mask(self, mask: Optional[np.ndarray]) -> None:
+        """Install a boolean mask over the layer's output neurons.
+
+        Parameters
+        ----------
+        mask:
+            Boolean array of length :attr:`num_neurons`, or ``None`` to
+            clear the mask (train the full layer).
+        """
+        if mask is None:
+            self._neuron_mask = None
+            return
+        if self.num_neurons == 0:
+            raise ValueError(f"layer {self.name!r} has no maskable neurons")
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_neurons,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match layer "
+                f"{self.name!r} with {self.num_neurons} neurons")
+        self._neuron_mask = mask
+
+    def clear_neuron_mask(self) -> None:
+        """Remove any installed neuron mask."""
+        self._neuron_mask = None
+
+    def active_neuron_fraction(self) -> float:
+        """Fraction of neurons currently active (1.0 when unmasked)."""
+        if self._neuron_mask is None or self.num_neurons == 0:
+            return 1.0
+        return float(self._neuron_mask.sum()) / float(self.num_neurons)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class CompositeLayer(Layer):
+    """A layer made of sub-layers (e.g. a residual block).
+
+    Sub-classes populate :attr:`sublayers` and implement ``forward`` /
+    ``backward`` in terms of them.  Parameter collection and train/eval
+    switching recurse automatically.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name=name)
+        self.sublayers: List[Layer] = []
+
+    def children(self) -> Iterable[Layer]:
+        return list(self.sublayers)
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for child in self.sublayers:
+            params.extend(child.parameters())
+        return params
+
+    def buffers(self) -> "dict[str, np.ndarray]":
+        collected: "dict[str, np.ndarray]" = {}
+        for child in self.sublayers:
+            collected.update(child.buffers())
+        return collected
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        for child in self.sublayers:
+            if name in child.buffers():
+                child.set_buffer(name, value)
+                return
+        raise KeyError(f"layer {self.name!r} has no buffer {name!r}")

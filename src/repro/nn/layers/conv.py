@@ -1,0 +1,190 @@
+"""2-D convolution implemented with im2col.
+
+Data layout is ``(batch, channels, height, width)`` throughout, matching the
+conventional CNN layout the paper's models (LeNet/AlexNet/ResNet) use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..initializers import get_initializer
+from ..parameter import Parameter
+from .base import Layer
+
+__all__ = ["Conv2D", "im2col", "col2im"]
+
+
+def _pair(value) -> Tuple[int, int]:
+    """Normalize an int or 2-tuple into a 2-tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected length-2 tuple, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling along one dimension."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: input={size}, kernel={kernel}, "
+            f"stride={stride}, pad={pad}")
+    return out
+
+
+def im2col(inputs: np.ndarray, kernel: Tuple[int, int],
+           stride: Tuple[int, int], pad: Tuple[int, int]) -> np.ndarray:
+    """Unfold image patches into a matrix.
+
+    Returns an array of shape
+    ``(batch * out_h * out_w, channels * kh * kw)``.
+    """
+    batch, channels, height, width = inputs.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    padded = np.pad(inputs, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                    mode="constant")
+    cols = np.empty((batch, channels, kh, kw, out_h, out_w),
+                    dtype=inputs.dtype)
+    for y in range(kh):
+        y_max = y + sh * out_h
+        for x in range(kw):
+            x_max = x + sw * out_w
+            cols[:, :, y, x, :, :] = padded[:, :, y:y_max:sh, x:x_max:sw]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, -1)
+    return cols
+
+
+def col2im(cols: np.ndarray, input_shape: Tuple[int, int, int, int],
+           kernel: Tuple[int, int], stride: Tuple[int, int],
+           pad: Tuple[int, int]) -> np.ndarray:
+    """Fold a column matrix back into image space (adjoint of im2col)."""
+    batch, channels, height, width = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    cols = cols.transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw),
+                      dtype=cols.dtype)
+    for y in range(kh):
+        y_max = y + sh * out_h
+        for x in range(kw):
+            x_max = x + sw * out_w
+            padded[:, :, y:y_max:sh, x:x_max:sw] += cols[:, :, y, x, :, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph:height + ph, pw:width + pw]
+
+
+class Conv2D(Layer):
+    """2-D convolution layer with neuron (filter) masking support.
+
+    The *neurons* of a convolution layer are its output filters; Helios'
+    soft-training masks whole filters, which is the structured unit the
+    paper shrinks.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, use_bias: bool = True,
+                 weight_init: str = "he_normal",
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "") -> None:
+        super().__init__(name=name or "conv2d")
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        init = get_initializer(weight_init)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.use_bias = use_bias
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init((out_channels, in_channels, kh, kw), rng),
+            name=f"{self.name}/weight", neuron_axis=0)
+        self.bias: Optional[Parameter] = None
+        if use_bias:
+            self.bias = Parameter(np.zeros(out_channels),
+                                  name=f"{self.name}/bias", neuron_axis=0)
+        self._cols: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_neurons(self) -> int:
+        return self.out_channels
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Spatial output shape ``(channels, height, width)`` for one sample."""
+        _, height, width = input_shape
+        out_h = conv_output_size(height, self.kernel_size[0],
+                                 self.stride[0], self.padding[0])
+        out_w = conv_output_size(width, self.kernel_size[1],
+                                 self.stride[1], self.padding[1])
+        return self.out_channels, out_h, out_w
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"Conv2D expects 4-D input (batch, channels, h, w); "
+                f"got shape {inputs.shape}")
+        if inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D {self.name!r} expects {self.in_channels} channels, "
+                f"got {inputs.shape[1]}")
+        batch = inputs.shape[0]
+        out_c, out_h, out_w = self.output_shape(inputs.shape[1:])
+        cols = im2col(inputs, self.kernel_size, self.stride, self.padding)
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+        outputs = cols @ weight_mat.T
+        if self.bias is not None:
+            outputs = outputs + self.bias.data
+        outputs = outputs.reshape(batch, out_h, out_w, out_c)
+        outputs = outputs.transpose(0, 3, 1, 2)
+        if self._neuron_mask is not None:
+            outputs = outputs * self._neuron_mask[np.newaxis, :, np.newaxis,
+                                                  np.newaxis]
+        self._cols = cols
+        self._input_shape = inputs.shape
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        if self._neuron_mask is not None:
+            grad_output = grad_output * self._neuron_mask[np.newaxis, :,
+                                                          np.newaxis,
+                                                          np.newaxis]
+        batch, out_c, out_h, out_w = grad_output.shape
+        grad_mat = grad_output.transpose(0, 2, 3, 1).reshape(-1, out_c)
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_mat.T @ self._cols).reshape(
+            self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_mat.sum(axis=0)
+        grad_cols = grad_mat @ weight_mat
+        grad_input = col2im(grad_cols, self._input_shape, self.kernel_size,
+                            self.stride, self.padding)
+        return grad_input

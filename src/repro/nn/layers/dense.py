@@ -1,0 +1,92 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..initializers import get_initializer
+from ..parameter import Parameter
+from .base import Layer
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine transform ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features:
+        Size of the input feature dimension.
+    out_features:
+        Number of output units (the layer's *neurons*).
+    use_bias:
+        Whether to add a learned bias vector.
+    weight_init:
+        Name of the weight initializer (see :mod:`repro.nn.initializers`).
+    rng:
+        Random generator used for initialization; a default generator is
+        created when omitted (non-reproducible — prefer passing one).
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 use_bias: bool = True, weight_init: str = "he_normal",
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "") -> None:
+        super().__init__(name=name or "dense")
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        init = get_initializer(weight_init)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = use_bias
+        self.weight = Parameter(init((out_features, in_features), rng),
+                                name=f"{self.name}/weight", neuron_axis=0)
+        self.bias: Optional[Parameter] = None
+        if use_bias:
+            self.bias = Parameter(np.zeros(out_features),
+                                  name=f"{self.name}/bias", neuron_axis=0)
+        self._inputs: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_neurons(self) -> int:
+        return self.out_features
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 2:
+            raise ValueError(
+                f"Dense expects 2-D input (batch, features); "
+                f"got shape {inputs.shape}")
+        if inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense {self.name!r} expects {self.in_features} features, "
+                f"got {inputs.shape[1]}")
+        self._inputs = inputs
+        outputs = inputs @ self.weight.data.T
+        if self.bias is not None:
+            outputs = outputs + self.bias.data
+        if self._neuron_mask is not None:
+            outputs = outputs * self._neuron_mask[np.newaxis, :]
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise RuntimeError("backward called before forward")
+        if self._neuron_mask is not None:
+            grad_output = grad_output * self._neuron_mask[np.newaxis, :]
+        self.weight.grad += grad_output.T @ self._inputs
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        grad_input = grad_output @ self.weight.data
+        return grad_input

@@ -1,0 +1,136 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import Layer
+from .conv import _pair, conv_output_size, im2col, col2im
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping (or strided) spatial windows."""
+
+    def __init__(self, kernel_size, stride=None, padding=0,
+                 name: str = "") -> None:
+        super().__init__(name=name or "maxpool2d")
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+        self.padding = _pair(padding)
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+        self._argmax: Optional[np.ndarray] = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Output ``(channels, height, width)`` for a single sample."""
+        channels, height, width = input_shape
+        out_h = conv_output_size(height, self.kernel_size[0],
+                                 self.stride[0], self.padding[0])
+        out_w = conv_output_size(width, self.kernel_size[1],
+                                 self.stride[1], self.padding[1])
+        return channels, out_h, out_w
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"MaxPool2D expects 4-D input; got shape {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        kh, kw = self.kernel_size
+        out_c, out_h, out_w = self.output_shape(inputs.shape[1:])
+        # Treat each channel independently so that im2col columns hold one
+        # pooling window per row.
+        reshaped = inputs.reshape(batch * channels, 1, height, width)
+        cols = im2col(reshaped, self.kernel_size, self.stride, self.padding)
+        cols = cols.reshape(-1, kh * kw)
+        self._argmax = np.argmax(cols, axis=1)
+        outputs = cols[np.arange(cols.shape[0]), self._argmax]
+        outputs = outputs.reshape(batch, channels, out_h, out_w)
+        self._input_shape = inputs.shape
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None or self._argmax is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        kh, kw = self.kernel_size
+        grad_flat = grad_output.reshape(-1)
+        grad_cols = np.zeros((grad_flat.size, kh * kw), dtype=grad_output.dtype)
+        grad_cols[np.arange(grad_flat.size), self._argmax] = grad_flat
+        grad_input = col2im(grad_cols,
+                            (batch * channels, 1, height, width),
+                            self.kernel_size, self.stride, self.padding)
+        return grad_input.reshape(self._input_shape)
+
+
+class AvgPool2D(Layer):
+    """Average pooling over spatial windows."""
+
+    def __init__(self, kernel_size, stride=None, padding=0,
+                 name: str = "") -> None:
+        super().__init__(name=name or "avgpool2d")
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+        self.padding = _pair(padding)
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Output ``(channels, height, width)`` for a single sample."""
+        channels, height, width = input_shape
+        out_h = conv_output_size(height, self.kernel_size[0],
+                                 self.stride[0], self.padding[0])
+        out_w = conv_output_size(width, self.kernel_size[1],
+                                 self.stride[1], self.padding[1])
+        return channels, out_h, out_w
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"AvgPool2D expects 4-D input; got shape {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        kh, kw = self.kernel_size
+        out_c, out_h, out_w = self.output_shape(inputs.shape[1:])
+        reshaped = inputs.reshape(batch * channels, 1, height, width)
+        cols = im2col(reshaped, self.kernel_size, self.stride, self.padding)
+        cols = cols.reshape(-1, kh * kw)
+        outputs = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+        self._input_shape = inputs.shape
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        kh, kw = self.kernel_size
+        grad_flat = grad_output.reshape(-1)
+        grad_cols = np.repeat(grad_flat[:, np.newaxis], kh * kw, axis=1)
+        grad_cols /= float(kh * kw)
+        grad_input = col2im(grad_cols,
+                            (batch * channels, 1, height, width),
+                            self.kernel_size, self.stride, self.padding)
+        return grad_input.reshape(self._input_shape)
+
+
+class GlobalAvgPool2D(Layer):
+    """Average over all spatial positions, producing ``(batch, channels)``."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name=name or "globalavgpool2d")
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"GlobalAvgPool2D expects 4-D input; got {inputs.shape}")
+        self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        scale = 1.0 / float(height * width)
+        grad = grad_output[:, :, np.newaxis, np.newaxis] * scale
+        return np.broadcast_to(grad, self._input_shape).copy()

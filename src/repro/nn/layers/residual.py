@@ -1,0 +1,84 @@
+"""Residual block (the building block of the ResNet-style model)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .activations import ReLU
+from .base import CompositeLayer
+from .conv import Conv2D
+from .normalization import BatchNorm2D
+
+__all__ = ["ResidualBlock"]
+
+
+class ResidualBlock(CompositeLayer):
+    """A basic two-convolution residual block: ``y = relu(F(x) + shortcut(x))``.
+
+    ``F`` is conv-bn-relu-conv-bn; the shortcut is the identity when the
+    shapes match, otherwise a 1x1 strided convolution (with batch-norm).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "") -> None:
+        super().__init__(name=name or "resblock")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+
+        self.conv1 = Conv2D(in_channels, out_channels, 3, stride=stride,
+                            padding=1, use_bias=False, rng=rng,
+                            name=f"{self.name}/conv1")
+        self.bn1 = BatchNorm2D(out_channels, name=f"{self.name}/bn1")
+        self.relu1 = ReLU(name=f"{self.name}/relu1")
+        self.conv2 = Conv2D(out_channels, out_channels, 3, stride=1,
+                            padding=1, use_bias=False, rng=rng,
+                            name=f"{self.name}/conv2")
+        self.bn2 = BatchNorm2D(out_channels, name=f"{self.name}/bn2")
+        self.relu2 = ReLU(name=f"{self.name}/relu2")
+
+        self.shortcut_conv: Optional[Conv2D] = None
+        self.shortcut_bn: Optional[BatchNorm2D] = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut_conv = Conv2D(in_channels, out_channels, 1,
+                                        stride=stride, padding=0,
+                                        use_bias=False, rng=rng,
+                                        name=f"{self.name}/shortcut_conv")
+            self.shortcut_bn = BatchNorm2D(out_channels,
+                                           name=f"{self.name}/shortcut_bn")
+
+        self.sublayers = [self.conv1, self.bn1, self.relu1, self.conv2,
+                          self.bn2, self.relu2]
+        if self.shortcut_conv is not None:
+            self.sublayers.extend([self.shortcut_conv, self.shortcut_bn])
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = self.conv1.forward(inputs)
+        out = self.bn1.forward(out)
+        out = self.relu1.forward(out)
+        out = self.conv2.forward(out)
+        out = self.bn2.forward(out)
+        if self.shortcut_conv is not None:
+            shortcut = self.shortcut_conv.forward(inputs)
+            shortcut = self.shortcut_bn.forward(shortcut)
+        else:
+            shortcut = inputs
+        return self.relu2.forward(out + shortcut)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad_output)
+        grad_main = self.bn2.backward(grad_sum)
+        grad_main = self.conv2.backward(grad_main)
+        grad_main = self.relu1.backward(grad_main)
+        grad_main = self.bn1.backward(grad_main)
+        grad_main = self.conv1.backward(grad_main)
+        if self.shortcut_conv is not None:
+            grad_short = self.shortcut_bn.backward(grad_sum)
+            grad_short = self.shortcut_conv.backward(grad_short)
+        else:
+            grad_short = grad_sum
+        return grad_main + grad_short

@@ -1,0 +1,101 @@
+"""Loss functions.
+
+Each loss exposes ``forward(predictions, targets) -> float`` and
+``backward() -> np.ndarray`` returning the gradient with respect to the
+predictions, averaged over the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError", "get_loss"]
+
+
+class Loss:
+    """Base class for losses."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Compute the scalar loss value."""
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the loss w.r.t. the predictions of the last forward."""
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + cross-entropy for integer class targets."""
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.ndim != 2:
+            raise ValueError(
+                f"expected 2-D logits (batch, classes); got {predictions.shape}")
+        targets = np.asarray(targets)
+        if targets.ndim != 1 or targets.shape[0] != predictions.shape[0]:
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with logits "
+                f"{predictions.shape}")
+        if targets.min() < 0 or targets.max() >= predictions.shape[1]:
+            raise ValueError("target labels out of range for logits")
+        shifted = predictions - predictions.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._targets = targets
+        batch = predictions.shape[0]
+        log_likelihood = -np.log(
+            np.clip(probs[np.arange(batch), targets], 1e-12, None))
+        return float(log_likelihood.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._targets] -= 1.0
+        return grad / batch
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error over all entries."""
+
+    def __init__(self) -> None:
+        self._diff: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=predictions.dtype)
+        if targets.shape != predictions.shape:
+            raise ValueError(
+                f"targets shape {targets.shape} must match predictions "
+                f"{predictions.shape}")
+        self._diff = predictions - targets
+        return float(np.mean(self._diff ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+_REGISTRY = {
+    "softmax_cross_entropy": SoftmaxCrossEntropy,
+    "cross_entropy": SoftmaxCrossEntropy,
+    "mse": MeanSquaredError,
+}
+
+
+def get_loss(name: str) -> Loss:
+    """Instantiate a loss by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown loss {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]()

@@ -1,0 +1,16 @@
+"""Model factories for the architectures the paper evaluates."""
+
+from .mlp import build_mlp
+from .lenet import build_lenet
+from .alexnet import build_alexnet
+from .resnet import build_resnet
+from .registry import build_model, available_models
+
+__all__ = [
+    "build_mlp",
+    "build_lenet",
+    "build_alexnet",
+    "build_resnet",
+    "build_model",
+    "available_models",
+]

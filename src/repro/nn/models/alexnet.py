@@ -1,0 +1,91 @@
+"""AlexNet-style model (paper setting: AlexNet on CIFAR-10).
+
+The original AlexNet targets 224x224 ImageNet inputs; CIFAR-scale
+adaptations (as used by the paper's testbed) shrink the stem.  This factory
+keeps the five-convolution + three-dense topology with a width multiplier so
+the NumPy substrate can train it at laptop scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..layers import (BatchNorm2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D,
+                      ReLU)
+from ..model import Sequential
+
+__all__ = ["build_alexnet"]
+
+
+def build_alexnet(input_shape: Tuple[int, int, int] = (3, 32, 32),
+                  num_classes: int = 10,
+                  width_multiplier: float = 1.0,
+                  dropout_rate: float = 0.5,
+                  rng: Optional[np.random.Generator] = None,
+                  name: str = "alexnet") -> Sequential:
+    """Build a CIFAR-scale AlexNet-style CNN.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of one sample; height/width must be
+        divisible by 8 (three 2x2 poolings).
+    num_classes:
+        Number of output classes.
+    width_multiplier:
+        Scales every channel/unit count (default 1.0 = 64..256 channels).
+    dropout_rate:
+        Dropout used between the dense layers (0 disables dropout).
+    rng:
+        Random generator for weight initialization and dropout.
+    """
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    channels, height, width = input_shape
+    if height % 8 != 0 or width % 8 != 0:
+        raise ValueError("input height/width must be divisible by 8")
+
+    def scaled(base: int) -> int:
+        return max(4, int(round(base * width_multiplier)))
+
+    c1, c2, c3, c4, c5 = (scaled(64), scaled(192), scaled(384),
+                          scaled(256), scaled(256))
+    f1, f2 = scaled(1024), scaled(512)
+    flat_dim = c5 * (height // 8) * (width // 8)
+
+    layers = [
+        Conv2D(channels, c1, 3, padding=1, rng=rng, name=f"{name}/conv1"),
+        BatchNorm2D(c1, name=f"{name}/bn1"),
+        ReLU(name=f"{name}/relu1"),
+        MaxPool2D(2, name=f"{name}/pool1"),
+
+        Conv2D(c1, c2, 3, padding=1, rng=rng, name=f"{name}/conv2"),
+        BatchNorm2D(c2, name=f"{name}/bn2"),
+        ReLU(name=f"{name}/relu2"),
+        MaxPool2D(2, name=f"{name}/pool2"),
+
+        Conv2D(c2, c3, 3, padding=1, rng=rng, name=f"{name}/conv3"),
+        ReLU(name=f"{name}/relu3"),
+        Conv2D(c3, c4, 3, padding=1, rng=rng, name=f"{name}/conv4"),
+        ReLU(name=f"{name}/relu4"),
+        Conv2D(c4, c5, 3, padding=1, rng=rng, name=f"{name}/conv5"),
+        ReLU(name=f"{name}/relu5"),
+        MaxPool2D(2, name=f"{name}/pool3"),
+
+        Flatten(name=f"{name}/flatten"),
+        Dense(flat_dim, f1, rng=rng, name=f"{name}/fc1"),
+        ReLU(name=f"{name}/relu6"),
+    ]
+    if dropout_rate > 0:
+        layers.append(Dropout(dropout_rate, rng=rng, name=f"{name}/drop1"))
+    layers.extend([
+        Dense(f1, f2, rng=rng, name=f"{name}/fc2"),
+        ReLU(name=f"{name}/relu7"),
+    ])
+    if dropout_rate > 0:
+        layers.append(Dropout(dropout_rate, rng=rng, name=f"{name}/drop2"))
+    layers.append(Dense(f2, num_classes, rng=rng, name=f"{name}/output"))
+    return Sequential(layers, name=name)

@@ -1,0 +1,72 @@
+"""LeNet-5 style model (paper setting: LeNet on MNIST)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from ..model import Sequential
+
+__all__ = ["build_lenet"]
+
+
+def build_lenet(input_shape: Tuple[int, int, int] = (1, 28, 28),
+                num_classes: int = 10,
+                width_multiplier: float = 1.0,
+                rng: Optional[np.random.Generator] = None,
+                name: str = "lenet") -> Sequential:
+    """Build a LeNet-5 style CNN.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of a single sample.  The default
+        matches MNIST-shaped data.
+    num_classes:
+        Number of output classes.
+    width_multiplier:
+        Scales the channel/unit counts; values < 1 produce smaller models
+        for fast tests while keeping the architecture shape.
+    rng:
+        Random generator for weight initialization.
+    """
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    channels, height, width = input_shape
+
+    def scaled(base: int) -> int:
+        return max(2, int(round(base * width_multiplier)))
+
+    c1, c2 = scaled(6), scaled(16)
+    f1, f2 = scaled(120), scaled(84)
+
+    conv1 = Conv2D(channels, c1, 5, padding=2, rng=rng, name=f"{name}/conv1")
+    pool1 = MaxPool2D(2, name=f"{name}/pool1")
+    conv2 = Conv2D(c1, c2, 5, padding=0, rng=rng, name=f"{name}/conv2")
+    pool2 = MaxPool2D(2, name=f"{name}/pool2")
+
+    # Trace the spatial dimensions to size the first dense layer.
+    h1 = height  # conv1 keeps size (padding=2, kernel=5)
+    w1 = width
+    h1, w1 = h1 // 2, w1 // 2                     # pool1
+    h2, w2 = h1 - 4, w1 - 4                       # conv2 valid 5x5
+    h2, w2 = h2 // 2, w2 // 2                     # pool2
+    flat_dim = c2 * h2 * w2
+    if flat_dim <= 0:
+        raise ValueError(
+            f"input shape {input_shape} too small for the LeNet topology")
+
+    layers = [
+        conv1, ReLU(name=f"{name}/relu1"), pool1,
+        conv2, ReLU(name=f"{name}/relu2"), pool2,
+        Flatten(name=f"{name}/flatten"),
+        Dense(flat_dim, f1, rng=rng, name=f"{name}/fc1"),
+        ReLU(name=f"{name}/relu3"),
+        Dense(f1, f2, rng=rng, name=f"{name}/fc2"),
+        ReLU(name=f"{name}/relu4"),
+        Dense(f2, num_classes, rng=rng, name=f"{name}/output"),
+    ]
+    return Sequential(layers, name=name)

@@ -1,0 +1,48 @@
+"""Multi-layer perceptron factory (used by quick tests and examples)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..layers import Dense, Flatten, ReLU
+from ..model import Sequential
+
+__all__ = ["build_mlp"]
+
+
+def build_mlp(input_dim: int, num_classes: int,
+              hidden_sizes: Sequence[int] = (64, 32),
+              rng: Optional[np.random.Generator] = None,
+              flatten_input: bool = False,
+              name: str = "mlp") -> Sequential:
+    """Build a fully connected classifier.
+
+    Parameters
+    ----------
+    input_dim:
+        Number of input features (after flattening, if requested).
+    num_classes:
+        Output dimensionality.
+    hidden_sizes:
+        Width of each hidden layer.
+    rng:
+        Random generator for weight initialization.
+    flatten_input:
+        Insert a :class:`Flatten` layer first so image tensors can be fed
+        directly.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers = []
+    if flatten_input:
+        layers.append(Flatten(name=f"{name}/flatten"))
+    previous = input_dim
+    for index, width in enumerate(hidden_sizes):
+        layers.append(Dense(previous, width, rng=rng,
+                            name=f"{name}/fc{index + 1}"))
+        layers.append(ReLU(name=f"{name}/relu{index + 1}"))
+        previous = width
+    layers.append(Dense(previous, num_classes, rng=rng,
+                        name=f"{name}/output"))
+    return Sequential(layers, name=name)

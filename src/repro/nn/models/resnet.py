@@ -1,0 +1,76 @@
+"""ResNet-18 style model (paper setting: ResNet-18 on CIFAR-100).
+
+The CIFAR variant of ResNet-18: a 3x3 stem followed by four stages of basic
+residual blocks with channel doubling, global average pooling and a linear
+classifier.  ``blocks_per_stage`` and ``width_multiplier`` let tests run a
+much smaller instance while keeping the residual topology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..layers import (BatchNorm2D, Conv2D, Dense, GlobalAvgPool2D, ReLU,
+                      ResidualBlock)
+from ..model import Sequential
+
+__all__ = ["build_resnet"]
+
+
+def build_resnet(input_shape: Tuple[int, int, int] = (3, 32, 32),
+                 num_classes: int = 100,
+                 blocks_per_stage: Sequence[int] = (2, 2, 2, 2),
+                 width_multiplier: float = 1.0,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "resnet") -> Sequential:
+    """Build a CIFAR-scale ResNet.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of one sample.
+    num_classes:
+        Number of output classes (100 for the paper's CIFAR-100 setting).
+    blocks_per_stage:
+        Number of residual blocks per stage; ``(2, 2, 2, 2)`` matches the
+        ResNet-18 layout.
+    width_multiplier:
+        Scales all channel counts (base widths 64/128/256/512).
+    rng:
+        Random generator for weight initialization.
+    """
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    if not blocks_per_stage:
+        raise ValueError("blocks_per_stage must not be empty")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    in_channels = input_shape[0]
+
+    def scaled(base: int) -> int:
+        return max(4, int(round(base * width_multiplier)))
+
+    stage_widths = [scaled(64 * (2 ** index))
+                    for index in range(len(blocks_per_stage))]
+
+    layers = [
+        Conv2D(in_channels, stage_widths[0], 3, padding=1, use_bias=False,
+               rng=rng, name=f"{name}/stem_conv"),
+        BatchNorm2D(stage_widths[0], name=f"{name}/stem_bn"),
+        ReLU(name=f"{name}/stem_relu"),
+    ]
+    previous = stage_widths[0]
+    for stage_index, (blocks, width) in enumerate(
+            zip(blocks_per_stage, stage_widths)):
+        for block_index in range(blocks):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            layers.append(ResidualBlock(
+                previous, width, stride=stride, rng=rng,
+                name=f"{name}/stage{stage_index + 1}_block{block_index + 1}"))
+            previous = width
+    layers.extend([
+        GlobalAvgPool2D(name=f"{name}/gap"),
+        Dense(previous, num_classes, rng=rng, name=f"{name}/output"),
+    ])
+    return Sequential(layers, name=name)

@@ -1,0 +1,106 @@
+"""Learning-rate schedules.
+
+The paper trains each dataset with a fixed learning rate, but longer
+collaborations (the ``full`` experiment scale) benefit from decaying the
+local learning rate as the global model converges.  Schedules operate on an
+optimizer in place: call :meth:`step` once per aggregation cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from .optimizers import Optimizer
+
+__all__ = ["LRScheduler", "StepDecay", "ExponentialDecay", "CosineDecay",
+           "get_scheduler"]
+
+
+class LRScheduler:
+    """Base class: adjusts an optimizer's learning rate over cycles."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.current_cycle = 0
+
+    def learning_rate_at(self, cycle: int) -> float:
+        """Learning rate for the given (0-based) cycle index."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one cycle and install the new learning rate."""
+        self.current_cycle += 1
+        new_lr = self.learning_rate_at(self.current_cycle)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    @property
+    def current_lr(self) -> float:
+        """The optimizer's current learning rate."""
+        return self.optimizer.lr
+
+
+class StepDecay(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` cycles."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10,
+                 gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def learning_rate_at(self, cycle: int) -> float:
+        return self.base_lr * (self.gamma ** (cycle // self.step_size))
+
+
+class ExponentialDecay(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every cycle."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = gamma
+
+    def learning_rate_at(self, cycle: int) -> float:
+        return self.base_lr * (self.gamma ** cycle)
+
+
+class CosineDecay(LRScheduler):
+    """Cosine annealing from the base rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_cycles: int,
+                 min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.total_cycles = total_cycles
+        self.min_lr = min_lr
+
+    def learning_rate_at(self, cycle: int) -> float:
+        progress = min(1.0, cycle / self.total_cycles)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+_REGISTRY: Dict[str, type] = {
+    "step": StepDecay,
+    "exponential": ExponentialDecay,
+    "cosine": CosineDecay,
+}
+
+
+def get_scheduler(name: str, optimizer: Optimizer, **kwargs) -> LRScheduler:
+    """Instantiate a scheduler by name."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](optimizer, **kwargs)

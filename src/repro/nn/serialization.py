@@ -1,0 +1,73 @@
+"""Model-weight serialization.
+
+Checkpoints use NumPy's ``.npz`` container: one array per named parameter
+plus a small metadata record.  They are used by the examples to persist the
+global model of a finished collaboration and by downstream users to
+evaluate or fine-tune it later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from .model import Sequential
+
+__all__ = ["save_weights", "load_weights", "save_model", "load_model_into"]
+
+_METADATA_KEY = "__repro_metadata__"
+
+
+def save_weights(weights: Dict[str, np.ndarray], path: str,
+                 metadata: Optional[Dict[str, str]] = None) -> None:
+    """Write a weight dictionary (plus optional metadata) to ``path``.
+
+    The ``.npz`` suffix is appended automatically when missing.
+    """
+    if not weights:
+        raise ValueError("cannot save an empty weight dictionary")
+    if _METADATA_KEY in weights:
+        raise ValueError(f"{_METADATA_KEY!r} is a reserved key")
+    payload = {name: np.asarray(value) for name, value in weights.items()}
+    payload[_METADATA_KEY] = np.array(
+        json.dumps(metadata or {}), dtype=np.str_)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_weights(path: str) -> Dict[str, np.ndarray]:
+    """Load a weight dictionary previously written by :func:`save_weights`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files
+                if name != _METADATA_KEY}
+
+
+def load_metadata(path: str) -> Dict[str, str]:
+    """Load the metadata record stored next to the weights."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as archive:
+        if _METADATA_KEY not in archive.files:
+            return {}
+        return json.loads(str(archive[_METADATA_KEY]))
+
+
+def save_model(model: Sequential, path: str,
+               metadata: Optional[Dict[str, str]] = None) -> None:
+    """Save a model's weights (convenience wrapper)."""
+    info = {"model_name": model.name,
+            "num_parameters": str(model.num_parameters())}
+    info.update(metadata or {})
+    save_weights(model.get_weights(), path, metadata=info)
+
+
+def load_model_into(model: Sequential, path: str) -> Sequential:
+    """Load weights from ``path`` into an existing model instance."""
+    model.set_weights(load_weights(path))
+    return model

@@ -1,0 +1,143 @@
+"""Tests for the Proposition 1/2 convergence analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import (analyze_soft_training, descent_upper_bound,
+                        expected_active_bound,
+                        optimal_selection_probabilities,
+                        select_v_for_epsilon, sparsified_gradient_variance)
+
+
+class TestDescentBound:
+    def test_bound_below_loss_for_small_lr(self):
+        bound = descent_upper_bound(loss_value=1.0, grad_norm_sq=4.0,
+                                    grad_second_moment=5.0,
+                                    learning_rate=0.01, smoothness=1.0)
+        assert bound < 1.0
+
+    def test_large_lr_can_increase_bound(self):
+        small = descent_upper_bound(1.0, 4.0, 100.0, 0.01, 10.0)
+        large = descent_upper_bound(1.0, 4.0, 100.0, 1.0, 10.0)
+        assert large > small
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            descent_upper_bound(1.0, 1.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            descent_upper_bound(1.0, 1.0, 1.0, 0.1, 0.0)
+
+
+class TestSparsifiedVariance:
+    def test_all_ones_probabilities_give_full_variance(self):
+        gradients = np.array([1.0, 2.0, 3.0])
+        variance = sparsified_gradient_variance(gradients,
+                                                np.ones_like(gradients))
+        np.testing.assert_allclose(variance, 14.0)
+
+    def test_lower_probability_raises_variance(self):
+        gradients = np.array([1.0, 2.0, 3.0])
+        half = sparsified_gradient_variance(gradients,
+                                            np.full(3, 0.5))
+        np.testing.assert_allclose(half, 28.0)
+
+    def test_rejects_zero_probability(self):
+        with pytest.raises(ValueError):
+            sparsified_gradient_variance(np.ones(2), np.array([1.0, 0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sparsified_gradient_variance(np.ones(3), np.ones(2))
+
+
+class TestOptimalProbabilities:
+    def test_epsilon_zero_keeps_everything(self):
+        probabilities = optimal_selection_probabilities(
+            np.array([1.0, 0.5, 0.1]), epsilon=0.0)
+        np.testing.assert_allclose(probabilities, 1.0)
+
+    def test_variance_constraint_respected(self):
+        rng = np.random.default_rng(0)
+        gradients = rng.normal(size=50)
+        for epsilon in (0.2, 1.0, 3.0):
+            probabilities = optimal_selection_probabilities(gradients, epsilon)
+            variance = sparsified_gradient_variance(gradients, probabilities)
+            budget = (1.0 + epsilon) * np.sum(gradients ** 2)
+            assert variance <= budget * 1.01
+
+    def test_larger_epsilon_keeps_fewer_neurons(self):
+        rng = np.random.default_rng(1)
+        gradients = rng.normal(size=100)
+        tight = optimal_selection_probabilities(gradients, 0.2).sum()
+        loose = optimal_selection_probabilities(gradients, 2.0).sum()
+        assert loose < tight
+
+    def test_larger_gradients_more_likely_kept(self):
+        gradients = np.array([10.0, 1.0, 0.1, 0.01])
+        probabilities = optimal_selection_probabilities(gradients, 1.0)
+        assert np.all(np.diff(probabilities) <= 1e-9)
+
+    def test_zero_gradient_vector_keeps_all(self):
+        probabilities = optimal_selection_probabilities(np.zeros(5), 1.0)
+        np.testing.assert_allclose(probabilities, 1.0)
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            optimal_selection_probabilities(np.ones(3), -0.1)
+
+
+class TestSelectV:
+    def test_v_counts_probability_one_entries(self):
+        gradients = np.array([5.0, 4.0, 0.01, 0.005])
+        v, probabilities = select_v_for_epsilon(gradients, 0.5)
+        assert v == int(np.sum(probabilities >= 1.0 - 1e-12))
+        assert 0 <= v <= gradients.size
+
+    def test_tiny_epsilon_keeps_almost_everything(self):
+        gradients = np.array([5.0, 4.0, 3.0, 2.0])
+        v, probabilities = select_v_for_epsilon(gradients, 1e-6)
+        assert v >= 3
+        assert probabilities.sum() > 3.9
+
+    def test_v_shrinks_with_epsilon(self):
+        rng = np.random.default_rng(3)
+        gradients = np.abs(rng.normal(size=60)) ** 2
+        v_tight, _ = select_v_for_epsilon(gradients, 0.1)
+        v_loose, _ = select_v_for_epsilon(gradients, 2.0)
+        assert v_loose <= v_tight
+
+
+class TestExpectedActiveBound:
+    def test_formula(self):
+        assert expected_active_bound(10, 0.5) == 15.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expected_active_bound(-1, 0.5)
+        with pytest.raises(ValueError):
+            expected_active_bound(3, -0.5)
+
+
+class TestAnalyzeSoftTraining:
+    def test_summary_consistency(self):
+        rng = np.random.default_rng(0)
+        gradients = np.abs(rng.normal(size=40))
+        analysis = analyze_soft_training(gradients, epsilon=0.5)
+        assert analysis.num_neurons == 40
+        assert analysis.bound_satisfied
+        assert analysis.variance_budget >= analysis.full_variance
+        assert 0 <= analysis.v <= 40
+        assert analysis.expected_active <= 40
+
+    def test_concentrated_gradient_sparsifies_aggressively(self):
+        # One dominant neuron: the optimal policy keeps very few neurons
+        # active in expectation while respecting the variance budget.
+        gradients = np.array([100.0] + [1e-4] * 50)
+        analysis = analyze_soft_training(gradients, epsilon=1.0)
+        assert analysis.bound_satisfied
+        assert analysis.expected_active < 5.0
+
+    def test_rho_implied_nonnegative(self):
+        gradients = np.abs(np.random.default_rng(2).normal(size=30))
+        analysis = analyze_soft_training(gradients, epsilon=1.0)
+        assert analysis.rho_implied >= 0.0

@@ -1,0 +1,127 @@
+"""Tests for federated data partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.data import (partition_dataset, partition_dirichlet, partition_iid,
+                        partition_shards)
+
+from ..conftest import make_tiny_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_tiny_dataset(120, seed=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestIID:
+    def test_covers_all_samples(self, dataset, rng):
+        parts = partition_iid(dataset, 4, rng)
+        assert sum(len(part) for part in parts) == len(dataset)
+
+    def test_roughly_equal_sizes(self, dataset, rng):
+        parts = partition_iid(dataset, 4, rng)
+        sizes = [len(part) for part in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_class_distribution_roughly_uniform(self, dataset, rng):
+        parts = partition_iid(dataset, 3, rng)
+        for part in parts:
+            counts = part.class_counts()
+            # Every class should appear on every client for IID data.
+            assert np.all(counts > 0)
+
+    def test_too_many_clients_raises(self, rng):
+        small = make_tiny_dataset(3, seed=0)
+        with pytest.raises(ValueError):
+            partition_iid(small, 10, rng)
+
+    def test_invalid_client_count(self, dataset, rng):
+        with pytest.raises(ValueError):
+            partition_iid(dataset, 0, rng)
+
+
+class TestShards:
+    def test_covers_all_samples(self, dataset, rng):
+        parts = partition_shards(dataset, 4, 2, rng)
+        assert sum(len(part) for part in parts) == len(dataset)
+
+    def test_clients_see_few_classes(self, dataset, rng):
+        parts = partition_shards(dataset, 4, 2, rng)
+        classes_per_client = [int(np.count_nonzero(part.class_counts()))
+                              for part in parts]
+        # With 2 shards per client each client sees at most ~3 classes.
+        assert max(classes_per_client) <= 3
+        # And the partition is genuinely skewed compared to 4 classes total.
+        assert min(classes_per_client) < dataset.num_classes
+
+    def test_no_sample_duplication(self, dataset, rng):
+        parts = partition_shards(dataset, 4, 2, rng)
+        all_sums = np.concatenate(
+            [part.images.reshape(len(part), -1).sum(axis=1)
+             for part in parts])
+        original = dataset.images.reshape(len(dataset), -1).sum(axis=1)
+        np.testing.assert_allclose(np.sort(all_sums), np.sort(original))
+
+    def test_too_many_shards_raises(self, rng):
+        small = make_tiny_dataset(5, seed=0)
+        with pytest.raises(ValueError):
+            partition_shards(small, 4, 2, rng)
+
+    def test_invalid_arguments(self, dataset, rng):
+        with pytest.raises(ValueError):
+            partition_shards(dataset, 0, 2, rng)
+
+
+class TestDirichlet:
+    def test_covers_every_client(self, dataset, rng):
+        parts = partition_dirichlet(dataset, 5, alpha=0.5, rng=rng)
+        assert len(parts) == 5
+        assert all(len(part) >= 2 for part in parts)
+
+    def test_small_alpha_is_skewed(self, dataset):
+        parts = partition_dirichlet(dataset, 4, alpha=0.05,
+                                    rng=np.random.default_rng(0))
+        # With extreme skew, at least one client should be missing a class.
+        missing = [np.any(part.class_counts() == 0) for part in parts]
+        assert any(missing)
+
+    def test_large_alpha_is_balanced(self, dataset):
+        parts = partition_dirichlet(dataset, 3, alpha=100.0,
+                                    rng=np.random.default_rng(0))
+        sizes = [len(part) for part in parts]
+        assert max(sizes) < 2.5 * min(sizes)
+
+    def test_invalid_alpha(self, dataset, rng):
+        with pytest.raises(ValueError):
+            partition_dirichlet(dataset, 3, alpha=0.0, rng=rng)
+
+
+class TestDispatcher:
+    def test_dispatch_iid(self, dataset, rng):
+        parts = partition_dataset(dataset, 3, strategy="iid", rng=rng)
+        assert len(parts) == 3
+
+    def test_dispatch_shards(self, dataset, rng):
+        parts = partition_dataset(dataset, 3, strategy="shards", rng=rng,
+                                  shards_per_client=2)
+        assert len(parts) == 3
+
+    def test_dispatch_dirichlet(self, dataset, rng):
+        parts = partition_dataset(dataset, 3, strategy="dirichlet", rng=rng,
+                                  dirichlet_alpha=0.3)
+        assert len(parts) == 3
+
+    def test_unknown_strategy(self, dataset, rng):
+        with pytest.raises(KeyError):
+            partition_dataset(dataset, 3, strategy="powerlaw", rng=rng)
+
+    def test_client_names_are_distinct(self, dataset, rng):
+        parts = partition_dataset(dataset, 3, strategy="iid", rng=rng)
+        names = {part.name for part in parts}
+        assert len(names) == 3

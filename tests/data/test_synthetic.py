@@ -1,0 +1,128 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (DATASET_SPECS, available_datasets,
+                        load_synthetic_dataset, make_classification_images)
+from repro.data.synthetic import SyntheticImageSpec
+
+
+class TestSpecs:
+    def test_three_families_available(self):
+        assert set(available_datasets()) == {"mnist", "cifar10", "cifar100"}
+
+    def test_shapes_match_originals(self):
+        assert DATASET_SPECS["mnist"].image_shape == (1, 28, 28)
+        assert DATASET_SPECS["cifar10"].image_shape == (3, 32, 32)
+        assert DATASET_SPECS["cifar100"].image_shape == (3, 32, 32)
+
+    def test_class_counts_match_originals(self):
+        assert DATASET_SPECS["mnist"].num_classes == 10
+        assert DATASET_SPECS["cifar10"].num_classes == 10
+        assert DATASET_SPECS["cifar100"].num_classes == 100
+
+
+class TestGenerator:
+    def test_sample_count_and_shape(self):
+        spec = DATASET_SPECS["mnist"]
+        dataset = make_classification_images(50, spec,
+                                             np.random.default_rng(0))
+        assert len(dataset) == 50
+        assert dataset.sample_shape == (1, 28, 28)
+
+    def test_labels_in_range(self):
+        spec = DATASET_SPECS["cifar10"]
+        dataset = make_classification_images(100, spec,
+                                             np.random.default_rng(0))
+        assert dataset.labels.min() >= 0
+        assert dataset.labels.max() < 10
+
+    def test_normalized_statistics(self):
+        spec = DATASET_SPECS["mnist"]
+        dataset = make_classification_images(200, spec,
+                                             np.random.default_rng(0))
+        assert abs(dataset.images.mean()) < 1e-6
+        assert abs(dataset.images.std() - 1.0) < 1e-6
+
+    def test_deterministic_given_seed(self):
+        spec = DATASET_SPECS["mnist"]
+        a = make_classification_images(30, spec, np.random.default_rng(7))
+        b = make_classification_images(30, spec, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        spec = DATASET_SPECS["mnist"]
+        a = make_classification_images(30, spec, np.random.default_rng(1))
+        b = make_classification_images(30, spec, np.random.default_rng(2))
+        assert not np.allclose(a.images, b.images)
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            make_classification_images(0, DATASET_SPECS["mnist"],
+                                       np.random.default_rng(0))
+
+    def test_classes_are_separable(self):
+        """A nearest-class-mean classifier must beat chance comfortably."""
+        spec = SyntheticImageSpec(
+            name="sep-check", image_shape=(1, 16, 16), num_classes=4,
+            separation=0.8, noise_std=0.8, max_shift=0, label_noise=0.0,
+            prototypes_per_class=1, smoothness=4)
+        rng = np.random.default_rng(0)
+        train = make_classification_images(400, spec, rng)
+        flat = train.images.reshape(len(train), -1)
+        means = np.stack([flat[train.labels == c].mean(axis=0)
+                          for c in range(4)])
+        distances = ((flat[:, None, :] - means[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        accuracy = (predictions == train.labels).mean()
+        assert accuracy > 0.6
+
+    def test_label_noise_flips_some_labels(self):
+        base = DATASET_SPECS["mnist"]
+        noisy_spec = SyntheticImageSpec(
+            name="noisy", image_shape=base.image_shape,
+            num_classes=base.num_classes, separation=base.separation,
+            noise_std=base.noise_std, max_shift=0, label_noise=0.5,
+            prototypes_per_class=1, smoothness=base.smoothness)
+        clean_spec = SyntheticImageSpec(
+            name="clean", image_shape=base.image_shape,
+            num_classes=base.num_classes, separation=base.separation,
+            noise_std=base.noise_std, max_shift=0, label_noise=0.0,
+            prototypes_per_class=1, smoothness=base.smoothness)
+        noisy = make_classification_images(300, noisy_spec,
+                                           np.random.default_rng(5))
+        clean = make_classification_images(300, clean_spec,
+                                           np.random.default_rng(5))
+        assert np.any(noisy.labels != clean.labels)
+
+
+class TestLoader:
+    def test_train_test_sizes(self):
+        train, test = load_synthetic_dataset("mnist", num_train=120,
+                                             num_test=30, seed=0)
+        assert len(train) == 120
+        assert len(test) == 30
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_synthetic_dataset("imagenet")
+
+    def test_train_and_test_share_distribution(self):
+        train, test = load_synthetic_dataset("mnist", num_train=200,
+                                             num_test=100, seed=3)
+        # Same prototypes: per-pixel means should be close.
+        assert abs(train.images.mean() - test.images.mean()) < 0.1
+
+    def test_reproducible_across_calls(self):
+        train_a, _ = load_synthetic_dataset("cifar10", num_train=50,
+                                            num_test=10, seed=11)
+        train_b, _ = load_synthetic_dataset("cifar10", num_train=50,
+                                            num_test=10, seed=11)
+        np.testing.assert_array_equal(train_a.images, train_b.images)
+
+    def test_cifar100_has_100_classes(self):
+        train, _ = load_synthetic_dataset("cifar100", num_train=300,
+                                          num_test=50, seed=0)
+        assert train.num_classes == 100

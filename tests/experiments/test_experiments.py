@@ -1,0 +1,122 @@
+"""Smoke and structure tests for the experiment runners (smoke scale)."""
+
+import pytest
+
+from repro.experiments import (DATASET_MODEL, SCALES, ExperimentSetting,
+                               available_experiments, get_experiment,
+                               get_scale, make_simulation_factory,
+                               run_experiment, run_fig1, run_fig5_panel,
+                               run_fig6, run_table1)
+from repro.experiments.fig5_effectiveness import make_fig5_strategies
+from repro.experiments.headline import summarize_headline
+from repro.experiments.fig5_effectiveness import Fig5PanelResult, Fig5Result
+
+
+class TestScalesAndSettings:
+    def test_three_scales(self):
+        assert set(SCALES) == {"smoke", "fast", "full"}
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_dataset_model_pairing_matches_paper(self):
+        assert DATASET_MODEL == {"mnist": "lenet", "cifar10": "alexnet",
+                                 "cifar100": "resnet"}
+
+    def test_setting_label_and_counts(self):
+        setting = ExperimentSetting(dataset="mnist", model="lenet",
+                                    num_capable=2, num_stragglers=3)
+        assert setting.num_clients == 5
+        assert "3strag" in setting.label
+
+    def test_simulation_factory_produces_fresh_sims(self):
+        setting = ExperimentSetting(dataset="mnist", model="lenet",
+                                    num_capable=1, num_stragglers=1)
+        factory, num_cycles = make_simulation_factory(setting,
+                                                      get_scale("smoke"))
+        sim_a, sim_b = factory(), factory()
+        assert num_cycles >= 2
+        assert sim_a is not sim_b
+        assert sim_a.num_clients() == 2
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(available_experiments()) == {
+            "fig1", "fig2", "fig5", "fig6", "fig7", "headline", "table1"}
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_entries_have_descriptions(self):
+        for identifier in available_experiments():
+            assert get_experiment(identifier).description
+
+
+class TestProfilingExperiments:
+    def test_table1_rows_and_ordering(self):
+        result = run_table1(scale="smoke")
+        assert len(result.rows) == 4
+        assert result.ordering_matches_paper
+        minutes = [row["cycle_minutes"] for row in result.rows]
+        assert minutes == sorted(minutes)
+
+    def test_table1_formatted_output(self):
+        _, text = run_experiment("table1", scale="smoke")
+        assert "Table I" in text
+        assert "deeplens-cpu" in text
+
+    def test_fig1_idle_time_structure(self):
+        result = run_fig1(scale="smoke")
+        assert len(result.rows) == 3
+        assert result.slowdown_factor > 5.0
+        # The straggler itself has no idle time.
+        straggler_row = [row for row in result.rows
+                         if row["device"] == result.straggler_name][0]
+        assert straggler_row["idle_hours"] == 0.0
+
+
+class TestTrainingExperiments:
+    def test_fig5_panel_smoke(self):
+        panel = run_fig5_panel("mnist", num_capable=1, num_stragglers=1,
+                               scale="smoke")
+        assert set(panel.histories) == {"Asyn. FL", "AFO", "Syn. FL",
+                                        "Random", "Helios"}
+        assert len(panel.rows) == 5
+        assert panel.target_accuracy > 0
+
+    def test_fig5_strategy_names(self):
+        names = [strategy.name for strategy in make_fig5_strategies(2)]
+        assert names == ["Asyn. FL", "AFO", "Syn. FL", "Random", "Helios"]
+
+    def test_fig6_smoke(self):
+        result = run_fig6(datasets=("mnist",), straggler_counts=(1,),
+                          num_capable=1, scale="smoke")
+        assert len(result.panels) == 1
+        rows = result.rows()
+        assert rows[0]["stragglers"] == 1
+        assert 0.0 <= rows[0]["helios_acc"] <= 1.0
+
+    def test_headline_summary_from_synthetic_panels(self):
+        from repro.fl import CycleRecord, TrainingHistory
+
+        def history(name, accuracy, seconds):
+            run = TrainingHistory(strategy_name=name)
+            run.append(CycleRecord(cycle=1, sim_time_s=seconds,
+                                   global_accuracy=accuracy,
+                                   mean_train_loss=0.1,
+                                   participating_clients=4))
+            return run
+
+        panel = Fig5PanelResult(
+            setting_label="synthetic",
+            histories={"Helios": history("Helios", 0.9, 10.0),
+                       "Syn. FL": history("Syn. FL", 0.88, 30.0)},
+            rows=[], helios_speedup_vs_sync=3.0,
+            helios_accuracy_improvement_pp=2.0, target_accuracy=0.8)
+        result = summarize_headline(Fig5Result(panels=[panel]))
+        assert result.max_speedup == 3.0
+        assert result.max_accuracy_gain_pp == 2.0
+        assert len(result.per_panel) == 1

@@ -1,0 +1,108 @@
+"""Tests for the experiment result formatters (text rendering)."""
+
+import pytest
+
+from repro.experiments.fig1_motivation import Fig1Result, format_fig1
+from repro.experiments.fig2_async_analysis import Fig2Result, format_fig2
+from repro.experiments.fig5_effectiveness import (Fig5PanelResult, Fig5Result,
+                                                  format_fig5)
+from repro.experiments.fig6_aggregation_opt import (Fig6PanelResult,
+                                                    Fig6Result, format_fig6)
+from repro.experiments.fig7_non_iid import (Fig7PanelResult, Fig7Result,
+                                            format_fig7)
+from repro.experiments.headline import HeadlineResult, format_headline
+from repro.experiments.table1_profiles import Table1Result, format_table1
+from repro.fl import CycleRecord, TrainingHistory
+
+
+def history(name, accuracies):
+    run = TrainingHistory(strategy_name=name)
+    for index, accuracy in enumerate(accuracies):
+        run.append(CycleRecord(cycle=index + 1, sim_time_s=float(index + 1),
+                               global_accuracy=accuracy,
+                               mean_train_loss=1.0 - accuracy,
+                               participating_clients=4))
+    return run
+
+
+class TestProfilingFormatters:
+    def test_format_fig1(self):
+        result = Fig1Result(
+            rows=[{"device": "a", "training_hours": 0.1, "idle_hours": 0.3,
+                   "idle_share": 0.75},
+                  {"device": "b", "training_hours": 0.4, "idle_hours": 0.0,
+                   "idle_share": 0.0}],
+            cycle_hours=0.4, straggler_name="b", slowdown_factor=4.0)
+        text = format_fig1(result)
+        assert "Fig. 1" in text
+        assert "straggler: b" in text
+        assert "4.0x" in text
+
+    def test_format_table1(self):
+        result = Table1Result(
+            rows=[{"device": "x", "workload_gflops": 1.0, "memory_mb": 2.0,
+                   "cycle_minutes": 3.0}],
+            paper_rows=[{"device": "x", "workload_gflops": 7.0,
+                         "memory_mb": 252.0, "cycle_minutes": 20.6}],
+            ordering_matches_paper=True)
+        text = format_table1(result)
+        assert "measured" in text
+        assert "paper-reported" in text
+        assert "True" in text
+
+
+class TestTrainingFormatters:
+    def test_format_fig2(self):
+        result = Fig2Result(
+            histories={"Setting 1 (Syn.)": history("s1", [0.5, 0.8])},
+            rows=[{"setting": "Setting 1 (Syn.)", "converge_accuracy": 0.8,
+                   "best_accuracy": 0.8, "converge_time_min": 1.0}])
+        text = format_fig2(result)
+        assert "Fig. 2" in text
+        assert "Setting 1 (Syn.)" in text
+
+    def test_format_fig5(self):
+        panel = Fig5PanelResult(
+            setting_label="lenet-mnist-demo",
+            histories={"Helios": history("Helios", [0.5, 0.9]),
+                       "Syn. FL": history("Syn. FL", [0.6, 0.88])},
+            rows=[{"strategy": "Helios", "converged_accuracy": 0.9}],
+            helios_speedup_vs_sync=2.0,
+            helios_accuracy_improvement_pp=1.5,
+            target_accuracy=0.8)
+        text = format_fig5(Fig5Result(panels=[panel]))
+        assert "lenet-mnist-demo" in text
+        assert "2.00x" in text
+        assert "+1.50 pp" in text
+
+    def test_format_fig6(self):
+        panel = Fig6PanelResult(
+            dataset="mnist", num_stragglers=2,
+            histories={"Helios": history("Helios", [0.9]),
+                       "S.T. Only": history("S.T. Only", [0.85])},
+            helios_accuracy=0.9, st_only_accuracy=0.85,
+            helios_variance=0.001, st_only_variance=0.002)
+        text = format_fig6(Fig6Result(panels=[panel]))
+        assert "Fig. 6" in text
+        assert "2 straggler(s)" in text
+        assert panel.accuracy_improvement_pp == pytest.approx(5.0)
+
+    def test_format_fig7(self):
+        panel = Fig7PanelResult(
+            setting_label="mnist-noniid",
+            histories={"Helios": history("Helios", [0.4, 0.6])},
+            rows=[{"strategy": "Helios", "converged_accuracy": 0.6}],
+            helios_is_best=True)
+        text = format_fig7(Fig7Result(panels=[panel]))
+        assert "Non-IID" in text
+        assert "mnist-noniid" in text
+
+    def test_format_headline(self):
+        result = HeadlineResult(
+            per_panel=[{"setting": "s", "helios_speedup_vs_sync": 2.1,
+                        "helios_accuracy_gain_pp": 3.0}],
+            max_speedup=2.1, max_accuracy_gain_pp=3.0)
+        text = format_headline(result)
+        assert "2.10x" in text
+        assert "+3.00 pp" in text
+        assert "2.5x" in text  # the paper reference value

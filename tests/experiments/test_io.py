@@ -1,0 +1,69 @@
+"""Tests for experiment-result persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import (history_from_dict, history_to_dict,
+                               load_histories, save_histories)
+from repro.fl import CycleRecord, TrainingHistory
+
+
+def sample_history(name="Helios", cycles=4):
+    history = TrainingHistory(strategy_name=name)
+    for index in range(cycles):
+        history.append(CycleRecord(
+            cycle=index + 1, sim_time_s=10.0 * (index + 1),
+            global_accuracy=0.2 * (index + 1),
+            mean_train_loss=1.0 / (index + 1),
+            participating_clients=4,
+            straggler_fraction_trained=0.4,
+            extra={"capable_pace_s": 3.0}))
+    return history
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_records(self):
+        original = sample_history()
+        rebuilt = history_from_dict(history_to_dict(original))
+        assert rebuilt.strategy_name == original.strategy_name
+        assert rebuilt.cycles() == original.cycles()
+        np.testing.assert_allclose(rebuilt.accuracies(),
+                                   original.accuracies())
+        np.testing.assert_allclose(rebuilt.times_s(), original.times_s())
+
+    def test_roundtrip_preserves_extra(self):
+        rebuilt = history_from_dict(history_to_dict(sample_history()))
+        assert rebuilt.records[0].extra == {"capable_pace_s": 3.0}
+
+    def test_empty_history(self):
+        rebuilt = history_from_dict(history_to_dict(
+            TrainingHistory(strategy_name="empty")))
+        assert len(rebuilt) == 0
+        assert rebuilt.strategy_name == "empty"
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        histories = {"Helios": sample_history("Helios"),
+                     "Syn. FL": sample_history("Syn. FL", cycles=2)}
+        path = os.path.join(tmp_path, "run", "histories.json")
+        save_histories(histories, path)
+        loaded = load_histories(path)
+        assert set(loaded) == {"Helios", "Syn. FL"}
+        assert len(loaded["Syn. FL"]) == 2
+        np.testing.assert_allclose(loaded["Helios"].accuracies(),
+                                   histories["Helios"].accuracies())
+
+    def test_json_is_human_readable(self, tmp_path):
+        path = os.path.join(tmp_path, "histories.json")
+        save_histories({"Helios": sample_history()}, path)
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        assert "global_accuracy" in content
+        assert "Helios" in content
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_histories(os.path.join(tmp_path, "nope.json"))

@@ -1,0 +1,183 @@
+"""Tests for FedAvg and neuron-granular partial aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.fl import (ClientUpdate, ModelStructure, aggregate_full,
+                      aggregate_partial, normalize_weights,
+                      sample_count_weights)
+from repro.nn import ModelMask
+
+from ..conftest import make_tiny_model
+
+
+def make_update(client_id, weights, num_samples=10, mask=None):
+    return ClientUpdate(client_id=client_id, client_name=f"c{client_id}",
+                        weights=weights, num_samples=num_samples,
+                        train_loss=0.0, mask=mask)
+
+
+@pytest.fixture
+def model():
+    return make_tiny_model()
+
+
+@pytest.fixture
+def structure(model):
+    return ModelStructure.from_model(model)
+
+
+class TestWeightHelpers:
+    def test_sample_count_weights(self):
+        updates = [make_update(0, {}, num_samples=10),
+                   make_update(1, {}, num_samples=30)]
+        np.testing.assert_allclose(sample_count_weights(updates),
+                                   [0.25, 0.75])
+
+    def test_normalize_weights(self):
+        np.testing.assert_allclose(normalize_weights([1.0, 3.0]),
+                                   [0.25, 0.75])
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_weights([1.0, -1.0])
+
+    def test_normalize_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            normalize_weights([0.0, 0.0])
+
+
+class TestModelStructure:
+    def test_every_parameter_covered(self, model, structure):
+        assert set(structure.parameter_names()) == set(model.get_weights())
+
+    def test_layer_assignment(self, structure):
+        assert structure.layer_of("fc1/weight") == "fc1"
+        assert structure.layer_of("output/bias") == "output"
+
+    def test_neuron_axis_recorded(self, structure):
+        assert structure["fc1/weight"].neuron_axis == 0
+
+    def test_contains(self, structure):
+        assert "fc1/weight" in structure
+        assert "nonexistent" not in structure
+
+
+class TestFullAggregation:
+    def test_equal_weights_average(self):
+        a = {"w": np.array([0.0, 0.0])}
+        b = {"w": np.array([2.0, 4.0])}
+        result = aggregate_full([make_update(0, a), make_update(1, b)])
+        np.testing.assert_allclose(result["w"], [1.0, 2.0])
+
+    def test_sample_count_weighting(self):
+        a = {"w": np.array([0.0])}
+        b = {"w": np.array([4.0])}
+        result = aggregate_full([make_update(0, a, num_samples=10),
+                                 make_update(1, b, num_samples=30)])
+        np.testing.assert_allclose(result["w"], [3.0])
+
+    def test_explicit_weights(self):
+        a = {"w": np.array([0.0])}
+        b = {"w": np.array([10.0])}
+        result = aggregate_full([make_update(0, a), make_update(1, b)],
+                                client_weights=[0.9, 0.1])
+        np.testing.assert_allclose(result["w"], [1.0])
+
+    def test_single_update_identity(self):
+        weights = {"w": np.array([1.0, 2.0, 3.0])}
+        result = aggregate_full([make_update(0, weights)])
+        np.testing.assert_allclose(result["w"], weights["w"])
+
+    def test_empty_updates_raise(self):
+        with pytest.raises(ValueError):
+            aggregate_full([])
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_full([make_update(0, {"w": np.zeros(1)})],
+                           client_weights=[0.5, 0.5])
+
+
+class TestPartialAggregation:
+    def test_unmasked_updates_match_fedavg(self, model, structure):
+        global_weights = model.get_weights()
+        update_a = make_update(0, {name: value + 1.0
+                                   for name, value in global_weights.items()})
+        update_b = make_update(1, {name: value + 3.0
+                                   for name, value in global_weights.items()})
+        partial = aggregate_partial(global_weights, [update_a, update_b],
+                                    structure)
+        full = aggregate_full([update_a, update_b])
+        for name in global_weights:
+            np.testing.assert_allclose(partial[name], full[name])
+
+    def test_uncovered_neurons_keep_global_value(self, model, structure):
+        global_weights = model.get_weights()
+        mask = ModelMask({"fc1": np.zeros(16, dtype=bool),
+                          "fc2": np.ones(8, dtype=bool),
+                          "output": np.ones(4, dtype=bool)})
+        shifted = {name: value + 1.0
+                   for name, value in global_weights.items()}
+        update = make_update(0, shifted, mask=mask)
+        result = aggregate_partial(global_weights, [update], structure)
+        # fc1 neurons were trained by nobody -> stay at the global value.
+        np.testing.assert_allclose(result["fc1/weight"],
+                                   global_weights["fc1/weight"])
+        # fc2 neurons were covered -> move to the update's values.
+        np.testing.assert_allclose(result["fc2/weight"],
+                                   shifted["fc2/weight"])
+
+    def test_covered_neurons_average_only_contributors(self, model, structure):
+        global_weights = model.get_weights()
+        mask_a = ModelMask({"fc1": np.zeros(16, dtype=bool),
+                            "fc2": np.ones(8, dtype=bool),
+                            "output": np.ones(4, dtype=bool)})
+        mask_a["fc1"][0] = True
+        weights_a = {name: value + 2.0
+                     for name, value in global_weights.items()}
+        weights_b = {name: value + 6.0
+                     for name, value in global_weights.items()}
+        update_a = make_update(0, weights_a, mask=mask_a)
+        update_b = make_update(1, weights_b)  # full model
+        result = aggregate_partial(global_weights, [update_a, update_b],
+                                   structure)
+        # Neuron 0 of fc1: both contribute equally -> +4 over global.
+        np.testing.assert_allclose(
+            result["fc1/weight"][0],
+            global_weights["fc1/weight"][0] + 4.0)
+        # Neuron 1 of fc1: only the full update contributes -> +6.
+        np.testing.assert_allclose(
+            result["fc1/weight"][1],
+            global_weights["fc1/weight"][1] + 6.0)
+
+    def test_client_weights_respected_per_neuron(self, model, structure):
+        global_weights = model.get_weights()
+        weights_a = {name: value + 0.0
+                     for name, value in global_weights.items()}
+        weights_b = {name: value + 10.0
+                     for name, value in global_weights.items()}
+        result = aggregate_partial(global_weights,
+                                   [make_update(0, weights_a),
+                                    make_update(1, weights_b)],
+                                   structure, client_weights=[0.8, 0.2])
+        np.testing.assert_allclose(
+            result["fc1/weight"],
+            global_weights["fc1/weight"] + 2.0)
+
+    def test_bias_vectors_follow_masks(self, model, structure):
+        global_weights = model.get_weights()
+        mask = ModelMask({"fc1": np.zeros(16, dtype=bool),
+                          "fc2": np.ones(8, dtype=bool),
+                          "output": np.ones(4, dtype=bool)})
+        shifted = {name: value + 1.0
+                   for name, value in global_weights.items()}
+        result = aggregate_partial(global_weights,
+                                   [make_update(0, shifted, mask=mask)],
+                                   structure)
+        np.testing.assert_allclose(result["fc1/bias"],
+                                   global_weights["fc1/bias"])
+
+    def test_empty_updates_raise(self, model, structure):
+        with pytest.raises(ValueError):
+            aggregate_partial(model.get_weights(), [], structure)

@@ -1,0 +1,137 @@
+"""Tests for the FL client."""
+
+import numpy as np
+import pytest
+
+from repro.fl import ClientConfig, FLClient
+from repro.nn import ModelMask
+
+from ..conftest import SLOW_DEVICE, make_tiny_dataset, make_tiny_model
+
+
+@pytest.fixture
+def client():
+    return FLClient(client_id=0, dataset=make_tiny_dataset(60, seed=0),
+                    device=SLOW_DEVICE, model_factory=make_tiny_model,
+                    config=ClientConfig(batch_size=20, learning_rate=0.2),
+                    seed=0)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ClientConfig()
+        assert config.batch_size > 0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            ClientConfig(batch_size=0)
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            ClientConfig(local_epochs=0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            ClientConfig(learning_rate=-0.1)
+
+
+class TestLocalTraining:
+    def test_empty_dataset_rejected(self):
+        empty = make_tiny_dataset(5, seed=0).subset([])
+        with pytest.raises(ValueError):
+            FLClient(0, empty, SLOW_DEVICE, make_tiny_model)
+
+    def test_update_contains_all_parameters(self, client):
+        global_weights = make_tiny_model().get_weights()
+        update = client.local_train(global_weights)
+        assert set(update.weights) == set(global_weights)
+
+    def test_training_changes_weights(self, client):
+        global_weights = make_tiny_model().get_weights()
+        update = client.local_train(global_weights)
+        changed = any(not np.allclose(update.weights[name],
+                                      global_weights[name])
+                      for name in global_weights)
+        assert changed
+
+    def test_update_metadata(self, client):
+        update = client.local_train(make_tiny_model().get_weights(),
+                                    base_cycle=5)
+        assert update.client_id == 0
+        assert update.num_samples == 60
+        assert update.base_cycle == 5
+        assert update.local_epochs == 1
+        assert np.isfinite(update.train_loss)
+
+    def test_neuron_fraction_defaults_to_one(self, client):
+        update = client.local_train(make_tiny_model().get_weights())
+        assert update.neuron_fraction == 1.0
+
+    def test_local_epochs_override(self, client):
+        update = client.local_train(make_tiny_model().get_weights(),
+                                    local_epochs=3)
+        assert update.local_epochs == 3
+
+    def test_invalid_epochs_override(self, client):
+        with pytest.raises(ValueError):
+            client.local_train(make_tiny_model().get_weights(),
+                               local_epochs=0)
+
+    def test_starts_from_global_weights(self, client):
+        """Two cycles from the same global weights produce the same update."""
+        global_weights = make_tiny_model().get_weights()
+        first = client.local_train(global_weights)
+        client.rng = np.random.default_rng(0 + 1000 * client.client_id)
+        second = client.local_train(global_weights)
+        for name in first.weights:
+            np.testing.assert_allclose(first.weights[name],
+                                       second.weights[name])
+
+
+class TestMaskedTraining:
+    def test_masked_neurons_keep_global_values(self, client):
+        global_weights = make_tiny_model().get_weights()
+        mask_arrays = {"fc1": np.zeros(16, dtype=bool),
+                       "fc2": np.ones(8, dtype=bool),
+                       "output": np.ones(4, dtype=bool)}
+        mask_arrays["fc1"][:4] = True
+        mask = ModelMask(mask_arrays)
+        update = client.local_train(global_weights, mask=mask)
+        # Rows of fc1/weight for masked-out neurons must be untouched.
+        np.testing.assert_allclose(update.weights["fc1/weight"][4:],
+                                   global_weights["fc1/weight"][4:])
+        # At least one selected neuron must have changed.
+        assert not np.allclose(update.weights["fc1/weight"][:4],
+                               global_weights["fc1/weight"][:4])
+
+    def test_update_records_mask(self, client):
+        mask = ModelMask.random(make_tiny_model(),
+                                {"fc1": 0.5, "fc2": 0.5, "output": 0.5},
+                                np.random.default_rng(0))
+        update = client.local_train(make_tiny_model().get_weights(),
+                                    mask=mask)
+        assert update.mask is not None
+        assert update.neuron_fraction == pytest.approx(mask.active_fraction())
+
+    def test_mask_cleared_after_training(self, client):
+        mask = ModelMask.random(make_tiny_model(),
+                                {"fc1": 0.25, "fc2": 0.25, "output": 0.25},
+                                np.random.default_rng(0))
+        client.local_train(make_tiny_model().get_weights(), mask=mask)
+        assert client.model.active_neuron_fraction() == 1.0
+
+
+class TestEvaluation:
+    def test_evaluate_with_explicit_weights(self, client):
+        dataset = make_tiny_dataset(40, seed=9)
+        accuracy = client.evaluate(dataset,
+                                   weights=make_tiny_model().get_weights())
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_repeated_local_training_learns(self, client):
+        weights = make_tiny_model().get_weights()
+        for _ in range(8):
+            update = client.local_train(weights)
+            weights = update.weights
+        accuracy = client.evaluate(client.dataset, weights=weights)
+        assert accuracy > 0.5

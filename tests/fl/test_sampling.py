@@ -1,0 +1,83 @@
+"""Tests for client-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.fl import (FullParticipation, RandomSampling,
+                      ResourceAwareSampling)
+
+from ..conftest import make_tiny_simulation
+
+
+@pytest.fixture
+def sim():
+    return make_tiny_simulation(num_capable=2, num_stragglers=1)
+
+
+class TestFullParticipation:
+    def test_everyone_selected(self, sim):
+        assert FullParticipation().select(1, sim) == [0, 1, 2]
+
+
+class TestRandomSampling:
+    def test_fraction_respected(self, sim):
+        sampler = RandomSampling(fraction=0.67,
+                                 rng=np.random.default_rng(0))
+        assert len(sampler.select(1, sim)) == 2
+
+    def test_minimum_enforced(self, sim):
+        sampler = RandomSampling(fraction=0.01, minimum=2,
+                                 rng=np.random.default_rng(0))
+        assert len(sampler.select(1, sim)) == 2
+
+    def test_selection_changes_between_cycles(self, sim):
+        sampler = RandomSampling(fraction=0.34,
+                                 rng=np.random.default_rng(0))
+        selections = {tuple(sampler.select(cycle, sim))
+                      for cycle in range(20)}
+        assert len(selections) > 1
+
+    def test_indices_are_valid(self, sim):
+        sampler = RandomSampling(fraction=0.67,
+                                 rng=np.random.default_rng(1))
+        for cycle in range(5):
+            assert set(sampler.select(cycle, sim)) <= {0, 1, 2}
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RandomSampling(fraction=0.0)
+        with pytest.raises(ValueError):
+            RandomSampling(minimum=0)
+
+
+class TestResourceAwareSampling:
+    def test_straggler_excluded_by_tight_deadline(self, sim):
+        # The tiny test fleet is communication-dominated, so the straggler
+        # is only ~15% slower end-to-end; a tight factor still excludes it.
+        sampler = ResourceAwareSampling(deadline_factor=1.1)
+        selected = sampler.select(1, sim)
+        assert 2 not in selected
+        assert set(selected) == {0, 1}
+
+    def test_loose_deadline_keeps_everyone(self, sim):
+        deadline = sim.slowest_full_cycle_seconds() * 2
+        sampler = ResourceAwareSampling(deadline_s=deadline)
+        assert sampler.select(1, sim) == [0, 1, 2]
+
+    def test_minimum_keeps_fastest_clients(self, sim):
+        sampler = ResourceAwareSampling(deadline_s=1e-12, minimum=2)
+        selected = sampler.select(1, sim)
+        assert len(selected) == 2
+        assert 2 not in selected
+
+    def test_explicit_deadline_used(self, sim):
+        sampler = ResourceAwareSampling(deadline_s=123.0)
+        assert sampler.cycle_deadline(sim) == 123.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ResourceAwareSampling(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            ResourceAwareSampling(deadline_factor=0.0)
+        with pytest.raises(ValueError):
+            ResourceAwareSampling(minimum=0)

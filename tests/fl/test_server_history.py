@@ -1,0 +1,155 @@
+"""Tests for the FL server and training history."""
+
+import numpy as np
+import pytest
+
+from repro.fl import ClientUpdate, CycleRecord, FLServer, TrainingHistory
+from repro.nn import ModelMask
+
+from ..conftest import make_tiny_dataset, make_tiny_model
+
+
+def make_update(client_id, weights, num_samples=10, mask=None):
+    return ClientUpdate(client_id=client_id, client_name=f"c{client_id}",
+                        weights=weights, num_samples=num_samples,
+                        train_loss=0.5, mask=mask)
+
+
+@pytest.fixture
+def server():
+    return FLServer(make_tiny_model, test_dataset=make_tiny_dataset(50, seed=3))
+
+
+class TestServer:
+    def test_global_weights_roundtrip(self, server):
+        weights = server.get_global_weights()
+        shifted = {name: value + 1.0 for name, value in weights.items()}
+        server.set_global_weights(shifted)
+        np.testing.assert_allclose(
+            server.get_global_weights()["fc1/weight"],
+            shifted["fc1/weight"])
+
+    def test_aggregate_installs_new_weights(self, server):
+        weights = server.get_global_weights()
+        shifted = {name: value + 2.0 for name, value in weights.items()}
+        server.aggregate([make_update(0, shifted)])
+        np.testing.assert_allclose(
+            server.get_global_weights()["output/weight"],
+            shifted["output/weight"])
+
+    def test_aggregate_increments_cycle(self, server):
+        weights = server.get_global_weights()
+        assert server.current_cycle == 0
+        server.aggregate([make_update(0, weights)])
+        assert server.current_cycle == 1
+
+    def test_aggregate_empty_raises(self, server):
+        with pytest.raises(ValueError):
+            server.aggregate([])
+
+    def test_partial_aggregation_keeps_untrained_neurons(self, server):
+        global_weights = server.get_global_weights()
+        mask = ModelMask({"fc1": np.zeros(16, dtype=bool),
+                          "fc2": np.ones(8, dtype=bool),
+                          "output": np.ones(4, dtype=bool)})
+        shifted = {name: value + 1.0
+                   for name, value in global_weights.items()}
+        server.aggregate([make_update(0, shifted, mask=mask)], partial=True)
+        np.testing.assert_allclose(
+            server.get_global_weights()["fc1/weight"],
+            global_weights["fc1/weight"])
+
+    def test_force_full_aggregation_ignores_masks(self, server):
+        global_weights = server.get_global_weights()
+        mask = ModelMask({"fc1": np.zeros(16, dtype=bool),
+                          "fc2": np.ones(8, dtype=bool),
+                          "output": np.ones(4, dtype=bool)})
+        shifted = {name: value + 1.0
+                   for name, value in global_weights.items()}
+        server.aggregate([make_update(0, shifted, mask=mask)], partial=False)
+        np.testing.assert_allclose(
+            server.get_global_weights()["fc1/weight"],
+            shifted["fc1/weight"])
+
+    def test_evaluate_in_range(self, server):
+        accuracy = server.evaluate()
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_evaluate_without_dataset_raises(self):
+        server = FLServer(make_tiny_model)
+        with pytest.raises(ValueError):
+            server.evaluate()
+
+    def test_num_parameters_matches_model(self, server):
+        assert server.num_parameters() == make_tiny_model().num_parameters()
+
+
+def history_with(accuracies, times=None):
+    history = TrainingHistory(strategy_name="test")
+    times = times or [float(i + 1) for i in range(len(accuracies))]
+    for index, (accuracy, sim_time) in enumerate(zip(accuracies, times)):
+        history.append(CycleRecord(cycle=index + 1, sim_time_s=sim_time,
+                                   global_accuracy=accuracy,
+                                   mean_train_loss=1.0 - accuracy,
+                                   participating_clients=4))
+    return history
+
+
+class TestHistory:
+    def test_append_enforces_order(self):
+        history = history_with([0.1, 0.2])
+        with pytest.raises(ValueError):
+            history.append(CycleRecord(cycle=1, sim_time_s=3.0,
+                                       global_accuracy=0.3,
+                                       mean_train_loss=0.7,
+                                       participating_clients=4))
+
+    def test_series_accessors(self):
+        history = history_with([0.1, 0.5, 0.7])
+        assert history.cycles() == [1, 2, 3]
+        assert history.accuracies() == [0.1, 0.5, 0.7]
+        assert history.times_s() == [1.0, 2.0, 3.0]
+        assert len(history) == 3
+
+    def test_final_and_best_accuracy(self):
+        history = history_with([0.2, 0.9, 0.8])
+        assert history.final_accuracy() == 0.8
+        assert history.best_accuracy() == 0.9
+
+    def test_converged_accuracy_uses_tail(self):
+        history = history_with([0.0, 0.0, 0.6, 0.8, 1.0])
+        np.testing.assert_allclose(history.converged_accuracy(window=3), 0.8)
+
+    def test_cycles_to_accuracy(self):
+        history = history_with([0.2, 0.5, 0.9])
+        assert history.cycles_to_accuracy(0.5) == 2
+        assert history.cycles_to_accuracy(0.95) is None
+
+    def test_time_to_accuracy(self):
+        history = history_with([0.2, 0.5, 0.9], times=[10.0, 20.0, 30.0])
+        assert history.time_to_accuracy(0.9) == 30.0
+        assert history.time_to_accuracy(0.99) is None
+
+    def test_total_time(self):
+        history = history_with([0.2, 0.4], times=[5.0, 12.0])
+        assert history.total_time() == 12.0
+
+    def test_accuracy_variance_constant_curve_is_zero(self):
+        history = history_with([0.5] * 6)
+        assert history.accuracy_variance() == 0.0
+
+    def test_accuracy_variance_fluctuating_curve_positive(self):
+        history = history_with([0.5, 0.9, 0.5, 0.9, 0.5, 0.9])
+        assert history.accuracy_variance() > 0.0
+
+    def test_empty_history_defaults(self):
+        history = TrainingHistory(strategy_name="empty")
+        assert history.final_accuracy() == 0.0
+        assert history.best_accuracy() == 0.0
+        assert history.total_time() == 0.0
+        assert history.cycles_to_accuracy(0.1) is None
+
+    def test_summary_keys(self):
+        summary = history_with([0.3]).summary()
+        assert {"strategy", "cycles", "final_accuracy", "best_accuracy",
+                "converged_accuracy", "total_time_s"} <= set(summary)

@@ -1,0 +1,154 @@
+"""Tests for the federated simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.fl import CycleOutcome, FederatedStrategy
+from repro.nn import ModelMask
+
+from ..conftest import make_tiny_simulation
+
+
+class RecordingStrategy(FederatedStrategy):
+    """Minimal strategy: everyone trains fully, FedAvg, fixed duration."""
+
+    name = "recording"
+
+    def __init__(self, duration=2.0):
+        self.duration = duration
+        self.setup_called = False
+        self.cycles_run = []
+
+    def setup(self, sim):
+        self.setup_called = True
+
+    def execute_cycle(self, cycle, sim):
+        self.cycles_run.append(cycle)
+        updates = [sim.train_client(index)
+                   for index in sim.client_indices()]
+        sim.server.aggregate(updates, partial=False)
+        return CycleOutcome(duration_s=self.duration,
+                            participating_clients=len(updates),
+                            mean_train_loss=float(np.mean(
+                                [update.train_loss for update in updates])))
+
+
+class TestTimingServices:
+    def test_straggler_cycle_is_longer(self, tiny_simulation):
+        fast = tiny_simulation.client_cycle_seconds(0)
+        slow = tiny_simulation.client_cycle_seconds(2)
+        assert slow > fast
+
+    def test_mask_reduces_cycle_time(self, tiny_simulation):
+        model = tiny_simulation.server.global_model
+        mask = ModelMask.random(model, {"fc1": 0.25, "fc2": 0.25,
+                                        "output": 0.25},
+                                np.random.default_rng(0))
+        full = tiny_simulation.client_cycle_seconds(2)
+        shrunk = tiny_simulation.client_cycle_seconds(2, mask=mask)
+        assert shrunk < full
+
+    def test_more_epochs_take_longer(self, tiny_simulation):
+        one = tiny_simulation.client_cycle_seconds(2, local_epochs=1)
+        three = tiny_simulation.client_cycle_seconds(2, local_epochs=3)
+        assert three > one
+
+    def test_communication_toggle(self, tiny_simulation):
+        with_comm = tiny_simulation.client_cycle_seconds(0)
+        without = tiny_simulation.client_cycle_seconds(
+            0, include_communication=False)
+        assert with_comm > without
+
+    def test_slowest_and_fastest_cycles(self, tiny_simulation):
+        assert (tiny_simulation.slowest_full_cycle_seconds()
+                > tiny_simulation.fastest_full_cycle_seconds())
+
+    def test_workload_scale_scales_time(self):
+        small = make_tiny_simulation()
+        large = make_tiny_simulation()
+        large.workload_scale = small.workload_scale * 10
+        assert (large.client_cycle_seconds(2, include_communication=False)
+                > small.client_cycle_seconds(2, include_communication=False))
+
+    def test_invalid_workload_scale(self):
+        with pytest.raises(ValueError):
+            sim = make_tiny_simulation()
+            from repro.fl import FederatedSimulation
+            FederatedSimulation(sim.clients, sim.server, (1, 8, 8),
+                                workload_scale=0.0)
+
+
+class TestNumericalServices:
+    def test_train_client_defaults_to_global_weights(self, tiny_simulation):
+        update = tiny_simulation.train_client(0)
+        assert set(update.weights) == set(
+            tiny_simulation.server.get_global_weights())
+
+    def test_evaluate_global_in_range(self, tiny_simulation):
+        accuracy = tiny_simulation.evaluate_global()
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_add_client_returns_new_index(self, tiny_simulation):
+        from repro.fl import FLClient, ClientConfig
+        from ..conftest import SLOW_DEVICE, make_tiny_dataset, make_tiny_model
+        client = FLClient(client_id=3, dataset=make_tiny_dataset(30, seed=9),
+                          device=SLOW_DEVICE, model_factory=make_tiny_model,
+                          config=ClientConfig(batch_size=10))
+        index = tiny_simulation.add_client(client)
+        assert index == 3
+        assert tiny_simulation.num_clients() == 4
+
+
+class TestRunLoop:
+    def test_runs_requested_cycles(self, tiny_simulation):
+        strategy = RecordingStrategy()
+        history = tiny_simulation.run(strategy, num_cycles=3)
+        assert strategy.setup_called
+        assert strategy.cycles_run == [1, 2, 3]
+        assert len(history) == 3
+
+    def test_clock_advances_by_durations(self, tiny_simulation):
+        history = tiny_simulation.run(RecordingStrategy(duration=5.0),
+                                      num_cycles=4)
+        np.testing.assert_allclose(history.times_s(), [5.0, 10.0, 15.0, 20.0])
+
+    def test_eval_every_skips_evaluations(self, tiny_simulation):
+        history = tiny_simulation.run(RecordingStrategy(), num_cycles=4,
+                                      eval_every=2)
+        # Cycles 1 and 3 reuse the previous accuracy, 2 and 4 evaluate.
+        assert history.accuracies()[0] == 0.0
+        assert len(history) == 4
+
+    def test_target_accuracy_stops_early(self, tiny_simulation):
+        history = tiny_simulation.run(RecordingStrategy(), num_cycles=50,
+                                      target_accuracy=0.01)
+        assert len(history) < 50
+
+    def test_accuracy_improves_over_cycles(self, tiny_simulation):
+        history = tiny_simulation.run(RecordingStrategy(), num_cycles=6)
+        assert history.final_accuracy() > 0.4
+
+    def test_invalid_run_arguments(self, tiny_simulation):
+        with pytest.raises(ValueError):
+            tiny_simulation.run(RecordingStrategy(), num_cycles=0)
+        with pytest.raises(ValueError):
+            tiny_simulation.run(RecordingStrategy(), num_cycles=2,
+                                eval_every=0)
+
+    def test_history_strategy_name(self, tiny_simulation):
+        history = tiny_simulation.run(RecordingStrategy(), num_cycles=1)
+        assert history.strategy_name == "recording"
+
+
+class TestCycleOutcomeValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CycleOutcome(duration_s=-1.0, participating_clients=1)
+
+    def test_negative_participants_rejected(self):
+        with pytest.raises(ValueError):
+            CycleOutcome(duration_s=1.0, participating_clients=-1)
+
+    def test_base_strategy_is_abstract(self, tiny_simulation):
+        with pytest.raises(NotImplementedError):
+            FederatedStrategy().execute_cycle(1, tiny_simulation)

@@ -1,0 +1,147 @@
+"""Tests for the analytical training-cost model (Te = W/C + M/V + M/B)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import CommunicationModel, TrainingCostModel
+
+from ..conftest import FAST_DEVICE, SLOW_DEVICE, make_device, make_tiny_model
+
+
+@pytest.fixture
+def cost_model():
+    return TrainingCostModel(make_tiny_model(), (1, 8, 8),
+                             samples_per_cycle=1000, batch_size=20)
+
+
+class TestEstimate:
+    def test_breakdown_sums_to_total(self, cost_model):
+        estimate = cost_model.estimate(SLOW_DEVICE)
+        np.testing.assert_allclose(
+            estimate.total_seconds,
+            estimate.compute_seconds + estimate.memory_seconds
+            + estimate.communication_seconds)
+
+    def test_slower_device_takes_longer(self, cost_model):
+        fast = cost_model.estimate(FAST_DEVICE)
+        slow = cost_model.estimate(SLOW_DEVICE)
+        assert slow.total_seconds > fast.total_seconds
+
+    def test_compute_term_formula(self, cost_model):
+        estimate = cost_model.estimate(FAST_DEVICE)
+        expected = (cost_model.full_model_cost.training_flops * 1000
+                    / FAST_DEVICE.compute_flops_per_second)
+        np.testing.assert_allclose(estimate.compute_seconds, expected)
+
+    def test_workload_scales_with_samples(self):
+        small = TrainingCostModel(make_tiny_model(), (1, 8, 8),
+                                  samples_per_cycle=100)
+        large = TrainingCostModel(make_tiny_model(), (1, 8, 8),
+                                  samples_per_cycle=1000)
+        np.testing.assert_allclose(large.workload_gflops(),
+                                   10 * small.workload_gflops())
+
+    def test_minutes_conversion(self, cost_model):
+        estimate = cost_model.estimate(SLOW_DEVICE)
+        np.testing.assert_allclose(estimate.total_minutes,
+                                   estimate.total_seconds / 60.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TrainingCostModel(make_tiny_model(), (1, 8, 8),
+                              samples_per_cycle=0)
+        with pytest.raises(ValueError):
+            TrainingCostModel(make_tiny_model(), (1, 8, 8),
+                              samples_per_cycle=10, batch_size=0)
+
+
+class TestShrunkModels:
+    def test_shrunk_model_is_cheaper(self, cost_model):
+        model = cost_model.model
+        fractions = {layer.name: 0.3 for layer in model.neuron_layers()}
+        full = cost_model.estimate(SLOW_DEVICE)
+        shrunk = cost_model.estimate(SLOW_DEVICE, fractions)
+        assert shrunk.total_seconds < full.total_seconds
+        assert shrunk.workload_gflops < full.workload_gflops
+
+    def test_memory_shrinks_with_volume(self, cost_model):
+        model = cost_model.model
+        fractions = {layer.name: 0.3 for layer in model.neuron_layers()}
+        assert (cost_model.memory_megabytes(fractions)
+                < cost_model.memory_megabytes())
+
+    def test_fits_in_memory(self, cost_model):
+        roomy = make_device("roomy", memory=100000.0)
+        cramped = make_device("cramped", memory=1e-6)
+        assert cost_model.fits_in_memory(roomy)
+        assert not cost_model.fits_in_memory(cramped)
+
+
+class TestVolumeForBudget:
+    def test_full_volume_when_budget_is_loose(self, cost_model):
+        generous = cost_model.estimate(SLOW_DEVICE).total_seconds * 10
+        assert cost_model.volume_for_budget(SLOW_DEVICE, generous) == 1.0
+
+    def test_min_fraction_when_budget_is_tight(self, cost_model):
+        tiny_budget = 1e-9
+        volume = cost_model.volume_for_budget(SLOW_DEVICE, tiny_budget,
+                                              min_fraction=0.2)
+        assert volume == pytest.approx(0.2)
+
+    def test_volume_meets_budget(self, cost_model):
+        full_time = cost_model.estimate(SLOW_DEVICE).total_seconds
+        budget = full_time / 3.0
+        volume = cost_model.volume_for_budget(SLOW_DEVICE, budget,
+                                              min_fraction=0.05)
+        fractions = {layer.name: volume
+                     for layer in cost_model.model.neuron_layers()}
+        achieved = cost_model.estimate(SLOW_DEVICE, fractions).total_seconds
+        assert achieved <= budget * 1.05
+
+    def test_volume_is_monotone_in_budget(self, cost_model):
+        full_time = cost_model.estimate(SLOW_DEVICE).total_seconds
+        tight = cost_model.volume_for_budget(SLOW_DEVICE, full_time / 5)
+        loose = cost_model.volume_for_budget(SLOW_DEVICE, full_time / 2)
+        assert tight <= loose
+
+    def test_invalid_budget(self, cost_model):
+        with pytest.raises(ValueError):
+            cost_model.volume_for_budget(SLOW_DEVICE, 0.0)
+
+
+class TestCommunicationModel:
+    def test_transfer_time_scales_with_payload(self):
+        comm = CommunicationModel(per_message_latency_s=0.0)
+        small = comm.transfer_seconds(FAST_DEVICE, 1000)
+        large = comm.transfer_seconds(FAST_DEVICE, 100000)
+        assert large > small
+
+    def test_latency_floor(self):
+        comm = CommunicationModel(per_message_latency_s=0.5)
+        assert comm.transfer_seconds(FAST_DEVICE, 0) == pytest.approx(0.5)
+
+    def test_server_bandwidth_caps_fast_devices(self):
+        comm = CommunicationModel(per_message_latency_s=0.0,
+                                  server_bandwidth_mbps=1.0)
+        fast = make_device("f", network=10000.0)
+        slow_transfer = comm.transfer_seconds(fast, 1_000_000)
+        uncapped = CommunicationModel(per_message_latency_s=0.0,
+                                      server_bandwidth_mbps=1e6)
+        assert slow_transfer > uncapped.transfer_seconds(fast, 1_000_000)
+
+    def test_round_trip_is_sum(self):
+        comm = CommunicationModel()
+        up = comm.transfer_seconds(SLOW_DEVICE, 5000)
+        down = comm.transfer_seconds(SLOW_DEVICE, 7000)
+        np.testing.assert_allclose(
+            comm.round_trip_seconds(SLOW_DEVICE, 5000, 7000), up + down)
+
+    def test_negative_payload_raises(self):
+        with pytest.raises(ValueError):
+            CommunicationModel().transfer_seconds(SLOW_DEVICE, -1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(per_message_latency_s=-0.1)
+        with pytest.raises(ValueError):
+            CommunicationModel(server_bandwidth_mbps=0.0)

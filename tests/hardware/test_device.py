@@ -1,0 +1,88 @@
+"""Tests for device profiles and presets."""
+
+import pytest
+
+from repro.hardware import (DEEPLENS_CPU, DEEPLENS_GPU, DEVICE_PRESETS,
+                            DeviceProfile, JETSON_NANO_CPU, JETSON_NANO_GPU,
+                            RASPBERRY_PI_4, available_devices, build_fleet,
+                            get_device, table1_stragglers)
+
+
+class TestDeviceProfile:
+    def test_unit_conversions(self):
+        device = DeviceProfile("d", compute_gflops=2.0,
+                               memory_bandwidth_gbps=4.0,
+                               network_bandwidth_mbps=80.0,
+                               memory_capacity_mb=512.0)
+        assert device.compute_flops_per_second == 2.0e9
+        assert device.memory_bytes_per_second == 4.0e9
+        assert device.network_bytes_per_second == 10.0e6
+
+    def test_rejects_nonpositive_resources(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", compute_gflops=0.0,
+                          memory_bandwidth_gbps=1.0,
+                          network_bandwidth_mbps=1.0,
+                          memory_capacity_mb=1.0)
+
+    def test_scaled_profile(self):
+        scaled = JETSON_NANO_GPU.scaled(compute=0.5, name="half")
+        assert scaled.name == "half"
+        assert scaled.compute_gflops == JETSON_NANO_GPU.compute_gflops * 0.5
+        # Original is untouched (frozen dataclass).
+        assert JETSON_NANO_GPU.compute_gflops == 230.0
+
+    def test_as_dict_keys(self):
+        keys = set(RASPBERRY_PI_4.as_dict())
+        assert keys == {"compute_gflops", "memory_bandwidth_gbps",
+                        "network_bandwidth_mbps", "memory_capacity_mb"}
+
+
+class TestPresets:
+    def test_five_presets(self):
+        assert len(DEVICE_PRESETS) == 5
+        assert set(available_devices()) == set(DEVICE_PRESETS)
+
+    def test_get_device(self):
+        assert get_device("jetson-nano-gpu") is JETSON_NANO_GPU
+        with pytest.raises(KeyError):
+            get_device("tpu-pod")
+
+    def test_capable_device_is_fastest(self):
+        others = [JETSON_NANO_CPU, RASPBERRY_PI_4, DEEPLENS_GPU, DEEPLENS_CPU]
+        assert all(JETSON_NANO_GPU.compute_gflops > device.compute_gflops
+                   for device in others)
+
+    def test_table1_straggler_order(self):
+        names = [device.name for device in table1_stragglers()]
+        assert names == ["jetson-nano-cpu", "raspberry-pi-4", "deeplens-gpu",
+                         "deeplens-cpu"]
+
+    def test_table1_compute_ordering_matches_paper_times(self):
+        # Slower compute must correspond to the paper's longer cycle times.
+        stragglers = table1_stragglers()
+        computes = [device.compute_gflops for device in stragglers]
+        assert computes == sorted(computes, reverse=True)
+
+
+class TestBuildFleet:
+    def test_counts(self):
+        fleet = build_fleet(2, 3)
+        assert len(fleet) == 5
+
+    def test_names_are_unique(self):
+        fleet = build_fleet(3, 4)
+        assert len({device.name for device in fleet}) == 7
+
+    def test_capable_devices_are_jetson_gpu_class(self):
+        fleet = build_fleet(2, 1)
+        assert fleet[0].compute_gflops == JETSON_NANO_GPU.compute_gflops
+
+    def test_straggler_cycle_through_presets(self):
+        fleet = build_fleet(0, 5)
+        # The fifth straggler wraps around to the first preset.
+        assert fleet[4].compute_gflops == fleet[0].compute_gflops
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            build_fleet(-1, 2)

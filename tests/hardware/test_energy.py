@@ -1,0 +1,104 @@
+"""Tests for the per-cycle energy model."""
+
+import pytest
+
+from repro.hardware import JETSON_NANO_GPU, DEEPLENS_CPU, TrainingCostModel
+from repro.hardware.energy import (DEFAULT_POWER_PROFILES, DevicePowerProfile,
+                                   EnergyModel)
+
+from ..conftest import SLOW_DEVICE, make_tiny_model
+
+
+@pytest.fixture
+def cost_model():
+    return TrainingCostModel(make_tiny_model(), (1, 8, 8),
+                             samples_per_cycle=5000, batch_size=20)
+
+
+@pytest.fixture
+def energy_model():
+    return EnergyModel()
+
+
+class TestPowerProfiles:
+    def test_defaults_cover_all_presets(self):
+        assert set(DEFAULT_POWER_PROFILES) == {
+            "jetson-nano-gpu", "jetson-nano-cpu", "raspberry-pi-4",
+            "deeplens-gpu", "deeplens-cpu"}
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePowerProfile(compute_watts=-1.0, radio_watts=1.0,
+                               idle_watts=1.0)
+
+    def test_exact_lookup(self, energy_model):
+        profile = energy_model.power_profile_for(JETSON_NANO_GPU)
+        assert profile is DEFAULT_POWER_PROFILES["jetson-nano-gpu"]
+
+    def test_prefix_lookup_for_scaled_devices(self, energy_model):
+        scaled = DEEPLENS_CPU.scaled(name="deeplens-cpu-scaled")
+        profile = energy_model.power_profile_for(scaled)
+        assert profile is DEFAULT_POWER_PROFILES["deeplens-cpu"]
+
+    def test_unknown_device_gets_fallback(self, energy_model):
+        profile = energy_model.power_profile_for(SLOW_DEVICE)
+        assert profile.compute_watts > 0
+
+    def test_custom_profile_overrides_default(self):
+        custom = DevicePowerProfile(compute_watts=1.0, radio_watts=0.1,
+                                    idle_watts=0.1)
+        model = EnergyModel({"jetson-nano-gpu": custom})
+        assert model.power_profile_for(JETSON_NANO_GPU) is custom
+
+
+class TestEnergyEstimates:
+    def test_breakdown_sums(self, cost_model, energy_model):
+        cost = cost_model.estimate(DEEPLENS_CPU)
+        estimate = energy_model.estimate_cycle(DEEPLENS_CPU, cost)
+        assert estimate.total_joules == pytest.approx(
+            estimate.compute_joules + estimate.communication_joules
+            + estimate.idle_joules)
+        assert estimate.idle_joules == 0.0
+
+    def test_idle_energy_charged_for_waiting(self, cost_model, energy_model):
+        cost = cost_model.estimate(JETSON_NANO_GPU)
+        waiting = energy_model.estimate_cycle(
+            JETSON_NANO_GPU, cost, cycle_length_s=cost.total_seconds * 100)
+        busy_only = energy_model.estimate_cycle(JETSON_NANO_GPU, cost)
+        assert waiting.idle_joules > 0
+        assert waiting.total_joules > busy_only.total_joules
+
+    def test_negative_cycle_length_rejected(self, cost_model, energy_model):
+        cost = cost_model.estimate(JETSON_NANO_GPU)
+        with pytest.raises(ValueError):
+            energy_model.estimate_cycle(JETSON_NANO_GPU, cost,
+                                        cycle_length_s=-1.0)
+
+    def test_shrunk_model_uses_less_energy(self, cost_model, energy_model):
+        model = cost_model.model
+        fractions = {layer.name: 0.25 for layer in model.neuron_layers()}
+        full = energy_model.estimate_cycle(DEEPLENS_CPU,
+                                           cost_model.estimate(DEEPLENS_CPU))
+        shrunk = energy_model.estimate_cycle(
+            DEEPLENS_CPU, cost_model.estimate(DEEPLENS_CPU, fractions))
+        assert shrunk.active_joules < full.active_joules
+
+    def test_milliwatt_hours_conversion(self, cost_model, energy_model):
+        cost = cost_model.estimate(DEEPLENS_CPU)
+        estimate = energy_model.estimate_cycle(DEEPLENS_CPU, cost)
+        assert estimate.total_milliwatt_hours == pytest.approx(
+            estimate.total_joules / 3.6)
+
+    def test_sustainable_cycles_positive_and_monotone(self, cost_model,
+                                                      energy_model):
+        cost = cost_model.estimate(DEEPLENS_CPU)
+        estimate = energy_model.estimate_cycle(DEEPLENS_CPU, cost)
+        cycles = energy_model.sustainable_cycles(DEEPLENS_CPU, estimate)
+        assert cycles > 0
+        # A device with a larger battery sustains more cycles.
+        bigger_battery = DEEPLENS_CPU.scaled(name="big-battery")
+        object.__setattr__  # frozen dataclass: use replace-style scaling
+        from dataclasses import replace
+        roomier = replace(DEEPLENS_CPU, name="roomier",
+                          battery_mwh=DEEPLENS_CPU.battery_mwh * 2)
+        assert energy_model.sustainable_cycles(roomier, estimate) > cycles

@@ -1,0 +1,81 @@
+"""Tests for the fleet profiler (white-box and black-box paths)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import FleetProfiler, table1_stragglers
+
+from ..conftest import FAST_DEVICE, SLOW_DEVICE, make_tiny_model
+
+
+@pytest.fixture
+def profiler():
+    return FleetProfiler(make_tiny_model(), (1, 8, 8),
+                         samples_per_cycle=2000, batch_size=20)
+
+
+class TestWhiteBox:
+    def test_report_fields(self, profiler):
+        report = profiler.profile_device(SLOW_DEVICE)
+        assert report.workload_gflops > 0
+        assert report.memory_mb > 0
+        assert report.cycle_minutes > 0
+
+    def test_fleet_report_length(self, profiler):
+        reports = profiler.profile_fleet([FAST_DEVICE, SLOW_DEVICE])
+        assert len(reports) == 2
+
+    def test_straggler_slower_than_capable(self, profiler):
+        fast, slow = profiler.profile_fleet([FAST_DEVICE, SLOW_DEVICE])
+        assert slow.cycle_minutes > fast.cycle_minutes
+
+    def test_as_row_keys(self, profiler):
+        row = profiler.profile_device(SLOW_DEVICE).as_row()
+        assert set(row) == {"device", "workload_gflops", "memory_mb",
+                            "cycle_minutes"}
+
+    def test_table1_ordering(self, profiler):
+        """The four paper presets must profile in the paper's time order."""
+        reports = profiler.profile_fleet(table1_stragglers())
+        minutes = [report.cycle_minutes for report in reports]
+        assert minutes == sorted(minutes)
+
+    def test_shrunk_profile_is_cheaper(self, profiler):
+        model = profiler.cost_model.model
+        fractions = {layer.name: 0.25 for layer in model.neuron_layers()}
+        full = profiler.profile_device(SLOW_DEVICE)
+        shrunk = profiler.profile_device(SLOW_DEVICE, fractions)
+        assert shrunk.cycle_minutes < full.cycle_minutes
+
+
+class TestBlackBox:
+    def test_measurements_keyed_by_name(self, profiler):
+        measurements = profiler.measure_test_bench(
+            [FAST_DEVICE, SLOW_DEVICE], rng=np.random.default_rng(0))
+        assert set(measurements) == {FAST_DEVICE.name, SLOW_DEVICE.name}
+
+    def test_measurements_reflect_speed(self, profiler):
+        measurements = profiler.measure_test_bench(
+            [FAST_DEVICE, SLOW_DEVICE], noise_std=0.0)
+        assert measurements[SLOW_DEVICE.name] > measurements[FAST_DEVICE.name]
+
+    def test_bench_fraction_scales_measurement(self, profiler):
+        small = profiler.measure_test_bench([SLOW_DEVICE], bench_fraction=0.01,
+                                            noise_std=0.0)
+        large = profiler.measure_test_bench([SLOW_DEVICE], bench_fraction=0.1,
+                                            noise_std=0.0)
+        np.testing.assert_allclose(large[SLOW_DEVICE.name],
+                                   10 * small[SLOW_DEVICE.name], rtol=1e-6)
+
+    def test_noise_changes_measurements(self, profiler):
+        a = profiler.measure_test_bench([SLOW_DEVICE],
+                                        rng=np.random.default_rng(1))
+        b = profiler.measure_test_bench([SLOW_DEVICE],
+                                        rng=np.random.default_rng(2))
+        assert a[SLOW_DEVICE.name] != b[SLOW_DEVICE.name]
+
+    def test_invalid_arguments(self, profiler):
+        with pytest.raises(ValueError):
+            profiler.measure_test_bench([SLOW_DEVICE], bench_fraction=0.0)
+        with pytest.raises(ValueError):
+            profiler.measure_test_bench([SLOW_DEVICE], noise_std=-1.0)

@@ -1,0 +1,114 @@
+"""End-to-end integration tests spanning every subsystem.
+
+These runs use the real synthetic datasets, real CNN/MLP models, the
+hardware cost model, the FL engine and the Helios/baseline strategies
+together — the same path the benchmark harness takes, at a miniature scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (AsynchronousFLStrategy, RandomMaskingStrategy,
+                             SynchronousFLStrategy)
+from repro.core import HeliosConfig, HeliosStrategy
+from repro.data import load_synthetic_dataset, partition_iid, partition_shards
+from repro.fl import ClientConfig, build_simulation
+from repro.hardware import build_fleet
+from repro.metrics import speedup_over
+from repro.nn.models import build_lenet
+
+
+def make_mnist_simulation(partition="iid", num_capable=1, num_stragglers=1,
+                          seed=0):
+    train, test = load_synthetic_dataset("mnist", num_train=240, num_test=80,
+                                         seed=seed)
+    num_clients = num_capable + num_stragglers
+    rng = np.random.default_rng(seed + 1)
+    if partition == "iid":
+        datasets = partition_iid(train, num_clients, rng)
+    else:
+        datasets = partition_shards(train, num_clients, 2, rng)
+    devices = build_fleet(num_capable, num_stragglers)
+
+    def model_factory():
+        return build_lenet(width_multiplier=0.25,
+                           rng=np.random.default_rng(seed + 7))
+
+    return build_simulation(
+        model_factory, datasets, devices, test, (1, 28, 28),
+        client_config=ClientConfig(batch_size=20, learning_rate=0.08),
+        workload_scale=60.0, seed=seed)
+
+
+class TestLeNetCollaboration:
+    def test_helios_learns_on_synthetic_mnist(self):
+        sim = make_mnist_simulation()
+        history = sim.run(HeliosStrategy(HeliosConfig(straggler_top_k=1,
+                                                      seed=0)),
+                          num_cycles=5)
+        # Random guessing is 0.1 on ten classes; a handful of cycles with a
+        # half-straggler fleet must already clear it by a wide margin.
+        assert history.final_accuracy() > 0.25
+        assert history.total_time() > 0
+
+    def test_helios_faster_than_sync_per_cycle(self):
+        helios_sim = make_mnist_simulation()
+        helios_history = helios_sim.run(
+            HeliosStrategy(HeliosConfig(straggler_top_k=1, seed=0)),
+            num_cycles=3)
+        sync_sim = make_mnist_simulation()
+        sync_history = sync_sim.run(
+            SynchronousFLStrategy(straggler_top_k=1), num_cycles=3)
+        # Identical cycle counts; Helios must finish sooner in simulated time.
+        assert helios_history.total_time() < sync_history.total_time()
+
+    def test_straggler_trains_partial_model_every_cycle(self):
+        sim = make_mnist_simulation()
+        history = sim.run(HeliosStrategy(HeliosConfig(straggler_top_k=1,
+                                                      seed=0)),
+                          num_cycles=3)
+        fractions = [record.straggler_fraction_trained
+                     for record in history.records]
+        assert all(0.0 < fraction < 1.0 for fraction in fractions)
+
+    def test_async_and_random_complete_on_non_iid(self):
+        for strategy in (AsynchronousFLStrategy(straggler_top_k=1),
+                         RandomMaskingStrategy(straggler_top_k=1)):
+            sim = make_mnist_simulation(partition="shards")
+            history = sim.run(strategy, num_cycles=3)
+            assert len(history) == 3
+            assert all(np.isfinite(a) for a in history.accuracies())
+
+    def test_speedup_metric_computable(self):
+        helios_history = make_mnist_simulation().run(
+            HeliosStrategy(HeliosConfig(straggler_top_k=1, seed=0)),
+            num_cycles=4)
+        sync_history = make_mnist_simulation().run(
+            SynchronousFLStrategy(straggler_top_k=1), num_cycles=4)
+        target = 0.8 * min(helios_history.best_accuracy(),
+                           sync_history.best_accuracy())
+        speedup = speedup_over(helios_history, sync_history, target)
+        if speedup is not None:
+            assert speedup > 1.0
+
+
+class TestReproducibility:
+    def test_same_seed_same_history(self):
+        history_a = make_mnist_simulation(seed=3).run(
+            HeliosStrategy(HeliosConfig(straggler_top_k=1, seed=3)),
+            num_cycles=3)
+        history_b = make_mnist_simulation(seed=3).run(
+            HeliosStrategy(HeliosConfig(straggler_top_k=1, seed=3)),
+            num_cycles=3)
+        np.testing.assert_allclose(history_a.accuracies(),
+                                   history_b.accuracies())
+        np.testing.assert_allclose(history_a.times_s(), history_b.times_s())
+
+    def test_different_seeds_differ(self):
+        history_a = make_mnist_simulation(seed=1).run(
+            HeliosStrategy(HeliosConfig(straggler_top_k=1, seed=1)),
+            num_cycles=3)
+        history_b = make_mnist_simulation(seed=2).run(
+            HeliosStrategy(HeliosConfig(straggler_top_k=1, seed=2)),
+            num_cycles=3)
+        assert history_a.accuracies() != history_b.accuracies()

@@ -1,0 +1,117 @@
+"""Tests for convergence metrics and text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.fl import CycleRecord, TrainingHistory
+from repro.metrics import (accuracy_improvement, compare_histories,
+                           cycles_speedup, format_accuracy_curves,
+                           format_series, format_table, speedup_over,
+                           summarize_history)
+
+
+def history_named(name, accuracies, cycle_seconds=10.0):
+    history = TrainingHistory(strategy_name=name)
+    for index, accuracy in enumerate(accuracies):
+        history.append(CycleRecord(cycle=index + 1,
+                                   sim_time_s=cycle_seconds * (index + 1),
+                                   global_accuracy=accuracy,
+                                   mean_train_loss=1.0 - accuracy,
+                                   participating_clients=4))
+    return history
+
+
+class TestSummaries:
+    def test_summarize_history_fields(self):
+        history = history_named("x", [0.2, 0.5, 0.8])
+        summary = summarize_history(history, target_accuracy=0.5)
+        assert summary.strategy == "x"
+        assert summary.cycles == 3
+        assert summary.cycles_to_target == 2
+        assert summary.time_to_target_s == 20.0
+
+    def test_summarize_unreached_target(self):
+        summary = summarize_history(history_named("x", [0.1, 0.2]), 0.9)
+        assert summary.cycles_to_target is None
+        assert summary.time_to_target_s is None
+
+
+class TestSpeedups:
+    def test_speedup_over_faster_candidate(self):
+        # Candidate reaches 0.8 at t=20, baseline at t=80.
+        candidate = history_named("helios", [0.5, 0.8, 0.9], cycle_seconds=10)
+        baseline = history_named("sync", [0.5, 0.8, 0.9], cycle_seconds=40)
+        assert speedup_over(candidate, baseline, 0.8) == pytest.approx(4.0)
+
+    def test_speedup_none_when_target_unreached(self):
+        candidate = history_named("a", [0.1])
+        baseline = history_named("b", [0.9])
+        assert speedup_over(candidate, baseline, 0.5) is None
+
+    def test_cycles_speedup(self):
+        candidate = history_named("a", [0.9, 0.9])
+        baseline = history_named("b", [0.1, 0.5, 0.7, 0.9])
+        assert cycles_speedup(candidate, baseline, 0.9) == pytest.approx(4.0)
+
+    def test_accuracy_improvement_vs_best(self):
+        candidate = history_named("helios", [0.9, 0.9, 0.9])
+        baselines = [history_named("a", [0.8, 0.8, 0.8]),
+                     history_named("b", [0.7, 0.7, 0.7])]
+        improvement = accuracy_improvement(candidate, baselines)
+        assert improvement == pytest.approx(10.0)
+
+    def test_accuracy_improvement_vs_mean(self):
+        candidate = history_named("helios", [0.9] * 3)
+        baselines = [history_named("a", [0.8] * 3),
+                     history_named("b", [0.6] * 3)]
+        improvement = accuracy_improvement(candidate, baselines,
+                                           use_best=False)
+        assert improvement == pytest.approx(20.0)
+
+    def test_accuracy_improvement_requires_baselines(self):
+        with pytest.raises(ValueError):
+            accuracy_improvement(history_named("x", [0.5]), [])
+
+    def test_compare_histories_sorted_by_accuracy(self):
+        rows = compare_histories({
+            "low": history_named("low", [0.3] * 3),
+            "high": history_named("high", [0.9] * 3),
+        }, target_accuracy=0.5)
+        assert rows[0]["strategy"] == "high"
+        assert rows[1]["strategy"] == "low"
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 222, "b": None}],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_format_table_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series([1, 2], [0.5, 0.75], x_label="cycle",
+                             y_label="acc")
+        assert "cycle" in text
+        assert "0.75" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [0.5])
+
+    def test_format_accuracy_curves_pads_short_series(self):
+        text = format_accuracy_curves({"a": [0.1, 0.2, 0.3], "b": [0.5]})
+        lines = text.splitlines()
+        # Header + separator + 3 data rows.
+        assert len(lines) == 5
+
+    def test_format_accuracy_curves_empty(self):
+        assert "(no curves)" in format_accuracy_curves({})

@@ -1,0 +1,74 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBasicInitializers:
+    def test_zeros(self, rng):
+        assert np.all(initializers.zeros((3, 4), rng) == 0.0)
+
+    def test_ones(self, rng):
+        assert np.all(initializers.ones((3, 4), rng) == 1.0)
+
+    def test_uniform_range(self, rng):
+        values = initializers.uniform((1000,), rng, low=-0.1, high=0.1)
+        assert values.min() >= -0.1
+        assert values.max() < 0.1
+
+    def test_normal_std(self, rng):
+        values = initializers.normal((20000,), rng, std=0.2)
+        assert abs(values.std() - 0.2) < 0.01
+
+    def test_shapes_match(self, rng):
+        for name in ("xavier_uniform", "xavier_normal", "he_uniform",
+                     "he_normal"):
+            init = initializers.get_initializer(name)
+            assert init((5, 7), rng).shape == (5, 7)
+
+
+class TestVarianceScaling:
+    def test_xavier_normal_variance(self, rng):
+        fan_in, fan_out = 128, 64
+        values = initializers.xavier_normal((fan_out, fan_in), rng)
+        expected_std = np.sqrt(2.0 / (fan_in + fan_out))
+        assert abs(values.std() - expected_std) / expected_std < 0.15
+
+    def test_he_normal_variance(self, rng):
+        fan_in = 256
+        values = initializers.he_normal((64, fan_in), rng)
+        expected_std = np.sqrt(2.0 / fan_in)
+        assert abs(values.std() - expected_std) / expected_std < 0.15
+
+    def test_he_uniform_bound(self, rng):
+        fan_in = 100
+        values = initializers.he_uniform((50, fan_in), rng)
+        limit = np.sqrt(6.0 / fan_in)
+        assert np.all(np.abs(values) <= limit)
+
+    def test_conv_fan_in_uses_receptive_field(self, rng):
+        # (out, in, kh, kw): fan_in = in * kh * kw.
+        values = initializers.he_normal((8, 4, 3, 3), rng)
+        expected_std = np.sqrt(2.0 / (4 * 9))
+        assert abs(values.std() - expected_std) / expected_std < 0.2
+
+
+class TestRegistry:
+    def test_get_initializer_known(self):
+        assert initializers.get_initializer("he_normal") is initializers.he_normal
+
+    def test_get_initializer_unknown_raises(self):
+        with pytest.raises(KeyError):
+            initializers.get_initializer("not-an-init")
+
+    def test_reproducible_with_same_seed(self):
+        a = initializers.xavier_uniform((4, 4), np.random.default_rng(5))
+        b = initializers.xavier_uniform((4, 4), np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,183 @@
+"""Tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, MeanSquaredError, MomentumSGD, Parameter, SGD,
+                      SoftmaxCrossEntropy, get_loss, get_optimizer)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        value = loss.forward(logits, np.array([0, 1]))
+        assert value < 1e-4
+
+    def test_uniform_prediction_loss_is_log_classes(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 5))
+        value = loss.forward(logits, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(value, np.log(5), rtol=1e-6)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([0, 2, 3])
+        loss.forward(logits, targets)
+        analytic = loss.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                numeric[i, j] = (loss.forward(plus, targets)
+                                 - loss.forward(minus, targets)) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_gradient_sums_to_zero_per_sample(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(5, 6))
+        loss.forward(logits, np.zeros(5, dtype=int))
+        grad = loss.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_rejects_out_of_range_labels(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_rejects_shape_mismatch(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_numerically_stable_with_large_logits(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.array([[1e4, -1e4]]), np.array([0]))
+        assert np.isfinite(value)
+
+
+class TestMeanSquaredError:
+    def test_zero_for_exact_match(self, rng):
+        predictions = rng.normal(size=(4, 3))
+        assert MeanSquaredError().forward(predictions, predictions) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        value = loss.forward(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(value, 2.5)
+
+    def test_gradient(self):
+        loss = MeanSquaredError()
+        predictions = np.array([[2.0, 0.0]])
+        loss.forward(predictions, np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(loss.backward(), [[2.0, 0.0]])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestLossRegistry:
+    def test_get_loss_known(self):
+        assert isinstance(get_loss("cross_entropy"), SoftmaxCrossEntropy)
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+
+    def test_get_loss_unknown(self):
+        with pytest.raises(KeyError):
+            get_loss("hinge")
+
+
+def quadratic_params(rng, count=3):
+    """Parameters initialized away from the optimum of f(x) = ||x||^2 / 2."""
+    return [Parameter(rng.normal(size=(4,)) + 2.0, name=f"p{i}")
+            for i in range(count)]
+
+
+def quadratic_step(params):
+    """Set gradients of f = sum ||p||^2 / 2, i.e. grad = p."""
+    for param in params:
+        param.grad = param.data.copy()
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self, rng):
+        params = quadratic_params(rng)
+        optimizer = SGD(params, lr=0.1)
+        initial = sum(np.sum(p.data ** 2) for p in params)
+        for _ in range(50):
+            quadratic_step(params)
+            optimizer.step()
+        final = sum(np.sum(p.data ** 2) for p in params)
+        assert final < initial * 1e-3
+
+    def test_momentum_descends_quadratic(self, rng):
+        params = quadratic_params(rng)
+        optimizer = MomentumSGD(params, lr=0.05, momentum=0.9)
+        for _ in range(150):
+            quadratic_step(params)
+            optimizer.step()
+        assert sum(np.sum(p.data ** 2) for p in params) < 1e-3
+
+    def test_adam_descends_quadratic(self, rng):
+        params = quadratic_params(rng)
+        optimizer = Adam(params, lr=0.2)
+        for _ in range(200):
+            quadratic_step(params)
+            optimizer.step()
+        assert sum(np.sum(p.data ** 2) for p in params) < 1e-2
+
+    def test_sgd_weight_decay_shrinks_weights(self, rng):
+        param = Parameter(np.full(3, 10.0))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(3)
+        optimizer.step()
+        assert np.all(param.data < 10.0)
+
+    def test_sgd_exact_update(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.5)
+        param.grad = np.array([2.0])
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [0.0])
+
+    def test_zero_grad_clears_all(self, rng):
+        params = quadratic_params(rng)
+        optimizer = SGD(params, lr=0.1)
+        quadratic_step(params)
+        optimizer.zero_grad()
+        assert all(np.all(p.grad == 0.0) for p in params)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            MomentumSGD([Parameter(np.zeros(2))], lr=0.1, momentum=1.0)
+
+    def test_invalid_adam_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=0.1, beta1=1.0)
+
+    def test_optimizer_registry(self):
+        params = [Parameter(np.zeros(2))]
+        assert isinstance(get_optimizer("sgd", params, lr=0.1), SGD)
+        assert isinstance(get_optimizer("momentum", params, lr=0.1),
+                          MomentumSGD)
+        assert isinstance(get_optimizer("adam", params, lr=0.1), Adam)
+        with pytest.raises(KeyError):
+            get_optimizer("lbfgs", params, lr=0.1)

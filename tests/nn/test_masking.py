@@ -1,0 +1,131 @@
+"""Tests for the ModelMask structure."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ModelMask
+
+from ..conftest import make_tiny_model
+
+
+@pytest.fixture
+def model():
+    return make_tiny_model()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConstruction:
+    def test_full_mask_covers_all_layers(self, model):
+        mask = ModelMask.full(model)
+        assert set(mask.layer_names()) == {"fc1", "fc2", "output"}
+        assert mask.active_fraction() == 1.0
+
+    def test_empty_mask(self, model):
+        mask = ModelMask.empty(model)
+        assert mask.total_active() == 0
+
+    def test_random_respects_fraction(self, model, rng):
+        mask = ModelMask.random(model, {"fc1": 0.5, "fc2": 0.5,
+                                        "output": 0.5}, rng)
+        counts = mask.active_counts()
+        assert counts["fc1"] == 8
+        assert counts["fc2"] == 4
+        assert counts["output"] == 2
+
+    def test_random_keeps_at_least_one(self, model, rng):
+        mask = ModelMask.random(model, {"fc1": 0.01, "fc2": 0.01,
+                                        "output": 0.01}, rng)
+        assert all(count >= 1 for count in mask.active_counts().values())
+
+    def test_random_missing_layer_defaults_to_full(self, model, rng):
+        mask = ModelMask.random(model, {"fc1": 0.5}, rng)
+        assert mask.active_counts()["fc2"] == 8
+
+    def test_random_invalid_fraction(self, model, rng):
+        with pytest.raises(ValueError):
+            ModelMask.random(model, {"fc1": 1.5}, rng)
+
+    def test_constructor_copies_input(self, model):
+        arrays = {"fc1": np.ones(16, dtype=bool)}
+        mask = ModelMask(arrays)
+        arrays["fc1"][:] = False
+        assert mask.total_active() == 16
+
+
+class TestStatistics:
+    def test_total_counts(self, model):
+        mask = ModelMask.full(model)
+        assert mask.total_neurons() == 28
+        assert mask.total_active() == 28
+
+    def test_layer_fractions(self, model, rng):
+        mask = ModelMask.random(model, {"fc1": 0.25, "fc2": 1.0,
+                                        "output": 1.0}, rng)
+        fractions = mask.layer_fractions()
+        np.testing.assert_allclose(fractions["fc1"], 0.25)
+        np.testing.assert_allclose(fractions["fc2"], 1.0)
+
+    def test_active_fraction_mixed(self, model):
+        arrays = {"fc1": np.zeros(16, dtype=bool),
+                  "fc2": np.ones(8, dtype=bool),
+                  "output": np.ones(4, dtype=bool)}
+        mask = ModelMask(arrays)
+        np.testing.assert_allclose(mask.active_fraction(), 12 / 28)
+
+
+class TestSetAlgebra:
+    def test_union(self, model):
+        a = ModelMask.empty(model)
+        b = ModelMask.full(model)
+        assert a.union(b).active_fraction() == 1.0
+
+    def test_intersection(self, model):
+        a = ModelMask.empty(model)
+        b = ModelMask.full(model)
+        assert a.intersection(b).total_active() == 0
+
+    def test_union_tracks_coverage_over_cycles(self, model, rng):
+        # Repeated random 30% selections should eventually cover everything
+        # (the paper's rotation argument in miniature).
+        coverage = ModelMask.empty(model)
+        for _ in range(30):
+            coverage = coverage.union(ModelMask.random(
+                model, {"fc1": 0.3, "fc2": 0.3, "output": 0.3}, rng))
+        assert coverage.active_fraction() == 1.0
+
+    def test_incompatible_layers_raise(self, model):
+        a = ModelMask({"fc1": np.ones(16, dtype=bool)})
+        b = ModelMask.full(model)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+
+class TestApplication:
+    def test_apply_sets_layer_masks(self, model, rng):
+        mask = ModelMask.random(model, {"fc1": 0.5, "fc2": 0.5,
+                                        "output": 1.0}, rng)
+        mask.apply(model)
+        np.testing.assert_allclose(model.active_neuron_fraction(),
+                                   mask.active_fraction())
+
+    def test_masked_forward_zeroes_outputs(self, model, rng):
+        arrays = {"output": np.array([True, False, True, False])}
+        ModelMask(arrays).apply(model)
+        out = model.forward(rng.normal(size=(3, 1, 8, 8)))
+        assert np.all(out[:, 1] == 0.0)
+        assert np.all(out[:, 3] == 0.0)
+
+    def test_copy_is_independent(self, model):
+        mask = ModelMask.full(model)
+        clone = mask.copy()
+        clone["fc1"][:] = False
+        assert mask.active_counts()["fc1"] == 16
+
+    def test_as_dict_roundtrip(self, model):
+        mask = ModelMask.full(model)
+        rebuilt = ModelMask(mask.as_dict())
+        assert rebuilt.active_counts() == mask.active_counts()

@@ -1,0 +1,184 @@
+"""Tests for the Sequential model container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Sequential, SoftmaxCrossEntropy
+from repro.nn.layers import Dense, Flatten, ReLU
+
+from ..conftest import make_tiny_dataset, make_tiny_model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestForwardBackward:
+    def test_forward_shape(self, rng):
+        model = make_tiny_model()
+        out = model.forward(rng.normal(size=(5, 1, 8, 8)))
+        assert out.shape == (5, 4)
+
+    def test_callable(self, rng):
+        model = make_tiny_model()
+        inputs = rng.normal(size=(2, 1, 8, 8))
+        np.testing.assert_array_equal(model(inputs), model.forward(inputs))
+
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_train_step_decreases_loss(self):
+        dataset = make_tiny_dataset(60, seed=0)
+        model = make_tiny_model()
+        loss_fn = SoftmaxCrossEntropy()
+        optimizer = SGD(model.parameters(), lr=0.2)
+        first = model.train_step(dataset.images, dataset.labels, loss_fn,
+                                 optimizer)
+        for _ in range(20):
+            last = model.train_step(dataset.images, dataset.labels, loss_fn,
+                                    optimizer)
+        assert last < first
+
+    def test_zero_grad(self, rng):
+        model = make_tiny_model()
+        loss_fn = SoftmaxCrossEntropy()
+        logits = model.forward(rng.normal(size=(4, 1, 8, 8)))
+        loss_fn.forward(logits, np.zeros(4, dtype=int))
+        model.backward(loss_fn.backward())
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+class TestParameters:
+    def test_parameter_count_matches_layers(self):
+        model = make_tiny_model()
+        expected = 64 * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4
+        assert model.num_parameters() == expected
+
+    def test_named_parameters_unique(self):
+        model = make_tiny_model()
+        names = list(model.named_parameters())
+        assert len(names) == len(set(names))
+
+    def test_named_parameters_disambiguates_duplicates(self, rng):
+        model = Sequential([
+            Dense(4, 3, rng=rng, name="same"),
+            Dense(3, 2, rng=rng, name="same"),
+        ])
+        names = list(model.named_parameters())
+        assert len(names) == 4
+        assert len(set(names)) == 4
+
+
+class TestWeightsRoundtrip:
+    def test_get_set_roundtrip(self, rng):
+        model_a = make_tiny_model(seed=1)
+        model_b = make_tiny_model(seed=2)
+        inputs = rng.normal(size=(3, 1, 8, 8))
+        assert not np.allclose(model_a.forward(inputs),
+                               model_b.forward(inputs))
+        model_b.set_weights(model_a.get_weights())
+        np.testing.assert_allclose(model_a.forward(inputs),
+                                   model_b.forward(inputs))
+
+    def test_get_weights_is_a_copy(self):
+        model = make_tiny_model()
+        weights = model.get_weights()
+        name = next(iter(weights))
+        weights[name][:] = 123.0
+        assert not np.allclose(model.get_weights()[name], 123.0)
+
+    def test_set_weights_missing_key_raises(self):
+        model = make_tiny_model()
+        weights = model.get_weights()
+        weights.pop(next(iter(weights)))
+        with pytest.raises(KeyError):
+            model.set_weights(weights)
+
+    def test_set_weights_shape_mismatch_raises(self):
+        model = make_tiny_model()
+        weights = model.get_weights()
+        name = next(iter(weights))
+        weights[name] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.set_weights(weights)
+
+    def test_get_gradients_shapes(self, rng):
+        model = make_tiny_model()
+        grads = model.get_gradients()
+        weights = model.get_weights()
+        assert set(grads) == set(weights)
+        for name in grads:
+            assert grads[name].shape == weights[name].shape
+
+
+class TestNeuronStructure:
+    def test_neuron_layers_are_dense_layers(self):
+        model = make_tiny_model()
+        assert [layer.name for layer in model.neuron_layers()] == [
+            "fc1", "fc2", "output"]
+
+    def test_neuron_counts(self):
+        model = make_tiny_model()
+        assert model.neuron_counts() == [16, 8, 4]
+        assert model.total_neurons() == 28
+
+    def test_set_and_clear_masks(self):
+        model = make_tiny_model()
+        masks = {"fc1": np.ones(16, dtype=bool),
+                 "fc2": np.zeros(8, dtype=bool)}
+        masks["fc2"][:4] = True
+        model.set_neuron_masks(masks)
+        assert model.active_neuron_fraction() < 1.0
+        model.clear_neuron_masks()
+        assert model.active_neuron_fraction() == 1.0
+
+    def test_set_masks_unknown_layer_raises(self):
+        model = make_tiny_model()
+        with pytest.raises(KeyError):
+            model.set_neuron_masks({"nope": np.ones(3, dtype=bool)})
+
+    def test_active_fraction_weighted_by_layer_size(self):
+        model = make_tiny_model()
+        model.set_neuron_masks({"fc1": np.zeros(16, dtype=bool)})
+        # fc1 (16 of 28 neurons) fully masked -> fraction = 12/28.
+        np.testing.assert_allclose(model.active_neuron_fraction(), 12 / 28)
+
+
+class TestInference:
+    def test_predict_shape_and_range(self, rng):
+        model = make_tiny_model()
+        predictions = model.predict(rng.normal(size=(10, 1, 8, 8)))
+        assert predictions.shape == (10,)
+        assert predictions.min() >= 0 and predictions.max() < 4
+
+    def test_predict_restores_training_mode(self, rng):
+        model = make_tiny_model()
+        model.train()
+        model.predict(rng.normal(size=(2, 1, 8, 8)))
+        assert model.training
+
+    def test_accuracy_perfect_on_memorized_data(self):
+        dataset = make_tiny_dataset(40, seed=3)
+        model = make_tiny_model()
+        loss_fn = SoftmaxCrossEntropy()
+        optimizer = SGD(model.parameters(), lr=0.3)
+        for _ in range(60):
+            model.train_step(dataset.images, dataset.labels, loss_fn,
+                             optimizer)
+        assert model.evaluate_accuracy(dataset.images, dataset.labels) > 0.9
+
+    def test_summary_mentions_layers(self):
+        summary = make_tiny_model().summary()
+        assert "fc1" in summary
+        assert "total parameters" in summary
+
+    def test_clone_structure_copies_weights(self, rng):
+        model = make_tiny_model(seed=5)
+        clone = model.clone_structure(lambda: make_tiny_model(seed=9))
+        inputs = rng.normal(size=(2, 1, 8, 8))
+        np.testing.assert_allclose(model.forward(inputs),
+                                   clone.forward(inputs))

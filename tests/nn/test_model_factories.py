@@ -1,0 +1,145 @@
+"""Tests for the LeNet / AlexNet / ResNet / MLP factories."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, SoftmaxCrossEntropy
+from repro.nn.models import (available_models, build_alexnet, build_lenet,
+                             build_mlp, build_model, build_resnet)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLeNet:
+    def test_default_output_shape(self, rng):
+        model = build_lenet(rng=rng, width_multiplier=0.3)
+        out = model.forward(rng.normal(size=(2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_width_multiplier_scales_params(self, rng):
+        small = build_lenet(width_multiplier=0.25, rng=rng)
+        large = build_lenet(width_multiplier=0.5, rng=rng)
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_custom_classes(self, rng):
+        model = build_lenet(num_classes=7, width_multiplier=0.25, rng=rng)
+        assert model.forward(rng.normal(size=(1, 1, 28, 28))).shape == (1, 7)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_lenet(width_multiplier=0.0)
+
+    def test_too_small_input_raises(self):
+        with pytest.raises(ValueError):
+            build_lenet(input_shape=(1, 8, 8))
+
+    def test_has_conv_and_dense_neuron_layers(self, rng):
+        model = build_lenet(width_multiplier=0.25, rng=rng)
+        names = [layer.name for layer in model.neuron_layers()]
+        assert any("conv" in name for name in names)
+        assert any("fc" in name for name in names)
+
+
+class TestAlexNet:
+    def test_output_shape(self, rng):
+        model = build_alexnet(width_multiplier=0.06, dropout_rate=0.0,
+                              rng=rng)
+        out = model.forward(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+
+    def test_dropout_optional(self, rng):
+        with_dropout = build_alexnet(width_multiplier=0.06, dropout_rate=0.5,
+                                     rng=rng)
+        without = build_alexnet(width_multiplier=0.06, dropout_rate=0.0,
+                                rng=rng)
+        assert len(with_dropout.layers) == len(without.layers) + 2
+
+    def test_requires_divisible_input(self):
+        with pytest.raises(ValueError):
+            build_alexnet(input_shape=(3, 30, 30))
+
+    def test_five_conv_layers(self, rng):
+        model = build_alexnet(width_multiplier=0.06, rng=rng)
+        conv_layers = [layer for layer in model.neuron_layers()
+                       if "conv" in layer.name]
+        assert len(conv_layers) == 5
+
+
+class TestResNet:
+    def test_output_shape(self, rng):
+        model = build_resnet(width_multiplier=0.08, blocks_per_stage=(1, 1),
+                             num_classes=100, rng=rng)
+        out = model.forward(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 100)
+
+    def test_resnet18_layout_block_count(self, rng):
+        model = build_resnet(width_multiplier=0.05,
+                             blocks_per_stage=(2, 2, 2, 2), rng=rng)
+        from repro.nn.layers import ResidualBlock
+        blocks = [layer for layer in model.layers
+                  if isinstance(layer, ResidualBlock)]
+        assert len(blocks) == 8
+
+    def test_stage_downsampling(self, rng):
+        model = build_resnet(width_multiplier=0.08, blocks_per_stage=(1, 1),
+                             num_classes=10, rng=rng)
+        # Forward works on small inputs thanks to global average pooling.
+        out = model.forward(rng.normal(size=(1, 3, 16, 16)))
+        assert out.shape == (1, 10)
+
+    def test_empty_stages_raise(self):
+        with pytest.raises(ValueError):
+            build_resnet(blocks_per_stage=())
+
+
+class TestMLP:
+    def test_flatten_input(self, rng):
+        model = build_mlp(64, 4, hidden_sizes=(8,), rng=rng,
+                          flatten_input=True)
+        out = model.forward(rng.normal(size=(3, 1, 8, 8)))
+        assert out.shape == (3, 4)
+
+    def test_hidden_sizes_respected(self, rng):
+        model = build_mlp(10, 2, hidden_sizes=(20, 30), rng=rng)
+        assert model.neuron_counts() == [20, 30, 2]
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {"mlp", "lenet", "alexnet",
+                                           "resnet"}
+
+    def test_build_model_lenet(self, rng):
+        model = build_model("lenet", (1, 28, 28), 10, width_multiplier=0.25,
+                            rng=rng)
+        assert model.forward(rng.normal(size=(1, 1, 28, 28))).shape == (1, 10)
+
+    def test_build_model_unknown(self):
+        with pytest.raises(KeyError):
+            build_model("vgg", (3, 32, 32), 10)
+
+    def test_all_models_train_one_step(self, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        shapes = {"mlp": (1, 8, 8), "lenet": (1, 28, 28),
+                  "alexnet": (3, 16, 16), "resnet": (3, 16, 16)}
+        widths = {"mlp": 0.5, "lenet": 0.25, "alexnet": 0.06, "resnet": 0.05}
+        for name in available_models():
+            model = build_model(name, shapes[name], 4,
+                                width_multiplier=widths[name], rng=rng)
+            inputs = rng.normal(size=(4,) + shapes[name])
+            targets = np.arange(4) % 4
+            optimizer = SGD(model.parameters(), lr=0.01)
+            value = model.train_step(inputs, targets, loss_fn, optimizer)
+            assert np.isfinite(value)
+
+    def test_same_seed_same_model(self, rng):
+        model_a = build_model("lenet", (1, 28, 28), 10, width_multiplier=0.25,
+                              rng=np.random.default_rng(3))
+        model_b = build_model("lenet", (1, 28, 28), 10, width_multiplier=0.25,
+                              rng=np.random.default_rng(3))
+        inputs = rng.normal(size=(2, 1, 28, 28))
+        np.testing.assert_allclose(model_a.forward(inputs),
+                                   model_b.forward(inputs))

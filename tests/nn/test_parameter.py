@@ -1,0 +1,88 @@
+"""Tests for repro.nn.parameter."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+
+
+class TestParameterBasics:
+    def test_data_is_float64(self):
+        param = Parameter(np.ones((2, 3), dtype=np.float32))
+        assert param.data.dtype == np.float64
+
+    def test_grad_initialized_to_zeros(self):
+        param = Parameter(np.ones((2, 3)))
+        assert np.all(param.grad == 0.0)
+        assert param.grad.shape == (2, 3)
+
+    def test_shape_and_size(self):
+        param = Parameter(np.zeros((4, 5)))
+        assert param.shape == (4, 5)
+        assert param.size == 20
+
+    def test_zero_grad_resets(self):
+        param = Parameter(np.ones(3))
+        param.grad += 5.0
+        param.zero_grad()
+        assert np.all(param.grad == 0.0)
+
+    def test_default_name(self):
+        param = Parameter(np.zeros(2))
+        assert param.name == "param"
+
+
+class TestNeuronStructure:
+    def test_num_neurons_axis0(self):
+        param = Parameter(np.zeros((6, 3)), neuron_axis=0)
+        assert param.num_neurons == 6
+
+    def test_num_neurons_other_axis(self):
+        param = Parameter(np.zeros((6, 3)), neuron_axis=1)
+        assert param.num_neurons == 3
+
+    def test_num_neurons_unstructured(self):
+        param = Parameter(np.zeros((6, 3)), neuron_axis=None)
+        assert param.num_neurons == 0
+
+    def test_neuron_slice(self):
+        data = np.arange(12).reshape(4, 3)
+        param = Parameter(data, neuron_axis=0)
+        np.testing.assert_array_equal(param.neuron_slice(2), data[2])
+
+    def test_neuron_slice_unstructured_raises(self):
+        param = Parameter(np.zeros(3), neuron_axis=None)
+        with pytest.raises(ValueError):
+            param.neuron_slice(0)
+
+    def test_neuron_norms(self):
+        data = np.array([[3.0, 4.0], [0.0, 0.0], [1.0, 0.0]])
+        param = Parameter(data, neuron_axis=0)
+        np.testing.assert_allclose(param.neuron_norms(), [5.0, 0.0, 1.0])
+
+    def test_neuron_norms_respects_axis(self):
+        data = np.array([[3.0, 0.0], [4.0, 1.0]])
+        param = Parameter(data, neuron_axis=1)
+        np.testing.assert_allclose(param.neuron_norms(), [5.0, 1.0])
+
+    def test_neuron_norms_unstructured_raises(self):
+        param = Parameter(np.zeros(3), neuron_axis=None)
+        with pytest.raises(ValueError):
+            param.neuron_norms()
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        param = Parameter(np.ones((2, 2)), name="w")
+        param.grad += 1.0
+        clone = param.copy()
+        clone.data[0, 0] = 99.0
+        clone.grad[0, 0] = 99.0
+        assert param.data[0, 0] == 1.0
+        assert param.grad[0, 0] == 1.0
+
+    def test_copy_preserves_metadata(self):
+        param = Parameter(np.ones((2, 2)), name="w", neuron_axis=1)
+        clone = param.copy()
+        assert clone.name == "w"
+        assert clone.neuron_axis == 1

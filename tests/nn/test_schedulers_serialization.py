@@ -1,0 +1,122 @@
+"""Tests for learning-rate schedulers and weight serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (CosineDecay, ExponentialDecay, Parameter, SGD,
+                      StepDecay, get_scheduler, load_model_into,
+                      load_weights, save_model, save_weights)
+from repro.nn.serialization import load_metadata
+
+from ..conftest import make_tiny_model
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(3))], lr=lr)
+
+
+class TestStepDecay:
+    def test_constant_within_step(self):
+        scheduler = StepDecay(make_optimizer(), step_size=5, gamma=0.5)
+        assert scheduler.learning_rate_at(4) == pytest.approx(0.1)
+
+    def test_halves_after_step(self):
+        scheduler = StepDecay(make_optimizer(), step_size=5, gamma=0.5)
+        assert scheduler.learning_rate_at(5) == pytest.approx(0.05)
+        assert scheduler.learning_rate_at(10) == pytest.approx(0.025)
+
+    def test_step_updates_optimizer(self):
+        optimizer = make_optimizer()
+        scheduler = StepDecay(optimizer, step_size=1, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.05)
+        assert scheduler.current_lr == pytest.approx(0.05)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            StepDecay(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(make_optimizer(), gamma=0.0)
+
+
+class TestExponentialDecay:
+    def test_geometric_decay(self):
+        scheduler = ExponentialDecay(make_optimizer(), gamma=0.9)
+        assert scheduler.learning_rate_at(2) == pytest.approx(0.1 * 0.81)
+
+    def test_gamma_one_is_constant(self):
+        scheduler = ExponentialDecay(make_optimizer(), gamma=1.0)
+        assert scheduler.learning_rate_at(50) == pytest.approx(0.1)
+
+
+class TestCosineDecay:
+    def test_starts_at_base_rate(self):
+        scheduler = CosineDecay(make_optimizer(), total_cycles=10)
+        assert scheduler.learning_rate_at(0) == pytest.approx(0.1)
+
+    def test_ends_at_min_lr(self):
+        scheduler = CosineDecay(make_optimizer(), total_cycles=10,
+                                min_lr=0.01)
+        assert scheduler.learning_rate_at(10) == pytest.approx(0.01)
+
+    def test_monotonically_decreasing(self):
+        scheduler = CosineDecay(make_optimizer(), total_cycles=20)
+        rates = [scheduler.learning_rate_at(cycle) for cycle in range(21)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_beyond_total(self):
+        scheduler = CosineDecay(make_optimizer(), total_cycles=5, min_lr=0.0)
+        assert scheduler.learning_rate_at(50) == pytest.approx(0.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            CosineDecay(make_optimizer(), total_cycles=0)
+
+
+class TestSchedulerRegistry:
+    def test_get_scheduler_by_name(self):
+        assert isinstance(get_scheduler("step", make_optimizer()), StepDecay)
+        assert isinstance(get_scheduler("cosine", make_optimizer(),
+                                        total_cycles=5), CosineDecay)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_scheduler("cyclic", make_optimizer())
+
+
+class TestSerialization:
+    def test_roundtrip_weights(self, tmp_path):
+        model = make_tiny_model(seed=1)
+        path = os.path.join(tmp_path, "checkpoint.npz")
+        save_weights(model.get_weights(), path)
+        loaded = load_weights(path)
+        for name, value in model.get_weights().items():
+            np.testing.assert_array_equal(loaded[name], value)
+
+    def test_save_model_and_load_into(self, tmp_path):
+        source = make_tiny_model(seed=1)
+        target = make_tiny_model(seed=2)
+        path = os.path.join(tmp_path, "model")
+        save_model(source, path, metadata={"dataset": "tiny"})
+        load_model_into(target, path)
+        inputs = np.random.default_rng(0).normal(size=(2, 1, 8, 8))
+        np.testing.assert_allclose(source.forward(inputs),
+                                   target.forward(inputs))
+
+    def test_metadata_roundtrip(self, tmp_path):
+        model = make_tiny_model()
+        path = os.path.join(tmp_path, "model")
+        save_model(model, path, metadata={"dataset": "tiny"})
+        metadata = load_metadata(path)
+        assert metadata["dataset"] == "tiny"
+        assert metadata["model_name"] == "tiny-mlp"
+
+    def test_empty_weights_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_weights({}, os.path.join(tmp_path, "x.npz"))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_weights(os.path.join(tmp_path, "missing.npz"))

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "fast"
+        assert args.seed == 0
+        assert args.output is None
+
+    def test_run_command_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig6", "--scale", "smoke", "--seed", "3",
+             "--output", "out.txt"])
+        assert args.scale == "smoke"
+        assert args.seed == 3
+        assert args.output == "out.txt"
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig6", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for identifier in ("fig1", "fig2", "fig5", "fig6", "fig7", "table1",
+                           "headline"):
+            assert identifier in output
+
+    def test_scales_prints_presets(self, capsys):
+        assert main(["scales"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output and "fast" in output and "full" in output
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_run_table1_smoke(self, capsys, tmp_path):
+        output_file = os.path.join(tmp_path, "table1.txt")
+        code = main(["run", "table1", "--scale", "smoke",
+                     "--output", output_file])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Table I" in printed
+        with open(output_file, encoding="utf-8") as handle:
+            assert "Table I" in handle.read()
+
+    def test_run_fig1_smoke(self, capsys):
+        assert main(["run", "fig1", "--scale", "smoke"]) == 0
+        assert "idle" in capsys.readouterr().out.lower()
