@@ -2,18 +2,25 @@
 
 These are conventional pytest-benchmark timings (multiple rounds) of the
 hot paths every experiment exercises: a CNN training step, neuron-granular
-partial aggregation, the soft-training selection, and the analytical cost
-model.  They make regressions in the substrate visible independently of the
+partial aggregation, the soft-training selection, the analytical cost
+model, and the execution backends running one multi-client cycle.  They
+make regressions in the substrate visible independently of the
 figure-level experiments.
 """
+
+import time
 
 import numpy as np
 
 from repro.core import SoftTrainingSelector
-from repro.fl import ClientUpdate
+from repro.data.synthetic import SyntheticImageSpec, make_classification_images
+from repro.fl import (ClientConfig, ClientUpdate, FLClient, FLServer,
+                      FederatedSimulation, make_backend)
 from repro.fl.aggregation import ModelStructure, aggregate_partial
-from repro.hardware import JETSON_NANO_CPU, TrainingCostModel
+from repro.hardware import DeviceProfile, JETSON_NANO_CPU, TrainingCostModel
 from repro.nn import SGD, ModelMask, SoftmaxCrossEntropy
+from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.model import Sequential
 from repro.nn.models import build_lenet
 
 
@@ -68,3 +75,123 @@ def test_bench_cost_model_estimate(benchmark):
                                    samples_per_cycle=10_000)
     fractions = {layer.name: 0.4 for layer in model.neuron_layers()}
     benchmark(lambda: cost_model.estimate(JETSON_NANO_CPU, fractions))
+
+
+# --------------------------------------------------------------------- #
+# execution backends: one multi-client cycle, serial vs. concurrent
+# --------------------------------------------------------------------- #
+
+#: Emulated per-client device round-trip latency of the backend benches.
+_CLIENT_LATENCY_S = 0.03
+_NUM_LATENCY_CLIENTS = 6
+
+_BENCH_SPEC = SyntheticImageSpec(
+    name="bench", image_shape=(1, 8, 8), num_classes=4, separation=1.2,
+    noise_std=0.5, max_shift=1, label_noise=0.0, prototypes_per_class=1,
+    smoothness=2)
+
+
+def _bench_model():
+    rng = np.random.default_rng(3)
+    return Sequential([
+        Flatten(name="flatten"),
+        Dense(64, 16, rng=rng, name="fc1"),
+        ReLU(name="relu1"),
+        Dense(16, 4, rng=rng, name="output"),
+    ], name="bench-mlp")
+
+
+class _LatencyBoundClient(FLClient):
+    """A client whose local training hides a device round-trip latency.
+
+    The NumPy trainings of this repo are CPU-bound, so on a single-core
+    runner the concurrency win of the pooled backends comes from
+    overlapping *latency* (exactly what real edge-device round-trips look
+    like); this client makes that latency explicit and measurable.
+    """
+
+    def local_train(self, *args, **kwargs):
+        time.sleep(_CLIENT_LATENCY_S)
+        return super().local_train(*args, **kwargs)
+
+
+def _latency_fleet(num_clients=_NUM_LATENCY_CLIENTS) -> FederatedSimulation:
+    samples = 20
+    pool = make_classification_images(samples * num_clients + 40,
+                                      _BENCH_SPEC, np.random.default_rng(0))
+    device = DeviceProfile(name="bench-node", compute_gflops=50.0,
+                           memory_bandwidth_gbps=10.0,
+                           network_bandwidth_mbps=100.0,
+                           memory_capacity_mb=1024.0)
+    config = ClientConfig(batch_size=10, local_epochs=1, learning_rate=0.1)
+    clients = [
+        _LatencyBoundClient(
+            client_id=index,
+            dataset=pool.subset(np.arange(index * samples,
+                                          (index + 1) * samples)),
+            device=device, model_factory=_bench_model, config=config)
+        for index in range(num_clients)
+    ]
+    server = FLServer(_bench_model,
+                      test_dataset=pool.subset(
+                          np.arange(samples * num_clients, len(pool))))
+    return FederatedSimulation(clients, server, input_shape=(1, 8, 8))
+
+
+def _bench_backend_cycle(benchmark, backend_name):
+    sim = _latency_fleet()
+    sim.set_backend(make_backend(backend_name,
+                                 max_workers=_NUM_LATENCY_CLIENTS)
+                    if backend_name != "serial" else "serial")
+    indices = sim.client_indices()
+    try:
+        # Warm the pool (fork/thread startup) outside the timed region.
+        sim.train_clients(indices)
+        benchmark(lambda: sim.train_clients(indices))
+    finally:
+        sim.backend.close()
+
+
+def test_bench_cycle_serial_backend(benchmark):
+    _bench_backend_cycle(benchmark, "serial")
+
+
+def test_bench_cycle_thread_backend(benchmark):
+    _bench_backend_cycle(benchmark, "thread")
+
+
+def test_bench_cycle_process_backend(benchmark):
+    _bench_backend_cycle(benchmark, "process")
+
+
+def test_parallel_backends_beat_serial_cycle():
+    """Measured speedup: pooled backends overlap a latency-bound cycle."""
+    def timed_cycle(backend_name):
+        sim = _latency_fleet()
+        if backend_name != "serial":
+            sim.set_backend(make_backend(
+                backend_name, max_workers=_NUM_LATENCY_CLIENTS))
+        indices = sim.client_indices()
+        try:
+            sim.train_clients(indices)  # pool warm-up outside the timing
+            start = time.perf_counter()
+            updates = sim.train_clients(indices)
+            elapsed = time.perf_counter() - start
+        finally:
+            sim.backend.close()
+        assert len(updates) == len(indices)
+        return elapsed
+
+    serial_s = timed_cycle("serial")
+    thread_s = timed_cycle("thread")
+    process_s = timed_cycle("process")
+    print(f"\nmulti-client cycle ({_NUM_LATENCY_CLIENTS} clients, "
+          f"{_CLIENT_LATENCY_S * 1000:.0f} ms latency each): "
+          f"serial {serial_s * 1000:.1f} ms, "
+          f"thread {thread_s * 1000:.1f} ms ({serial_s / thread_s:.2f}x), "
+          f"process {process_s * 1000:.1f} ms ({serial_s / process_s:.2f}x)")
+    # The serial cycle pays every client's latency back to back; the
+    # pooled backends overlap them.  Require a conservative 1.5x so the
+    # assertion stays robust on loaded CI machines.
+    assert serial_s > 1.5 * thread_s
+    assert serial_s > 1.5 * process_s

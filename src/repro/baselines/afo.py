@@ -19,6 +19,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..fl.client import ClientUpdate
+from ..fl.executor import TrainingJob
 from ..fl.simulation import FederatedSimulation
 from ..fl.strategy import CycleOutcome
 from .async_fl import AsynchronousFLStrategy, PendingJob
@@ -71,17 +72,13 @@ class AFOStrategy(AsynchronousFLStrategy):
         capable = self.capable_indices(sim)
         stragglers = self.straggler_indices()
 
-        fresh_updates: List[ClientUpdate] = []
-        durations: List[float] = []
         losses: List[float] = []
-        stale_deliveries = 0
 
-        for client_index in capable:
-            update = sim.train_client(client_index, global_weights,
-                                      base_cycle=cycle)
-            fresh_updates.append(update)
-            durations.append(sim.client_cycle_seconds(client_index))
-            losses.append(update.train_loss)
+        fresh_updates: List[ClientUpdate] = sim.train_clients(
+            capable, weights=global_weights, base_cycle=cycle)
+        durations: List[float] = [sim.client_cycle_seconds(client_index)
+                                  for client_index in capable]
+        losses.extend(update.train_loss for update in fresh_updates)
 
         # Fresh capable updates: aggregate them and mix with full alpha.
         if fresh_updates:
@@ -91,7 +88,10 @@ class AFOStrategy(AsynchronousFLStrategy):
                                   self._staleness_weight(0))
             sim.server.current_cycle += 1
 
-        # Straggler deliveries: sequential staleness-discounted mixing.
+        # Straggler deliveries: the due trainings run as one batch (each
+        # from its own stale snapshot, so they are order-independent), the
+        # staleness-discounted mixing stays sequential in client order.
+        delivery_jobs: List[TrainingJob] = []
         for client_index in stragglers:
             job = self.pending.get(client_index)
             if job is None:
@@ -103,14 +103,17 @@ class AFOStrategy(AsynchronousFLStrategy):
                 )
                 continue
             if cycle >= job.finish_cycle:
-                update = sim.train_client(client_index, job.base_weights,
-                                          base_cycle=job.start_cycle)
-                staleness = cycle - job.start_cycle
-                self._mix_into_global(sim, update.weights,
-                                      self._staleness_weight(staleness))
-                losses.append(update.train_loss)
-                stale_deliveries += 1
+                delivery_jobs.append(TrainingJob(
+                    index=client_index, weights=job.base_weights,
+                    base_cycle=job.start_cycle))
                 del self.pending[client_index]
+        stale_updates = sim.run_jobs(delivery_jobs)
+        stale_deliveries = len(stale_updates)
+        for update in stale_updates:
+            staleness = cycle - update.base_cycle
+            self._mix_into_global(sim, update.weights,
+                                  self._staleness_weight(staleness))
+            losses.append(update.train_loss)
 
         duration = (float(max(durations)) if durations
                     else self.capable_pace_seconds(sim))

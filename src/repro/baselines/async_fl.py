@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..fl.client import ClientUpdate
+from ..fl.executor import TrainingJob
 from ..fl.simulation import FederatedSimulation
 from ..fl.strategy import CycleOutcome
 from .common import StragglerAwareStrategy
@@ -76,15 +77,17 @@ class AsynchronousFLStrategy(StragglerAwareStrategy):
         capable = self.capable_indices(sim)
         stragglers = self.straggler_indices()
 
-        updates: List[ClientUpdate] = []
-        durations: List[float] = []
+        durations: List[float] = [sim.client_cycle_seconds(client_index)
+                                  for client_index in capable]
+
+        # Collect this cycle's work — fresh capable trainings plus any due
+        # stale straggler deliveries — and run it as one backend batch.
+        jobs: List[TrainingJob] = [
+            TrainingJob(index=client_index, weights=global_weights,
+                        base_cycle=cycle)
+            for client_index in capable
+        ]
         stale_deliveries = 0
-
-        for client_index in capable:
-            updates.append(sim.train_client(client_index, global_weights,
-                                            base_cycle=cycle))
-            durations.append(sim.client_cycle_seconds(client_index))
-
         for client_index in stragglers:
             job = self.pending.get(client_index)
             if job is None:
@@ -96,11 +99,13 @@ class AsynchronousFLStrategy(StragglerAwareStrategy):
                 )
                 continue
             if cycle >= job.finish_cycle:
-                update = sim.train_client(client_index, job.base_weights,
-                                          base_cycle=job.start_cycle)
-                updates.append(update)
+                jobs.append(TrainingJob(index=client_index,
+                                        weights=job.base_weights,
+                                        base_cycle=job.start_cycle))
                 stale_deliveries += 1
                 del self.pending[client_index]
+
+        updates: List[ClientUpdate] = sim.run_jobs(jobs)
 
         if updates:
             sim.server.aggregate(updates, partial=False)

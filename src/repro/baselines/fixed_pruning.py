@@ -42,24 +42,16 @@ class FixedPruningStrategy(StragglerAwareStrategy):
 
     def execute_cycle(self, cycle: int,
                       sim: FederatedSimulation) -> CycleOutcome:
-        global_weights = sim.server.get_global_weights()
-        updates: List[ClientUpdate] = []
-        durations: List[float] = []
-        straggler_fractions: List[float] = []
-
-        for client_index in sim.client_indices():
-            mask = self.fixed_masks.get(client_index)
-            if mask is not None:
-                update = sim.train_client(client_index, global_weights,
-                                          mask=mask, base_cycle=cycle)
-                durations.append(sim.client_cycle_seconds(client_index,
-                                                          mask=mask))
-                straggler_fractions.append(mask.active_fraction())
-            else:
-                update = sim.train_client(client_index, global_weights,
-                                          base_cycle=cycle)
-                durations.append(sim.client_cycle_seconds(client_index))
-            updates.append(update)
+        indices = sim.client_indices()
+        updates: List[ClientUpdate] = sim.train_clients(
+            indices, masks=self.fixed_masks, base_cycle=cycle)
+        durations: List[float] = [
+            sim.client_cycle_seconds(client_index,
+                                     mask=self.fixed_masks.get(client_index))
+            for client_index in indices
+        ]
+        straggler_fractions: List[float] = [
+            mask.active_fraction() for mask in self.fixed_masks.values()]
 
         sim.server.aggregate(updates, partial=True)
         mean_loss = float(np.mean([update.train_loss for update in updates]))

@@ -30,27 +30,26 @@ class RandomMaskingStrategy(StragglerAwareStrategy):
 
     def execute_cycle(self, cycle: int,
                       sim: FederatedSimulation) -> CycleOutcome:
-        global_weights = sim.server.get_global_weights()
         stragglers = set(self.straggler_indices())
-        updates: List[ClientUpdate] = []
-        durations: List[float] = []
-        straggler_fractions: List[float] = []
-
-        for client_index in sim.client_indices():
-            if client_index in stragglers:
-                fractions = self.layer_fractions(sim, client_index)
-                mask = ModelMask.random(sim.server.global_model, fractions,
-                                        rng=self.rng)
-                update = sim.train_client(client_index, global_weights,
-                                          mask=mask, base_cycle=cycle)
-                durations.append(sim.client_cycle_seconds(client_index,
-                                                          mask=mask))
-                straggler_fractions.append(mask.active_fraction())
-            else:
-                update = sim.train_client(client_index, global_weights,
-                                          base_cycle=cycle)
-                durations.append(sim.client_cycle_seconds(client_index))
-            updates.append(update)
+        indices = sim.client_indices()
+        # Draw the straggler masks up front (in client order, preserving
+        # the RNG stream of the historical serial loop), then hand the
+        # whole cycle to the execution backend in one batch.
+        masks: Dict[int, ModelMask] = {
+            client_index: ModelMask.random(
+                sim.server.global_model,
+                self.layer_fractions(sim, client_index), rng=self.rng)
+            for client_index in indices if client_index in stragglers
+        }
+        updates: List[ClientUpdate] = sim.train_clients(
+            indices, masks=masks, base_cycle=cycle)
+        durations: List[float] = [
+            sim.client_cycle_seconds(client_index,
+                                     mask=masks.get(client_index))
+            for client_index in indices
+        ]
+        straggler_fractions: List[float] = [
+            mask.active_fraction() for mask in masks.values()]
 
         sim.server.aggregate(updates, partial=True)
         mean_loss = float(np.mean([update.train_loss for update in updates]))

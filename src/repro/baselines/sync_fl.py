@@ -28,13 +28,11 @@ class SynchronousFLStrategy(StragglerAwareStrategy):
 
     def execute_cycle(self, cycle: int,
                       sim: FederatedSimulation) -> CycleOutcome:
-        global_weights = sim.server.get_global_weights()
-        updates: List[ClientUpdate] = []
-        durations: List[float] = []
-        for client_index in sim.client_indices():
-            updates.append(sim.train_client(client_index, global_weights,
-                                            base_cycle=cycle))
-            durations.append(sim.client_cycle_seconds(client_index))
+        indices = sim.client_indices()
+        updates: List[ClientUpdate] = sim.train_clients(indices,
+                                                        base_cycle=cycle)
+        durations: List[float] = [sim.client_cycle_seconds(index)
+                                  for index in indices]
         sim.server.aggregate(updates, partial=False)
         mean_loss = float(np.mean([update.train_loss for update in updates]))
         return CycleOutcome(

@@ -15,11 +15,13 @@ file.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
 from .experiments import (SCALES, available_experiments, get_experiment,
                           run_experiment)
+from .fl.executor import available_backends, make_backend
 
 __all__ = ["build_parser", "main"]
 
@@ -44,6 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="experiment scale preset (default: fast)")
     run_parser.add_argument("--seed", type=int, default=0,
                             help="random seed (default: 0)")
+    run_parser.add_argument("--backend", default="serial",
+                            choices=available_backends(),
+                            help="execution backend for client trainings "
+                                 "(default: serial; all backends produce "
+                                 "bit-identical results)")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="worker count for the thread/process "
+                                 "backends (default: library default)")
     run_parser.add_argument("--output", default=None,
                             help="also write the formatted output to a file")
     return parser
@@ -63,13 +73,24 @@ def _print_scales() -> None:
 
 
 def _run(experiment: str, scale: str, seed: int,
-         output: Optional[str]) -> int:
+         output: Optional[str], backend: str = "serial",
+         workers: Optional[int] = None) -> int:
     kwargs = {"scale": scale}
     entry = get_experiment(experiment)
-    # Profiling-only experiments take no seed; training experiments do.
-    if "seed" in entry.runner.__code__.co_varnames:
+    # Profiling-only experiments take neither a seed nor a training
+    # backend; training experiments accept both.
+    accepts = inspect.signature(entry.runner).parameters
+    if "seed" in accepts:
         kwargs["seed"] = seed
-    _, text = run_experiment(experiment, **kwargs)
+    shared_backend = None
+    if "backend" in accepts and backend != "serial":
+        shared_backend = make_backend(backend, max_workers=workers)
+        kwargs["backend"] = shared_backend
+    try:
+        _, text = run_experiment(experiment, **kwargs)
+    finally:
+        if shared_backend is not None:
+            shared_backend.close()
     print(text)
     if output:
         with open(output, "w", encoding="utf-8") as handle:
@@ -90,8 +111,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run":
         try:
-            return _run(args.experiment, args.scale, args.seed, args.output)
-        except KeyError as error:
+            return _run(args.experiment, args.scale, args.seed, args.output,
+                        backend=args.backend, workers=args.workers)
+        except (KeyError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
     parser.print_help()

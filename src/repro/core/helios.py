@@ -194,33 +194,37 @@ class HeliosStrategy(FederatedStrategy):
             raise RuntimeError("setup() must run before execute_cycle()")
         global_weights = sim.server.get_global_weights()
         model = sim.server.global_model
+        indices = sim.client_indices()
 
-        updates: List[ClientUpdate] = []
+        # Phase 1 — draw every straggler's soft-training mask.  This stays
+        # a serial in-order loop so the selector RNG streams are consumed
+        # exactly as in the historical per-client loop.
+        masks: Dict[int, ModelMask] = {}
+        for client_index in indices:
+            if self.is_straggler(client_index):
+                forced = self.trackers[client_index].overdue_neurons()
+                masks[client_index] = self.selectors[client_index].select(
+                    contributions=self.contributions.get(client_index),
+                    forced=forced)
+
+        # Phase 2 — the whole cycle's trainings run as one backend batch.
+        updates: List[ClientUpdate] = sim.train_clients(
+            indices, weights=global_weights, masks=masks, base_cycle=cycle)
+
+        # Phase 3 — per-client bookkeeping on the ordered results.
         durations: List[float] = []
         straggler_fractions: List[float] = []
         capable_durations: List[float] = []
-
-        for client_index in sim.client_indices():
-            if self.is_straggler(client_index):
-                selector = self.selectors[client_index]
-                tracker = self.trackers[client_index]
-                forced = tracker.overdue_neurons()
-                mask = selector.select(
-                    contributions=self.contributions.get(client_index),
-                    forced=forced)
-                update = sim.train_client(client_index, global_weights,
-                                          mask=mask, base_cycle=cycle)
-                duration = sim.client_cycle_seconds(client_index, mask=mask)
-                tracker.record_cycle(mask)
+        for client_index, update in zip(indices, updates):
+            mask = masks.get(client_index)
+            duration = sim.client_cycle_seconds(client_index, mask=mask)
+            if mask is not None:
+                self.trackers[client_index].record_cycle(mask)
                 self.contributions[client_index] = neuron_contributions(
                     model, global_weights, update.weights)
                 straggler_fractions.append(mask.active_fraction())
             else:
-                update = sim.train_client(client_index, global_weights,
-                                          base_cycle=cycle)
-                duration = sim.client_cycle_seconds(client_index)
                 capable_durations.append(duration)
-            updates.append(update)
             durations.append(duration)
 
         if self.config.aggregation == "heterogeneous":

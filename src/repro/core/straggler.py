@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..fl.executor import ExecutionBackend
 from ..hardware.device import DeviceProfile
 from ..hardware.profiler import FleetProfiler
 from ..nn.model import Sequential
@@ -129,7 +130,9 @@ class StragglerIdentifier:
     # white-box path
     # ------------------------------------------------------------------ #
     def identify_by_resources(self, devices: Sequence[DeviceProfile],
-                              top_k: Optional[int] = None) -> StragglerReport:
+                              top_k: Optional[int] = None,
+                              backend: Optional[ExecutionBackend] = None
+                              ) -> StragglerReport:
         """Resource-based profiling over the fleet.
 
         Parameters
@@ -139,11 +142,19 @@ class StragglerIdentifier:
         top_k:
             If given, flag exactly the ``top_k`` slowest devices; otherwise
             use the relative ``slowdown_threshold``.
+        backend:
+            Optional execution backend: large fleets can fan the per-device
+            cost-model evaluations out over its :meth:`map_ordered`
+            (thread backend recommended — the estimate is a bound method,
+            which the process backend would have to pickle).
         """
-        cycle_seconds = {
-            index: self.profiler.estimate(device).total_seconds
-            for index, device in enumerate(devices)
-        }
+        if backend is None:
+            estimates = [self.profiler.estimate(device)
+                         for device in devices]
+        else:
+            estimates = backend.map_ordered(self.profiler.estimate, devices)
+        cycle_seconds = {index: estimate.total_seconds
+                         for index, estimate in enumerate(estimates)}
         return self._build_report("resource", cycle_seconds, top_k)
 
     # ------------------------------------------------------------------ #

@@ -14,12 +14,14 @@ Every experiment module builds on the same recipe:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
 from ..data import Dataset, load_synthetic_dataset, partition_dataset
-from ..fl import ClientConfig, FederatedSimulation, TrainingHistory, build_simulation
+from ..fl import (ClientConfig, ExecutionBackend, FederatedSimulation,
+                  TrainingHistory, build_simulation, make_backend)
 from ..fl.strategy import FederatedStrategy
 from ..hardware import CommunicationModel, build_fleet
 from ..nn.model import Sequential
@@ -31,6 +33,7 @@ __all__ = [
     "get_scale",
     "DATASET_MODEL",
     "ExperimentSetting",
+    "SeededModelFactory",
     "make_simulation_factory",
     "run_strategies",
 ]
@@ -132,13 +135,38 @@ def _adjusted(scale: ExperimentScale, dataset: str) -> Tuple[float, int, int]:
     return width, num_train, cycles
 
 
+@dataclass(frozen=True)
+class SeededModelFactory:
+    """Picklable deterministic model factory.
+
+    Experiment fleets used to close over these values in a local function,
+    which the process execution backend cannot pickle; a frozen dataclass
+    with a ``__call__`` ships to worker processes cleanly and still builds
+    the exact same seeded model every time.
+    """
+
+    model_name: str
+    input_shape: Tuple[int, ...]
+    num_classes: int
+    width_multiplier: float
+    seed: int
+
+    def __call__(self) -> Sequential:
+        return build_model(self.model_name, self.input_shape,
+                           self.num_classes,
+                           width_multiplier=self.width_multiplier,
+                           rng=np.random.default_rng(self.seed))
+
+
 def make_simulation_factory(setting: ExperimentSetting,
                             scale: ExperimentScale
                             ) -> Tuple[Callable[[], FederatedSimulation], int]:
     """Build a factory producing identical fresh simulations for a setting.
 
     Returns ``(factory, num_cycles)`` where ``num_cycles`` already accounts
-    for the dataset/model cost adjustment.
+    for the dataset/model cost adjustment.  Execution-backend selection
+    lives in :func:`run_strategies`, which shares one pool across every
+    strategy run and owns its shutdown.
     """
     width, num_train, num_cycles = _adjusted(scale, setting.dataset)
     train, test = load_synthetic_dataset(
@@ -150,17 +178,14 @@ def make_simulation_factory(setting: ExperimentSetting,
         rng=partition_rng, shards_per_client=setting.shards_per_client)
     devices = build_fleet(setting.num_capable, setting.num_stragglers)
     input_shape = train.sample_shape
-    num_classes = train.num_classes
-    model_name = setting.model
     client_config = ClientConfig(
         batch_size=scale.batch_size,
         local_epochs=scale.local_epochs,
         learning_rate=scale.learning_rate)
-
-    def model_factory() -> Sequential:
-        return build_model(model_name, input_shape, num_classes,
-                           width_multiplier=width,
-                           rng=np.random.default_rng(setting.seed + 7))
+    model_factory = SeededModelFactory(
+        model_name=setting.model, input_shape=input_shape,
+        num_classes=train.num_classes, width_multiplier=width,
+        seed=setting.seed + 7)
 
     def simulation_factory() -> FederatedSimulation:
         return build_simulation(
@@ -176,12 +201,30 @@ def make_simulation_factory(setting: ExperimentSetting,
 def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
                    strategies: Sequence[FederatedStrategy],
                    num_cycles: int, eval_every: int = 1,
-                   verbose: bool = False) -> Dict[str, TrainingHistory]:
-    """Run every strategy on its own fresh copy of the simulation."""
+                   verbose: bool = False,
+                   backend: Union[None, str, ExecutionBackend] = None,
+                   max_workers: Optional[int] = None
+                   ) -> Dict[str, TrainingHistory]:
+    """Run every strategy on its own fresh copy of the simulation.
+
+    ``backend`` (optional) overrides the execution backend of every fresh
+    simulation; a single pool instance is shared across the strategy runs
+    and closed afterwards when this function created it.
+    """
+    shared_backend = (make_backend(backend, max_workers=max_workers)
+                      if backend is not None else None)
+    owns_backend = (shared_backend is not None
+                    and not isinstance(backend, ExecutionBackend))
     histories: Dict[str, TrainingHistory] = {}
-    for strategy in strategies:
-        simulation = simulation_factory()
-        histories[strategy.name] = simulation.run(
-            strategy, num_cycles=num_cycles, eval_every=eval_every,
-            verbose=verbose)
+    try:
+        for strategy in strategies:
+            simulation = simulation_factory()
+            if shared_backend is not None:
+                simulation.set_backend(shared_backend)
+            histories[strategy.name] = simulation.run(
+                strategy, num_cycles=num_cycles, eval_every=eval_every,
+                verbose=verbose)
+    finally:
+        if owns_backend:
+            shared_backend.close()
     return histories

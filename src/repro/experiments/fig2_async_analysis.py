@@ -30,7 +30,8 @@ class Fig2Result:
     rows: List[Dict[str, object]] = field(default_factory=list)
 
 
-def run_fig2(scale: str = "fast", seed: int = 0) -> Fig2Result:
+def run_fig2(scale: str = "fast", seed: int = 0,
+             backend: str = None) -> Fig2Result:
     """Run the three aggregation-period settings of Fig. 2."""
     scale_config = get_scale(scale)
     setting = ExperimentSetting(dataset="cifar10", model="alexnet",
@@ -49,7 +50,8 @@ def run_fig2(scale: str = "fast", seed: int = 0) -> Fig2Result:
     strategies[2].name = "Setting 3 (Asyn. period 3)"
 
     histories = run_strategies(simulation_factory, strategies, num_cycles,
-                               eval_every=scale_config.eval_every)
+                               eval_every=scale_config.eval_every,
+                               backend=backend)
     result = Fig2Result(histories=histories)
     for name, history in histories.items():
         result.rows.append({

@@ -70,7 +70,8 @@ def default_fig5_panels() -> List[Tuple[str, int, int]]:
 
 
 def run_fig5_panel(dataset: str, num_capable: int, num_stragglers: int,
-                   scale: str = "fast", seed: int = 0) -> Fig5PanelResult:
+                   scale: str = "fast", seed: int = 0,
+                   backend: str = None) -> Fig5PanelResult:
     """Run one Fig. 5 panel (one dataset and fleet setting)."""
     scale_config = get_scale(scale)
     from .common import DATASET_MODEL
@@ -83,7 +84,8 @@ def run_fig5_panel(dataset: str, num_capable: int, num_stragglers: int,
                                                              scale_config)
     strategies = make_fig5_strategies(num_stragglers, seed=seed)
     histories = run_strategies(simulation_factory, strategies, num_cycles,
-                               eval_every=scale_config.eval_every)
+                               eval_every=scale_config.eval_every,
+                               backend=backend)
 
     sync_history = histories["Syn. FL"]
     helios_history = histories["Helios"]
@@ -105,13 +107,15 @@ def run_fig5_panel(dataset: str, num_capable: int, num_stragglers: int,
 
 
 def run_fig5(panels: Sequence[Tuple[str, int, int]] = None,
-             scale: str = "fast", seed: int = 0) -> Fig5Result:
+             scale: str = "fast", seed: int = 0,
+             backend: str = None) -> Fig5Result:
     """Run a set of Fig. 5 panels (defaults to all six paper panels)."""
     panels = list(panels) if panels is not None else default_fig5_panels()
     result = Fig5Result()
     for dataset, num_capable, num_stragglers in panels:
         result.panels.append(run_fig5_panel(
-            dataset, num_capable, num_stragglers, scale=scale, seed=seed))
+            dataset, num_capable, num_stragglers, scale=scale, seed=seed,
+            backend=backend))
     return result
 
 

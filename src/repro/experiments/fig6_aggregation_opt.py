@@ -66,7 +66,7 @@ class Fig6Result:
 def run_fig6(datasets: Sequence[str] = ("mnist",),
              straggler_counts: Sequence[int] = (1, 2, 3, 4),
              num_capable: int = 2, scale: str = "fast",
-             seed: int = 0) -> Fig6Result:
+             seed: int = 0, backend: str = None) -> Fig6Result:
     """Run the aggregation-optimization ablation.
 
     The paper evaluates MNIST and CIFAR-10; the default runs MNIST only so
@@ -91,7 +91,8 @@ def run_fig6(datasets: Sequence[str] = ("mnist",),
             ]
             histories = run_strategies(simulation_factory, strategies,
                                        num_cycles,
-                                       eval_every=scale_config.eval_every)
+                                       eval_every=scale_config.eval_every,
+                                       backend=backend)
             helios = histories["Helios"]
             st_only = histories["S.T. Only"]
             result.panels.append(Fig6PanelResult(

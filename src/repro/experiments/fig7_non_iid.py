@@ -65,7 +65,8 @@ def default_fig7_panels() -> List[Tuple[str, int, int]]:
 
 def run_fig7(panels: Sequence[Tuple[str, int, int]] = None,
              shards_per_client: int = 2,
-             scale: str = "fast", seed: int = 0) -> Fig7Result:
+             scale: str = "fast", seed: int = 0,
+             backend: str = None) -> Fig7Result:
     """Run the Non-IID evaluation panels."""
     panels = list(panels) if panels is not None else default_fig7_panels()
     scale_config = get_scale(scale)
@@ -80,7 +81,8 @@ def run_fig7(panels: Sequence[Tuple[str, int, int]] = None,
             setting, scale_config)
         strategies = make_fig7_strategies(num_stragglers, seed=seed)
         histories = run_strategies(simulation_factory, strategies, num_cycles,
-                                   eval_every=scale_config.eval_every)
+                                   eval_every=scale_config.eval_every,
+                                   backend=backend)
         sync = histories["Syn. FL"]
         target = RELATIVE_TARGET * max(sync.converged_accuracy(), 1e-6)
         rows = compare_histories(histories, target_accuracy=target)

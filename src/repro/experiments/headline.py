@@ -52,9 +52,10 @@ def summarize_headline(fig5: Fig5Result) -> HeadlineResult:
 
 def run_headline(panels: Sequence[Tuple[str, int, int]] = (("mnist", 2, 2),
                                                            ("mnist", 3, 3)),
-                 scale: str = "fast", seed: int = 0) -> HeadlineResult:
+                 scale: str = "fast", seed: int = 0,
+                 backend: str = None) -> HeadlineResult:
     """Run a (reduced) set of Fig. 5 panels and extract the headline numbers."""
-    fig5 = run_fig5(panels=panels, scale=scale, seed=seed)
+    fig5 = run_fig5(panels=panels, scale=scale, seed=seed, backend=backend)
     return summarize_headline(fig5)
 
 

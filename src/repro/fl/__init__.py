@@ -3,6 +3,9 @@
 from .aggregation import (ModelStructure, aggregate_full, aggregate_partial,
                           normalize_weights, sample_count_weights)
 from .client import ClientConfig, ClientUpdate, FLClient
+from .executor import (ExecutionBackend, ProcessPoolBackend, SerialBackend,
+                       ThreadPoolBackend, TrainingJob, available_backends,
+                       make_backend)
 from .history import CycleRecord, TrainingHistory
 from .sampling import (ClientSampler, FullParticipation, RandomSampling,
                        ResourceAwareSampling)
@@ -26,6 +29,13 @@ __all__ = [
     "CycleOutcome",
     "FederatedSimulation",
     "build_simulation",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "TrainingJob",
+    "available_backends",
+    "make_backend",
     "ClientSampler",
     "FullParticipation",
     "RandomSampling",

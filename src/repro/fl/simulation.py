@@ -18,7 +18,8 @@ testbed, while its cycle *time* comes from the analytical cost model.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -28,11 +29,30 @@ from ..hardware.network import CommunicationModel
 from ..nn.masking import ModelMask
 from ..nn.model import Sequential
 from .client import ClientUpdate, FLClient
+from .executor import ExecutionBackend, TrainingJob, make_backend
 from .history import CycleRecord, TrainingHistory
 from .server import FLServer
 from .strategy import CycleOutcome, FederatedStrategy
 
 __all__ = ["FederatedSimulation"]
+
+#: Cache key of one cycle-duration estimate: client index, mask signature,
+#: epochs, communication toggle (see
+#: :meth:`FederatedSimulation.client_cycle_seconds`).
+_CostKey = Tuple[int, Optional[Tuple[Tuple[str, float], ...]], int, bool]
+
+
+def _mask_signature(mask: Optional[ModelMask]
+                    ) -> Optional[Tuple[Tuple[str, float], ...]]:
+    """Hashable timing signature of a mask.
+
+    Cycle duration depends only on the per-layer active *fractions*, not on
+    which particular neurons are active — rotating selections of the same
+    volume therefore share one cache entry.
+    """
+    if mask is None:
+        return None
+    return tuple(sorted(mask.layer_fractions().items()))
 
 
 class FederatedSimulation:
@@ -42,7 +62,8 @@ class FederatedSimulation:
                  input_shape: Tuple[int, ...],
                  comm_model: Optional[CommunicationModel] = None,
                  workload_scale: float = 1.0,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 backend: Union[None, str, ExecutionBackend] = None) -> None:
         if not clients:
             raise ValueError("a simulation needs at least one client")
         if workload_scale <= 0:
@@ -60,7 +81,12 @@ class FederatedSimulation:
         self.workload_scale = workload_scale
         self.clock_s = 0.0
         self.rng = np.random.default_rng(seed)
+        #: Execution backend running each batch of client trainings (see
+        #: :mod:`repro.fl.executor`).  All backends are bit-identical under
+        #: a fixed seed; they differ only in wall-clock behavior.
+        self.backend: ExecutionBackend = make_backend(backend)
         self._cost_models: Dict[int, TrainingCostModel] = {}
+        self._cycle_cost_cache: Dict[_CostKey, float] = {}
 
     # ------------------------------------------------------------------ #
     # client access
@@ -80,11 +106,41 @@ class FederatedSimulation:
     def add_client(self, client: FLClient) -> int:
         """Register a new client mid-collaboration (scalability path)."""
         self.clients.append(client)
-        return len(self.clients) - 1
+        index = len(self.clients) - 1
+        self.invalidate_cost_caches(index)
+        return index
+
+    def set_backend(self,
+                    backend: Union[None, str, ExecutionBackend],
+                    max_workers: Optional[int] = None) -> ExecutionBackend:
+        """Swap the execution backend (closing the previous pooled one)."""
+        new_backend = make_backend(backend, max_workers=max_workers)
+        if new_backend is not self.backend:
+            self.backend.close()
+        self.backend = new_backend
+        return new_backend
 
     # ------------------------------------------------------------------ #
     # timing services
     # ------------------------------------------------------------------ #
+    def invalidate_cost_caches(self, index: Optional[int] = None) -> None:
+        """Drop cached cost models / cycle estimates.
+
+        ``index`` restricts the invalidation to one client (used by
+        :meth:`add_client` so a rejoining index never inherits estimates
+        from a previously removed fleet member); ``None`` clears
+        everything (call after mutating ``workload_scale``, the
+        communication model or a client's device in place).
+        """
+        if index is None:
+            self._cost_models.clear()
+            self._cycle_cost_cache.clear()
+            return
+        self._cost_models.pop(index, None)
+        for key in [key for key in self._cycle_cost_cache
+                    if key[0] == index]:
+            del self._cycle_cost_cache[key]
+
     def cost_model_for(self, index: int) -> TrainingCostModel:
         """Per-epoch training cost model of one client (cached)."""
         if index not in self._cost_models:
@@ -107,20 +163,32 @@ class FederatedSimulation:
         evaluated on the (possibly shrunk) model; the communication term
         charges the upload of the trained parameters plus the download of
         the full global model.
+
+        Estimates are cached by ``(client, mask signature, epochs,
+        communication)`` — strategies re-query the same volumes every
+        cycle, and rotating masks of equal volume cost the same.  The
+        cache is dropped via :meth:`invalidate_cost_caches`.
         """
         client = self.clients[index]
+        epochs_key = (local_epochs if local_epochs is not None
+                      else client.config.local_epochs)
+        key: _CostKey = (index, _mask_signature(mask), epochs_key,
+                         include_communication)
+        cached = self._cycle_cost_cache.get(key)
+        if cached is not None:
+            return cached
         cost_model = self.cost_model_for(index)
         fractions = mask.layer_fractions() if mask is not None else None
         estimate = cost_model.estimate(client.device, fractions)
-        epochs = (local_epochs if local_epochs is not None
-                  else client.config.local_epochs)
-        duration = (estimate.compute_seconds + estimate.memory_seconds) * epochs
+        duration = ((estimate.compute_seconds + estimate.memory_seconds)
+                    * epochs_key)
         if include_communication:
             model_cost = cost_model.model_cost(fractions)
             upload_values = model_cost.parameters
             download_values = cost_model.full_model_cost.parameters
             duration += self.comm_model.round_trip_seconds(
                 client.device, upload_values, download_values)
+        self._cycle_cost_cache[key] = duration
         return duration
 
     def slowest_full_cycle_seconds(self) -> float:
@@ -136,6 +204,57 @@ class FederatedSimulation:
     # ------------------------------------------------------------------ #
     # numerical services
     # ------------------------------------------------------------------ #
+    def run_jobs(self, jobs: Sequence[TrainingJob]) -> List[ClientUpdate]:
+        """Execute a batch of training jobs on the execution backend.
+
+        Updates come back in job order whatever the backend's completion
+        order, so strategies see exactly the sequence a serial loop would
+        have produced.  A job referencing an unknown client index fails
+        fast here rather than inside a worker.
+        """
+        for job in jobs:
+            if not 0 <= job.index < len(self.clients):
+                raise IndexError(f"no client with index {job.index} "
+                                 f"(fleet size {len(self.clients)})")
+        if not jobs:
+            return []
+        return self.backend.run_jobs(self.clients, jobs)
+
+    def train_clients(self, indices: Sequence[int],
+                      weights: Optional[Dict[str, np.ndarray]] = None,
+                      masks: Optional[Mapping[int, ModelMask]] = None,
+                      local_epochs: Optional[int] = None,
+                      base_cycle: int = 0) -> List[ClientUpdate]:
+        """Train a batch of clients and return their updates in order.
+
+        This is the strategy-facing batch API: one call per cycle hands
+        all selected trainings to the execution backend at once.
+
+        Parameters
+        ----------
+        indices:
+            Client indices to train, in result order.
+        weights:
+            Shared starting weights (default: one snapshot of the current
+            global model, taken once for the whole batch).
+        masks:
+            Optional per-client neuron masks keyed by client index;
+            clients without an entry train the full model.
+        local_epochs:
+            Optional shared override of the configured local epochs.
+        base_cycle:
+            Cycle the starting weights belong to (staleness bookkeeping).
+        """
+        if weights is None:
+            weights = self.server.get_global_weights()
+        masks = masks or {}
+        jobs = [TrainingJob(index=index, weights=weights,
+                            mask=masks.get(index),
+                            local_epochs=local_epochs,
+                            base_cycle=base_cycle)
+                for index in indices]
+        return self.run_jobs(jobs)
+
     def train_client(self, index: int,
                      weights: Optional[Dict[str, np.ndarray]] = None,
                      mask: Optional[ModelMask] = None,
@@ -143,13 +262,15 @@ class FederatedSimulation:
                      base_cycle: int = 0) -> ClientUpdate:
         """Train one client and return its update.
 
-        ``weights`` defaults to the current global model.
+        ``weights`` defaults to the current global model.  Single-client
+        convenience wrapper over :meth:`run_jobs`, so even one-off
+        trainings honor the configured execution backend.
         """
         if weights is None:
             weights = self.server.get_global_weights()
-        return self.clients[index].local_train(
-            weights, mask=mask, local_epochs=local_epochs,
-            base_cycle=base_cycle)
+        return self.run_jobs([TrainingJob(
+            index=index, weights=weights, mask=mask,
+            local_epochs=local_epochs, base_cycle=base_cycle)])[0]
 
     def evaluate_global(self) -> float:
         """Accuracy of the current global model on the server's test set."""
@@ -218,7 +339,9 @@ def build_simulation(model_factory: Callable[[], Sequential],
                      client_config=None,
                      comm_model: Optional[CommunicationModel] = None,
                      workload_scale: float = 1.0,
-                     seed: int = 0) -> FederatedSimulation:
+                     seed: int = 0,
+                     backend: Union[None, str, ExecutionBackend] = None
+                     ) -> FederatedSimulation:
     """Convenience constructor used by experiments and examples.
 
     Builds one :class:`FLClient` per (dataset, device) pair, an
@@ -236,4 +359,5 @@ def build_simulation(model_factory: Callable[[], Sequential],
     ]
     return FederatedSimulation(clients, server, input_shape,
                                comm_model=comm_model,
-                               workload_scale=workload_scale, seed=seed)
+                               workload_scale=workload_scale, seed=seed,
+                               backend=backend)

@@ -1,0 +1,1 @@
+"""Test package marker (enables the suite's relative conftest imports)."""

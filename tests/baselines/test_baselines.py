@@ -152,20 +152,21 @@ class TestRandomMasking:
     def test_masks_differ_between_cycles(self, sim):
         strategy = RandomMaskingStrategy(seed=3)
         strategy.setup(sim)
-        # Capture the straggler masks of two consecutive cycles via the
-        # recorded updates' masks (run through the engine).
-        masks = []
-        original_train = sim.train_client
+        # Capture the straggler masks of two consecutive cycles at the
+        # batch-API seam (run through the engine).
+        seen_masks = []
+        original_train = sim.train_clients
 
-        def spy(index, weights=None, mask=None, **kwargs):
-            if mask is not None:
-                masks.append(mask.as_dict())
-            return original_train(index, weights, mask=mask, **kwargs)
+        def spy(indices, weights=None, masks=None, **kwargs):
+            for mask in (masks or {}).values():
+                seen_masks.append(mask.as_dict())
+            return original_train(indices, weights, masks=masks, **kwargs)
 
-        sim.train_client = spy
+        sim.train_clients = spy
         strategy.execute_cycle(1, sim)
         strategy.execute_cycle(2, sim)
-        sim.train_client = original_train
+        sim.train_clients = original_train
+        masks = seen_masks
         assert len(masks) == 2
         any_difference = any(
             not np.array_equal(masks[0][name], masks[1][name])

@@ -1,0 +1,244 @@
+"""Tests for the execution-backend subsystem (:mod:`repro.fl.executor`).
+
+The contract under test: every backend returns updates in job order, the
+pooled backends reproduce the serial backend bit-for-bit under a fixed
+seed, and a crashed worker surfaces its exception to the caller.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SynchronousFLStrategy
+from repro.core import HeliosConfig, HeliosStrategy
+from repro.core.straggler import StragglerIdentifier
+from repro.fl import (ExecutionBackend, ProcessPoolBackend, SerialBackend,
+                      ThreadPoolBackend, TrainingJob, available_backends,
+                      make_backend)
+
+from ..conftest import (FAST_DEVICE, SLOW_DEVICE, make_tiny_model,
+                        make_tiny_simulation)
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _run_collaboration(backend_name, strategy_factory, num_cycles=3):
+    """History + final global weights of one tiny collaboration."""
+    sim = make_tiny_simulation()
+    sim.set_backend(backend_name, max_workers=2)
+    try:
+        history = sim.run(strategy_factory(), num_cycles=num_cycles)
+        weights = sim.server.get_global_weights()
+    finally:
+        sim.backend.close()
+    return history, weights
+
+
+class TestBackendFactory:
+    def test_available_backends(self):
+        assert set(available_backends()) == {"serial", "thread", "process"}
+
+    def test_none_means_serial(self):
+        assert isinstance(make_backend(None), SerialBackend)
+
+    @pytest.mark.parametrize("name,cls", [
+        ("serial", SerialBackend),
+        ("thread", ThreadPoolBackend),
+        ("process", ProcessPoolBackend),
+    ])
+    def test_by_name(self, name, cls):
+        backend = make_backend(name)
+        assert isinstance(backend, cls)
+        backend.close()
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            make_backend("gpu-cluster")
+
+    def test_bad_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            make_backend(42)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(max_workers=0)
+
+    def test_context_manager_closes(self):
+        with ThreadPoolBackend(max_workers=1) as backend:
+            assert backend.map_ordered(lambda x: x + 1, [1, 2]) == [2, 3]
+        assert backend._pool is None
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_updates_come_back_in_job_order(self, backend_name):
+        sim = make_tiny_simulation()
+        sim.set_backend(backend_name, max_workers=2)
+        try:
+            updates = sim.train_clients([2, 0, 1])
+        finally:
+            sim.backend.close()
+        assert [update.client_id for update in updates] == [2, 0, 1]
+
+    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    def test_duplicate_client_jobs_match_serial(self, backend_name):
+        """Jobs of one client chain sequentially (RNG order preserved)."""
+        def double_train(name):
+            sim = make_tiny_simulation()
+            sim.set_backend(name, max_workers=2)
+            weights = sim.server.get_global_weights()
+            jobs = [TrainingJob(index=0, weights=weights),
+                    TrainingJob(index=0, weights=weights),
+                    TrainingJob(index=1, weights=weights)]
+            try:
+                return sim.run_jobs(jobs)
+            finally:
+                sim.backend.close()
+
+        serial = double_train("serial")
+        concurrent = double_train(backend_name)
+        for expected, actual in zip(serial, concurrent):
+            assert expected.train_loss == actual.train_loss
+            for key in expected.weights:
+                np.testing.assert_array_equal(expected.weights[key],
+                                              actual.weights[key])
+
+    def test_unknown_index_fails_fast(self, tiny_simulation):
+        with pytest.raises(IndexError):
+            tiny_simulation.train_clients([0, 99])
+
+    def test_empty_batch_is_noop(self, tiny_simulation):
+        assert tiny_simulation.run_jobs([]) == []
+
+
+class TestEquivalence:
+    """Thread/process histories are bit-identical to serial ones."""
+
+    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    def test_sync_fl_history_bit_identical(self, backend_name):
+        reference_history, reference_weights = _run_collaboration(
+            "serial", lambda: SynchronousFLStrategy(straggler_top_k=1))
+        history, weights = _run_collaboration(
+            backend_name, lambda: SynchronousFLStrategy(straggler_top_k=1))
+        assert history.accuracies() == reference_history.accuracies()
+        assert history.times_s() == reference_history.times_s()
+        assert ([record.mean_train_loss for record in history.records]
+                == [record.mean_train_loss
+                    for record in reference_history.records])
+        for key in reference_weights:
+            np.testing.assert_array_equal(weights[key],
+                                          reference_weights[key])
+
+    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    def test_helios_history_bit_identical(self, backend_name):
+        """Masked soft-training (RNG-heavy path) is backend-invariant."""
+        factory = lambda: HeliosStrategy(HeliosConfig(straggler_top_k=1))
+        reference_history, reference_weights = _run_collaboration(
+            "serial", factory)
+        history, weights = _run_collaboration(backend_name, factory)
+        assert history.accuracies() == reference_history.accuracies()
+        for key in reference_weights:
+            np.testing.assert_array_equal(weights[key],
+                                          reference_weights[key])
+
+    def test_client_state_advances_identically(self):
+        """Post-batch client RNG/model state matches a serial run."""
+        def state_after_two_batches(backend_name):
+            sim = make_tiny_simulation()
+            sim.set_backend(backend_name, max_workers=2)
+            try:
+                sim.train_clients(sim.client_indices())
+                updates = sim.train_clients(sim.client_indices())
+            finally:
+                sim.backend.close()
+            rng_states = [client.rng.bit_generator.state["state"]
+                          for client in sim.clients]
+            return updates, rng_states
+
+        serial_updates, serial_rng = state_after_two_batches("serial")
+        for backend_name in ("thread", "process"):
+            updates, rng_states = state_after_two_batches(backend_name)
+            assert rng_states == serial_rng
+            for expected, actual in zip(serial_updates, updates):
+                assert expected.train_loss == actual.train_loss
+
+
+class TestFailurePaths:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_crashed_worker_surfaces_exception(self, backend_name):
+        sim = make_tiny_simulation()
+        sim.set_backend(backend_name, max_workers=2)
+        jobs = [TrainingJob(index=0, weights=sim.server.get_global_weights(),
+                            local_epochs=0)]  # invalid: crashes the worker
+        try:
+            with pytest.raises(ValueError, match="local_epochs"):
+                sim.run_jobs(jobs)
+        finally:
+            sim.backend.close()
+
+    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    def test_partial_batch_failure_fails_whole_batch(self, backend_name):
+        sim = make_tiny_simulation()
+        sim.set_backend(backend_name, max_workers=2)
+        weights = sim.server.get_global_weights()
+        jobs = [TrainingJob(index=0, weights=weights),
+                TrainingJob(index=1, weights=weights, local_epochs=0),
+                TrainingJob(index=2, weights=weights)]
+        try:
+            with pytest.raises(ValueError):
+                sim.run_jobs(jobs)
+        finally:
+            sim.backend.close()
+
+
+class TestMapOrdered:
+    def test_serial_map(self):
+        assert SerialBackend().map_ordered(str, [1, 2, 3]) == ["1", "2", "3"]
+
+    def test_thread_map_preserves_order(self):
+        with ThreadPoolBackend(max_workers=3) as backend:
+            assert backend.map_ordered(lambda x: x * x,
+                                       list(range(10))) == \
+                [x * x for x in range(10)]
+
+    def test_straggler_identification_with_backend(self):
+        """Fleet profiling fans out over a backend's map_ordered."""
+        model = make_tiny_model()
+        identifier = StragglerIdentifier(model, (1, 8, 8),
+                                         samples_per_cycle=1000)
+        devices = [FAST_DEVICE, FAST_DEVICE.scaled(name="fast-2"),
+                   SLOW_DEVICE]
+        serial_report = identifier.identify_by_resources(devices)
+        with ThreadPoolBackend(max_workers=2) as backend:
+            pooled_report = identifier.identify_by_resources(
+                devices, backend=backend)
+        assert pooled_report.cycle_seconds == serial_report.cycle_seconds
+        assert (pooled_report.straggler_indices
+                == serial_report.straggler_indices)
+
+
+class TestSimulationBackendSelection:
+    def test_default_backend_is_serial(self, tiny_simulation):
+        assert isinstance(tiny_simulation.backend, SerialBackend)
+
+    def test_backend_by_name_at_construction(self):
+        from repro.fl import FederatedSimulation
+        base = make_tiny_simulation()
+        sim = FederatedSimulation(base.clients, base.server, (1, 8, 8),
+                                  backend="thread")
+        try:
+            assert isinstance(sim.backend, ThreadPoolBackend)
+        finally:
+            sim.backend.close()
+
+    def test_set_backend_closes_previous(self):
+        sim = make_tiny_simulation()
+        first = sim.set_backend("thread", max_workers=1)
+        first.map_ordered(lambda x: x, [1])  # force pool creation
+        second = sim.set_backend("serial")
+        assert first._pool is None  # closed by the swap
+        assert isinstance(second, SerialBackend)
+        assert sim.backend is second
