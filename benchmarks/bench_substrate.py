@@ -6,8 +6,17 @@ partial aggregation, the soft-training selection, the analytical cost
 model, and the execution backends running one multi-client cycle.  They
 make regressions in the substrate visible independently of the
 figure-level experiments.
+
+Besides the pytest-benchmark timings, ``test_substrate_report_json``
+writes a machine-readable ``benchmarks/results/BENCH_substrate.json``
+with per-backend cycle times and dispatch payload bytes, and asserts the
+persistent backend's core scaling property: warm dispatch is O(weights),
+independent of dataset size, and strictly smaller than the process
+backend's whole-client pickling.
 """
 
+import json
+import os
 import time
 
 import numpy as np
@@ -164,34 +173,132 @@ def test_bench_cycle_process_backend(benchmark):
     _bench_backend_cycle(benchmark, "process")
 
 
+def test_bench_cycle_persistent_backend(benchmark):
+    _bench_backend_cycle(benchmark, "persistent")
+
+
+def _timed_cycle(backend_name):
+    """Seconds of one warm full-fleet cycle on the latency-bound fleet."""
+    sim = _latency_fleet()
+    if backend_name != "serial":
+        sim.set_backend(make_backend(
+            backend_name, max_workers=_NUM_LATENCY_CLIENTS))
+    indices = sim.client_indices()
+    try:
+        sim.train_clients(indices)  # pool warm-up outside the timing
+        start = time.perf_counter()
+        updates = sim.train_clients(indices)
+        elapsed = time.perf_counter() - start
+    finally:
+        sim.backend.close()
+    assert len(updates) == len(indices)
+    return elapsed
+
+
 def test_parallel_backends_beat_serial_cycle():
     """Measured speedup: pooled backends overlap a latency-bound cycle."""
-    def timed_cycle(backend_name):
-        sim = _latency_fleet()
-        if backend_name != "serial":
-            sim.set_backend(make_backend(
-                backend_name, max_workers=_NUM_LATENCY_CLIENTS))
-        indices = sim.client_indices()
-        try:
-            sim.train_clients(indices)  # pool warm-up outside the timing
-            start = time.perf_counter()
-            updates = sim.train_clients(indices)
-            elapsed = time.perf_counter() - start
-        finally:
-            sim.backend.close()
-        assert len(updates) == len(indices)
-        return elapsed
-
-    serial_s = timed_cycle("serial")
-    thread_s = timed_cycle("thread")
-    process_s = timed_cycle("process")
+    serial_s = _timed_cycle("serial")
+    thread_s = _timed_cycle("thread")
+    process_s = _timed_cycle("process")
+    persistent_s = _timed_cycle("persistent")
     print(f"\nmulti-client cycle ({_NUM_LATENCY_CLIENTS} clients, "
           f"{_CLIENT_LATENCY_S * 1000:.0f} ms latency each): "
           f"serial {serial_s * 1000:.1f} ms, "
           f"thread {thread_s * 1000:.1f} ms ({serial_s / thread_s:.2f}x), "
-          f"process {process_s * 1000:.1f} ms ({serial_s / process_s:.2f}x)")
+          f"process {process_s * 1000:.1f} ms ({serial_s / process_s:.2f}x), "
+          f"persistent {persistent_s * 1000:.1f} ms "
+          f"({serial_s / persistent_s:.2f}x)")
     # The serial cycle pays every client's latency back to back; the
     # pooled backends overlap them.  Require a conservative 1.5x so the
     # assertion stays robust on loaded CI machines.
     assert serial_s > 1.5 * thread_s
     assert serial_s > 1.5 * process_s
+    assert serial_s > 1.5 * persistent_s
+
+
+# --------------------------------------------------------------------- #
+# machine-readable substrate report (BENCH_substrate.json)
+# --------------------------------------------------------------------- #
+
+def _payload_fleet(samples_per_client):
+    """A plain (no artificial latency) fleet for dispatch-size accounting."""
+    num_clients = _NUM_LATENCY_CLIENTS
+    pool = make_classification_images(
+        samples_per_client * num_clients + 40, _BENCH_SPEC,
+        np.random.default_rng(0))
+    device = DeviceProfile(name="bench-node", compute_gflops=50.0,
+                           memory_bandwidth_gbps=10.0,
+                           network_bandwidth_mbps=100.0,
+                           memory_capacity_mb=1024.0)
+    config = ClientConfig(batch_size=10, local_epochs=1, learning_rate=0.1)
+    clients = [
+        FLClient(client_id=index,
+                 dataset=pool.subset(np.arange(
+                     index * samples_per_client,
+                     (index + 1) * samples_per_client)),
+                 device=device, model_factory=_bench_model, config=config)
+        for index in range(num_clients)
+    ]
+    server = FLServer(_bench_model,
+                      test_dataset=pool.subset(
+                          np.arange(samples_per_client * num_clients,
+                                    len(pool))))
+    return FederatedSimulation(clients, server, input_shape=(1, 8, 8))
+
+
+def _dispatch_payloads(samples_per_client):
+    """Warm per-cycle dispatch bytes of the process/persistent backends."""
+    from repro.fl import ProcessPoolBackend
+    from repro.fl.executor import TrainingJob
+
+    sim = _payload_fleet(samples_per_client)
+    sim.set_backend("persistent", max_workers=2)
+    weights = sim.server.get_global_weights()
+    jobs = [TrainingJob(index=index, weights=weights)
+            for index in sim.client_indices()]
+    try:
+        cold = sim.backend.dispatch_payload_bytes(sim.clients, jobs)
+        sim.run_jobs(jobs)  # ships the specs; replicas become resident
+        warm = sim.backend.dispatch_payload_bytes(sim.clients, jobs)
+        process = ProcessPoolBackend().dispatch_payload_bytes(sim.clients,
+                                                              jobs)
+    finally:
+        sim.close()
+    return {"persistent_cold": cold, "persistent_warm": warm,
+            "process": process}
+
+
+def test_substrate_report_json(results_dir):
+    """Write BENCH_substrate.json and assert the dispatch-scaling claim."""
+    cycle_seconds = {name: _timed_cycle(name)
+                     for name in ("serial", "thread", "process",
+                                  "persistent")}
+    payloads = {"small": _dispatch_payloads(samples_per_client=20),
+                "large": _dispatch_payloads(samples_per_client=200)}
+    report = {
+        "num_clients": _NUM_LATENCY_CLIENTS,
+        "client_latency_s": _CLIENT_LATENCY_S,
+        "cycle_seconds": cycle_seconds,
+        "dispatch_payload_bytes": payloads,
+    }
+    path = os.path.join(results_dir, "BENCH_substrate.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nwritten {path}: "
+          f"warm persistent dispatch {payloads['small']['persistent_warm']}B "
+          f"(small) / {payloads['large']['persistent_warm']}B (large) vs. "
+          f"process {payloads['small']['process']}B / "
+          f"{payloads['large']['process']}B")
+    # Warm persistent dispatch ships weights + RNG digests only: the
+    # payload must not grow with the dataset (the digests' integer
+    # values pickle to ±a few bytes, hence the 1 % tolerance on a 10x
+    # dataset-size increase) …
+    assert (abs(payloads["large"]["persistent_warm"]
+                - payloads["small"]["persistent_warm"])
+            <= 0.01 * payloads["small"]["persistent_warm"])
+    # … while the process backend re-pickles whole clients, datasets
+    # included, and must be strictly larger at every size.
+    assert payloads["large"]["process"] > payloads["small"]["process"]
+    for size in ("small", "large"):
+        assert (payloads[size]["persistent_warm"]
+                < payloads[size]["process"])

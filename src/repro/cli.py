@@ -50,10 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=available_backends(),
                             help="execution backend for client trainings "
                                  "(default: serial; all backends produce "
-                                 "bit-identical results)")
+                                 "bit-identical results; 'persistent' "
+                                 "keeps clients resident in worker "
+                                 "processes and ships only weights/masks "
+                                 "per cycle)")
     run_parser.add_argument("--workers", type=int, default=None,
-                            help="worker count for the thread/process "
-                                 "backends (default: library default)")
+                            help="worker count for the pooled backends "
+                                 "(thread/process/persistent; default: "
+                                 "library default)")
     run_parser.add_argument("--output", default=None,
                             help="also write the formatted output to a file")
     return parser
@@ -83,7 +87,13 @@ def _run(experiment: str, scale: str, seed: int,
     if "seed" in accepts:
         kwargs["seed"] = seed
     shared_backend = None
-    if "backend" in accepts and backend != "serial":
+    if backend != "serial" and "backend" not in accepts:
+        print(f"warning: experiment {experiment!r} runs no client "
+              f"trainings; ignoring --backend/--workers", file=sys.stderr)
+    elif backend == "serial" and workers is not None:
+        print("warning: --workers has no effect with the serial backend",
+              file=sys.stderr)
+    elif "backend" in accepts and backend != "serial":
         shared_backend = make_backend(backend, max_workers=workers)
         kwargs["backend"] = shared_backend
     try:

@@ -21,7 +21,8 @@ import numpy as np
 
 from ..data import Dataset, load_synthetic_dataset, partition_dataset
 from ..fl import (ClientConfig, ExecutionBackend, FederatedSimulation,
-                  TrainingHistory, build_simulation, make_backend)
+                  TrainingHistory, build_simulation, make_backend,
+                  make_client_specs)
 from ..fl.strategy import FederatedStrategy
 from ..hardware import CommunicationModel, build_fleet
 from ..nn.model import Sequential
@@ -140,9 +141,11 @@ class SeededModelFactory:
     """Picklable deterministic model factory.
 
     Experiment fleets used to close over these values in a local function,
-    which the process execution backend cannot pickle; a frozen dataclass
-    with a ``__call__`` ships to worker processes cleanly and still builds
-    the exact same seeded model every time.
+    which the process-based execution backends cannot pickle; a frozen
+    dataclass with a ``__call__`` ships to worker processes cleanly and
+    still builds the exact same seeded model every time.  It rides inside
+    each client's :class:`~repro.fl.client.ClientSpec`, which is what the
+    ``persistent`` backend ships to a worker exactly once per client.
     """
 
     model_name: str
@@ -186,11 +189,17 @@ def make_simulation_factory(setting: ExperimentSetting,
         model_name=setting.model, input_shape=input_shape,
         num_classes=train.num_classes, width_multiplier=width,
         seed=setting.seed + 7)
+    # The spec list is built once and shared: specs are immutable and
+    # picklable, every fresh simulation builds its own runtime state
+    # (model replicas, RNGs) from them.
+    client_specs = make_client_specs(
+        model_factory, client_datasets, devices,
+        client_config=client_config, seed=setting.seed)
 
     def simulation_factory() -> FederatedSimulation:
         return build_simulation(
-            model_factory, client_datasets, devices, test, input_shape,
-            client_config=client_config,
+            model_factory, client_specs=client_specs,
+            test_dataset=test, input_shape=input_shape,
             comm_model=CommunicationModel(),
             workload_scale=scale.workload_scale,
             seed=setting.seed)
@@ -209,7 +218,9 @@ def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
 
     ``backend`` (optional) overrides the execution backend of every fresh
     simulation; a single pool instance is shared across the strategy runs
-    and closed afterwards when this function created it.
+    and closed afterwards when this function created it.  ``max_workers``
+    only applies when ``backend`` is a name — combining it with an
+    already-constructed instance raises ``ValueError``.
     """
     shared_backend = (make_backend(backend, max_workers=max_workers)
                       if backend is not None else None)

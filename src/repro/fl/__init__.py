@@ -2,20 +2,24 @@
 
 from .aggregation import (ModelStructure, aggregate_full, aggregate_partial,
                           normalize_weights, sample_count_weights)
-from .client import ClientConfig, ClientUpdate, FLClient
-from .executor import (ExecutionBackend, ProcessPoolBackend, SerialBackend,
-                       ThreadPoolBackend, TrainingJob, available_backends,
-                       make_backend)
+from .client import (ClientConfig, ClientSpec, ClientState, ClientUpdate,
+                     FLClient)
+from .executor import (ExecutionBackend, PersistentProcessBackend,
+                       ProcessPoolBackend, SerialBackend, ThreadPoolBackend,
+                       TrainingJob, available_backends, make_backend)
 from .history import CycleRecord, TrainingHistory
 from .sampling import (ClientSampler, FullParticipation, RandomSampling,
                        ResourceAwareSampling)
 from .server import FLServer
-from .simulation import FederatedSimulation, build_simulation
+from .simulation import (FederatedSimulation, build_simulation,
+                         make_client_specs)
 from .strategy import CycleOutcome, FederatedStrategy
 
 __all__ = [
     "FLClient",
     "ClientConfig",
+    "ClientSpec",
+    "ClientState",
     "ClientUpdate",
     "FLServer",
     "ModelStructure",
@@ -29,10 +33,12 @@ __all__ = [
     "CycleOutcome",
     "FederatedSimulation",
     "build_simulation",
+    "make_client_specs",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "PersistentProcessBackend",
     "TrainingJob",
     "available_backends",
     "make_backend",

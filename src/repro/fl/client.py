@@ -7,12 +7,33 @@ return the resulting weights.  Time accounting is the scheduler's job — the
 simulator derives per-cycle durations from the hardware cost model so that
 a weak device training a shrunk model is *numerically* identical to this
 code but *temporally* cheaper.
+
+Spec / state split
+------------------
+A client is two things with very different lifetimes:
+
+* :class:`ClientSpec` — the immutable, picklable *description*: dataset
+  reference, device profile, hyper-parameters, model/loss factories and
+  seed.  A spec fully determines a fresh client; execution backends ship
+  specs to worker processes exactly once and keep the built client
+  resident there.
+* runtime state — the model replica and the RNG, which advance as the
+  client trains.  :meth:`FLClient.get_state` / :meth:`FLClient.set_state`
+  capture and restore it, and the RNG digest is what travels between the
+  parent process and persistent workers every cycle (a few hundred bytes,
+  independent of dataset or model size).
+
+``FLClient`` keeps its historical constructor; it simply records the
+arguments as a spec.  Mutating an identity attribute (``client.device =
+new_profile``) replaces the spec, so a re-shipped spec always reflects the
+current identity.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Type
 
 import numpy as np
 
@@ -23,7 +44,8 @@ from ..nn.masking import ModelMask
 from ..nn.model import Sequential
 from ..nn.optimizers import SGD, Optimizer
 
-__all__ = ["ClientConfig", "ClientUpdate", "FLClient"]
+__all__ = ["ClientConfig", "ClientSpec", "ClientState", "ClientUpdate",
+           "FLClient"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +65,70 @@ class ClientConfig:
             raise ValueError("local_epochs must be positive")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+
+
+@dataclass(frozen=True, eq=False)
+class ClientSpec:
+    """Everything needed to (re)build one client, and nothing that moves.
+
+    Specs are what execution backends pickle: the model and loss factories
+    must therefore be module-level callables (or picklable callable
+    objects such as ``SeededModelFactory``), never closures.  Building
+    twice from the same spec yields bit-identical clients.
+    """
+
+    client_id: int
+    dataset: Dataset
+    device: DeviceProfile
+    model_factory: Callable[[], Sequential]
+    config: ClientConfig = field(default_factory=ClientConfig)
+    loss_factory: Callable[[], Loss] = SoftmaxCrossEntropy
+    seed: int = 0
+    #: Concrete client class to build (``None`` = :class:`FLClient`);
+    #: subclasses record themselves here so a spec round-trips the type.
+    client_type: Optional[Type["FLClient"]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.dataset) == 0:
+            raise ValueError("client dataset must not be empty")
+
+    def replace(self, **changes) -> "ClientSpec":
+        """A copy of this spec with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def initial_rng(self) -> np.random.Generator:
+        """The RNG a freshly built client starts from."""
+        return np.random.default_rng(self.seed + 1000 * self.client_id)
+
+    def build(self, rng_state: Optional[dict] = None) -> "FLClient":
+        """Construct a client from this spec.
+
+        ``rng_state`` (a NumPy bit-generator state digest) optionally
+        fast-forwards the fresh client's RNG — this is how a worker-resident
+        replica resumes exactly where the parent-side client stopped.
+        """
+        cls = self.client_type or FLClient
+        client = cls(client_id=self.client_id, dataset=self.dataset,
+                     device=self.device, model_factory=self.model_factory,
+                     config=self.config, loss_factory=self.loss_factory,
+                     seed=self.seed)
+        if rng_state is not None:
+            client.rng.bit_generator.state = rng_state
+        return client
+
+
+@dataclass
+class ClientState:
+    """Compact digest of a client's mutable runtime state.
+
+    ``weights`` is the model replica's parameters; ``rng_state`` is the
+    NumPy bit-generator state.  Together with the spec this reconstructs a
+    client exactly — it is the unit :meth:`FederatedSimulation.set_backend`
+    relies on when migrating a fleet between execution backends.
+    """
+
+    weights: Dict[str, np.ndarray]
+    rng_state: dict
 
 
 @dataclass
@@ -66,7 +152,13 @@ class ClientUpdate:
 
 
 class FLClient:
-    """One edge device participating in the collaboration."""
+    """One edge device participating in the collaboration.
+
+    Identity lives in :attr:`spec`; runtime state is the model replica and
+    the RNG.  Subclasses that override behavior (not construction) are
+    spec-compatible automatically: the spec records the concrete type and
+    :meth:`ClientSpec.build` re-instantiates it in worker processes.
+    """
 
     def __init__(self, client_id: int, dataset: Dataset,
                  device: DeviceProfile,
@@ -74,18 +166,78 @@ class FLClient:
                  config: Optional[ClientConfig] = None,
                  loss_factory: Callable[[], Loss] = SoftmaxCrossEntropy,
                  seed: int = 0) -> None:
-        if len(dataset) == 0:
-            raise ValueError("client dataset must not be empty")
-        self.client_id = client_id
-        self.dataset = dataset
-        self.device = device
-        self.config = config or ClientConfig()
-        self.model_factory = model_factory
-        self.loss_factory = loss_factory
+        self._spec_version = 0
+        self.spec = ClientSpec(
+            client_id=client_id, dataset=dataset, device=device,
+            model_factory=model_factory, config=config or ClientConfig(),
+            loss_factory=loss_factory, seed=seed,
+            client_type=type(self))
         self.model = model_factory()
-        self.rng = np.random.default_rng(seed + 1000 * client_id)
+        self.rng = self.spec.initial_rng()
+
+    @classmethod
+    def from_spec(cls, spec: ClientSpec,
+                  rng_state: Optional[dict] = None) -> "FLClient":
+        """Build a client from a spec (honoring ``spec.client_type``)."""
+        return spec.build(rng_state=rng_state)
 
     # ------------------------------------------------------------------ #
+    # identity (delegated to the spec)
+    # ------------------------------------------------------------------ #
+    @property
+    def spec(self) -> ClientSpec:
+        """The client's immutable identity description."""
+        return self._spec
+
+    @spec.setter
+    def spec(self, spec: ClientSpec) -> None:
+        # Every identity change bumps the version; backends holding
+        # worker-resident replicas compare it to decide whether a spec
+        # must be re-shipped (see PersistentProcessBackend).
+        self._spec = spec
+        self._spec_version += 1
+
+    @property
+    def spec_version(self) -> int:
+        """Monotonic counter of identity mutations (spec replacements)."""
+        return self._spec_version
+
+    @property
+    def client_id(self) -> int:
+        return self.spec.client_id
+
+    @property
+    def dataset(self) -> Dataset:
+        return self.spec.dataset
+
+    @dataset.setter
+    def dataset(self, dataset: Dataset) -> None:
+        self.spec = self.spec.replace(dataset=dataset)
+
+    @property
+    def device(self) -> DeviceProfile:
+        return self.spec.device
+
+    @device.setter
+    def device(self, device: DeviceProfile) -> None:
+        self.spec = self.spec.replace(device=device)
+
+    @property
+    def config(self) -> ClientConfig:
+        return self.spec.config
+
+    @config.setter
+    def config(self, config: ClientConfig) -> None:
+        self.spec = self.spec.replace(config=config)
+
+    @property
+    def model_factory(self) -> Callable[[], Sequential]:
+        return self.spec.model_factory
+
+    @property
+    def loss_factory(self) -> Callable[[], Loss]:
+        return self.spec.loss_factory
+
     @property
     def name(self) -> str:
         """Device name used in reports."""
@@ -95,6 +247,20 @@ class FLClient:
     def num_samples(self) -> int:
         """Number of local training samples."""
         return len(self.dataset)
+
+    # ------------------------------------------------------------------ #
+    # runtime state
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> ClientState:
+        """Digest of the mutable runtime state (weights + RNG)."""
+        return ClientState(weights=self.model.get_weights(),
+                           rng_state=self.rng.bit_generator.state)
+
+    def set_state(self, state: ClientState) -> None:
+        """Restore a digest captured by :meth:`get_state`."""
+        self.model.set_weights(state.weights)
+        self.model.clear_neuron_masks()
+        self.rng.bit_generator.state = state.rng_state
 
     def _make_optimizer(self) -> Optimizer:
         if self.config.momentum > 0:

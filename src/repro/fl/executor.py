@@ -2,7 +2,7 @@
 
 The simulation engine hands every aggregation cycle's local trainings to an
 :class:`ExecutionBackend` as a batch of :class:`TrainingJob` descriptions.
-Three implementations are provided:
+Four implementations are provided:
 
 * :class:`SerialBackend` — the historical behavior: one client after the
   other in the calling thread.  Zero overhead, always available.
@@ -13,20 +13,30 @@ Three implementations are provided:
   round-trips once those exist).
 * :class:`ProcessPoolBackend` — clients are shipped to worker processes
   (requires every client component — datasets, model factories, loss
-  factories — to be picklable).  Full CPU parallelism, highest dispatch
-  cost.
+  factories — to be picklable).  Full CPU parallelism, but the *whole*
+  client (dataset included) is re-pickled every batch, so dispatch cost
+  grows with dataset and model size.
+* :class:`PersistentProcessBackend` — clients live *resident* in worker
+  processes.  Each worker builds its clients once from their picklable
+  :class:`~repro.fl.client.ClientSpec` and keeps them across cycles; per
+  batch the parent ships only the weights snapshot (once per worker),
+  per-job masks and a per-client RNG digest.  Dispatch cost is therefore
+  O(weights), independent of dataset size — this is the substrate for
+  sharded / multi-host fleets.
 
 Determinism
 -----------
-All three backends are *bit-identical* to each other under a fixed seed:
+All backends are *bit-identical* to each other under a fixed seed:
 
 * every client owns its RNG and model replica, so trainings of distinct
   clients share no mutable state;
 * jobs for the *same* client are chained sequentially in submission order
-  (never interleaved), preserving the client's RNG consumption order;
+  (never interleaved), preserving the client's RNG consumption order; the
+  persistent backend additionally pins each client to one worker (sticky
+  placement) so its resident replica is never duplicated;
 * results are re-ordered to match the submitted job order before they are
   returned, regardless of completion order;
-* the process backend ships the client's post-training RNG state and
+* the process-based backends ship the client's post-training RNG state and
   weights back to the parent so the in-process client objects advance
   exactly as if they had trained locally.
 
@@ -36,6 +46,9 @@ fails loudly rather than silently dropping a client's update.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
@@ -44,7 +57,7 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
 import numpy as np
 
 from ..nn.masking import ModelMask
-from .client import ClientUpdate, FLClient
+from .client import ClientSpec, ClientUpdate, FLClient
 
 __all__ = [
     "TrainingJob",
@@ -52,9 +65,13 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "PersistentProcessBackend",
     "available_backends",
     "make_backend",
 ]
+
+#: Pickle protocol used for worker traffic (payload accounting included).
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
 @dataclass
@@ -143,8 +160,35 @@ class ExecutionBackend:
         """
         return [fn(item) for item in items]
 
+    def invalidate_client(self, index: Optional[int] = None) -> None:
+        """Client lifecycle notification (added / mutated / removed).
+
+        The simulation routes fleet mutations — :meth:`add_client`, device
+        swaps, cost-cache invalidations — through this hook so backends
+        holding worker-resident replicas re-ship the client's spec before
+        its next training.  ``None`` invalidates the whole fleet.  In-
+        process backends share the caller's client objects and need no
+        action.
+        """
+
+    def dispatch_payload_bytes(self, clients: Sequence[FLClient],
+                               jobs: Sequence[TrainingJob]) -> int:
+        """Bytes this backend would pickle to dispatch ``jobs`` right now.
+
+        Diagnostic used by the substrate benchmark to compare dispatch
+        cost across backends.  In-process backends ship nothing (0); the
+        process backend re-pickles whole clients; the persistent backend
+        ships weights/masks/RNG digests only (plus specs for clients its
+        workers have not built yet).
+        """
+        return 0
+
     def close(self) -> None:
-        """Release worker resources (no-op for the serial backend)."""
+        """Release worker resources (no-op for the serial backend).
+
+        Closing is idempotent, and a closed backend may be used again:
+        pools are re-created lazily on the next batch.
+        """
 
     def __enter__(self) -> "ExecutionBackend":
         return self
@@ -256,6 +300,10 @@ class ProcessPoolBackend(_PoolBackend):
     serial run.  Requires picklable clients — in particular the model,
     loss and dataset factories must be module-level callables, not
     closures.
+
+    Dispatch cost is the backend's weakness: every batch re-pickles each
+    participating client wholesale, dataset included.  For fleets with
+    non-trivial local datasets prefer :class:`PersistentProcessBackend`.
     """
 
     name = "process"
@@ -268,6 +316,13 @@ class ProcessPoolBackend(_PoolBackend):
         return self._submit_job_groups(clients, jobs,
                                        _train_jobs_in_subprocess)
 
+    def dispatch_payload_bytes(self, clients: Sequence[FLClient],
+                               jobs: Sequence[TrainingJob]) -> int:
+        return sum(
+            len(pickle.dumps((clients[index], client_jobs),
+                             _PICKLE_PROTOCOL))
+            for index, _, client_jobs in _group_jobs(jobs))
+
     def _collect(self, client: FLClient,
                  future: Future) -> List[ClientUpdate]:
         updates, rng_state = future.result()
@@ -279,11 +334,367 @@ class ProcessPoolBackend(_PoolBackend):
         return updates
 
 
+# --------------------------------------------------------------------- #
+# persistent worker-resident backend
+# --------------------------------------------------------------------- #
+
+@dataclass
+class _WireJob:
+    """One job as shipped to a persistent worker.
+
+    ``weights_ref`` indexes the worker batch's weights table — a shared
+    global snapshot travels once per worker however many clients train
+    from it.
+    """
+
+    weights_ref: int
+    mask: Optional[ModelMask]
+    local_epochs: Optional[int]
+    base_cycle: int
+
+
+@dataclass
+class _WireGroup:
+    """One client's chained jobs within a worker batch.
+
+    ``spec`` is only present the first time the worker sees the client (or
+    after an invalidation); afterwards the resident replica is reused and
+    only the RNG digest travels.
+    """
+
+    index: int
+    spec: Optional[ClientSpec]
+    rng_state: dict
+    jobs: List[_WireJob]
+
+
+@dataclass
+class _WireBatch:
+    """Everything one persistent worker needs for one cycle."""
+
+    weights_table: List[Dict[str, np.ndarray]]
+    groups: List[_WireGroup]
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles, else a faithful stand-in."""
+    try:
+        pickle.dumps(exc, _PICKLE_PROTOCOL)
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _persistent_worker_main(conn) -> None:
+    """Loop of one persistent worker: build clients once, train forever.
+
+    Protocol (length-prefixed pickles over a duplex pipe): the parent
+    sends ``(kind, payload)`` messages — ``"run"`` with a
+    :class:`_WireBatch`, ``"map"`` with ``(fn, [(position, item), …])`` or
+    ``"close"`` — and every ``run``/``map`` gets exactly one reply.
+    """
+    residents: Dict[int, FLClient] = {}
+    try:
+        while True:
+            try:
+                blob = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            kind, payload = pickle.loads(blob)
+            if kind == "close":
+                break
+            if kind == "run":
+                reply = ("results", _run_wire_batch(residents, payload))
+            elif kind == "map":
+                fn, items = payload
+                try:
+                    reply = ("ok", [(position, fn(item))
+                                    for position, item in items])
+                except BaseException as exc:
+                    reply = ("error", _picklable_exception(exc))
+            else:  # pragma: no cover - protocol misuse guard
+                reply = ("error",
+                         RuntimeError(f"unknown message kind {kind!r}"))
+            conn.send_bytes(pickle.dumps(reply, _PICKLE_PROTOCOL))
+    finally:
+        conn.close()
+
+
+def _run_wire_batch(residents: Dict[int, FLClient],
+                    batch: _WireBatch) -> List[Tuple]:
+    """Train every group of a worker batch against the resident fleet."""
+    results: List[Tuple] = []
+    for group in batch.groups:
+        if group.spec is not None:
+            residents[group.index] = group.spec.build()
+        client = residents.get(group.index)
+        if client is None:  # pragma: no cover - protocol invariant guard
+            results.append((group.index, "error", RuntimeError(
+                f"worker has no resident client {group.index} and "
+                f"received no spec")))
+            continue
+        client.rng.bit_generator.state = group.rng_state
+        try:
+            updates = [client.local_train(
+                batch.weights_table[job.weights_ref], mask=job.mask,
+                local_epochs=job.local_epochs, base_cycle=job.base_cycle)
+                for job in group.jobs]
+        except BaseException as exc:
+            # The replica may be mid-training; drop it so the parent
+            # re-ships a clean spec before the client's next batch.
+            residents.pop(group.index, None)
+            results.append((group.index, "error",
+                            _picklable_exception(exc)))
+            continue
+        results.append((group.index, "ok", updates,
+                        client.rng.bit_generator.state))
+    return results
+
+
+class _PersistentWorker:
+    """Parent-side handle of one resident worker process."""
+
+    def __init__(self, ctx) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_persistent_worker_main,
+                                   args=(child_conn,),
+                                   name="fl-resident-worker", daemon=True)
+        self.process.start()
+        child_conn.close()
+
+    def send(self, blob: bytes) -> None:
+        self.conn.send_bytes(blob)
+
+    def recv(self):
+        return pickle.loads(self.conn.recv_bytes())
+
+    def stop(self) -> None:
+        try:
+            self.conn.send_bytes(pickle.dumps(("close", None),
+                                              _PICKLE_PROTOCOL))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - hang safety net
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+
+class PersistentProcessBackend(ExecutionBackend):
+    """Stateful worker pool: clients are built once and stay resident.
+
+    Every client index is pinned to one worker (sticky placement, round-
+    robin on first appearance).  The first batch that touches a client
+    ships its :class:`ClientSpec`; afterwards the worker reuses its
+    resident replica and the parent sends only
+
+    * the starting-weights snapshot, **once per worker per batch**
+      (jobs reference it by table index, so a shared global snapshot is
+      never duplicated),
+    * per-job masks and epoch overrides,
+    * a per-client RNG digest (a few hundred bytes).
+
+    Per-cycle dispatch is therefore O(weights + masks), independent of
+    dataset size.  The reply path matches the process backend: updates
+    plus the post-training RNG digest, which the parent mirrors into its
+    own client objects — so the fleet in the parent process is always
+    current and migrating to another backend via
+    :meth:`FederatedSimulation.set_backend` is lossless.
+    """
+
+    name = "persistent"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._ctx = multiprocessing.get_context()
+        self._workers: Dict[int, _PersistentWorker] = {}
+        self._placement: Dict[int, int] = {}
+        #: index → spec_version of the replica resident in its worker; a
+        #: client whose current spec_version differs (any identity
+        #: mutation: dataset, device, config, …) gets its spec re-shipped.
+        self._resident: Dict[int, int] = {}
+        self._next_slot = 0
+        #: Measured pickled bytes of the most recent dispatched batch.
+        self.last_dispatch_bytes = 0
+
+    @property
+    def num_slots(self) -> int:
+        """Number of worker slots (workers spawn lazily per slot)."""
+        return self.max_workers or os.cpu_count() or 1
+
+    # ------------------------------------------------------------------ #
+    def _worker(self, slot: int) -> _PersistentWorker:
+        worker = self._workers.get(slot)
+        if worker is None:
+            worker = _PersistentWorker(self._ctx)
+            self._workers[slot] = worker
+        return worker
+
+    def _build_payloads(self, clients: Sequence[FLClient],
+                        jobs: Sequence[TrainingJob], commit: bool
+                        ) -> Tuple[Dict[int, _WireBatch],
+                                   List[Tuple[int, List[int]]]]:
+        """Assemble per-worker wire batches for one cycle.
+
+        Returns ``(batches keyed by slot, ordered (index, positions)
+        pairs)``.  With ``commit=False`` the placement bookkeeping is left
+        untouched (used by :meth:`dispatch_payload_bytes`).
+        """
+        placement = self._placement if commit else dict(self._placement)
+        next_slot = self._next_slot
+        batches: Dict[int, _WireBatch] = {}
+        weight_refs: Dict[int, Dict[int, int]] = {}
+        order: List[Tuple[int, List[int]]] = []
+        for index, positions, client_jobs in _group_jobs(jobs):
+            slot = placement.get(index)
+            if slot is None:
+                slot = next_slot % self.num_slots
+                next_slot += 1
+                placement[index] = slot
+            batch = batches.setdefault(slot, _WireBatch(weights_table=[],
+                                                        groups=[]))
+            refs = weight_refs.setdefault(slot, {})
+            wire_jobs = []
+            for job in client_jobs:
+                ref = refs.get(id(job.weights))
+                if ref is None:
+                    ref = len(batch.weights_table)
+                    refs[id(job.weights)] = ref
+                    batch.weights_table.append(job.weights)
+                wire_jobs.append(_WireJob(weights_ref=ref, mask=job.mask,
+                                          local_epochs=job.local_epochs,
+                                          base_cycle=job.base_cycle))
+            client = clients[index]
+            stale = self._resident.get(index) != client.spec_version
+            batch.groups.append(_WireGroup(
+                index=index, spec=client.spec if stale else None,
+                rng_state=client.rng.bit_generator.state, jobs=wire_jobs))
+            order.append((index, positions))
+        if commit:
+            self._next_slot = next_slot
+        return batches, order
+
+    # ------------------------------------------------------------------ #
+    def run_jobs(self, clients: Sequence[FLClient],
+                 jobs: Sequence[TrainingJob]) -> List[ClientUpdate]:
+        batches, order = self._build_payloads(clients, jobs, commit=True)
+        blobs = {slot: pickle.dumps(("run", batch), _PICKLE_PROTOCOL)
+                 for slot, batch in batches.items()}
+        self.last_dispatch_bytes = sum(len(blob) for blob in blobs.values())
+        slots = sorted(blobs)
+        for slot in slots:
+            self._worker(slot).send(blobs[slot])
+        outcomes: Dict[int, Tuple] = {}
+        for slot in slots:
+            try:
+                kind, results = self._workers[slot].recv()
+            except (EOFError, OSError):
+                self.close()
+                raise RuntimeError(
+                    "persistent worker died while running a batch "
+                    "(pool has been shut down)") from None
+            for outcome in results:
+                outcomes[outcome[0]] = outcome
+        # Residency first, for *every* outcome: workers drop a replica
+        # whose training raised, so the parent must forget it even when a
+        # different group's error wins the raise below.
+        for index, _ in order:
+            if outcomes[index][1] == "error":
+                self._resident.pop(index, None)
+            else:
+                self._resident[index] = clients[index].spec_version
+        # Consume outcomes in submission order so error precedence and
+        # parent-side mirroring match the other backends exactly.
+        updates_by_position: List[Optional[ClientUpdate]] = [None] * len(jobs)
+        for index, positions in order:
+            outcome = outcomes[index]
+            if outcome[1] == "error":
+                raise outcome[2]
+            _, _, updates, rng_state = outcome
+            client = clients[index]
+            client.rng.bit_generator.state = rng_state
+            if updates:
+                client.model.set_weights(updates[-1].weights)
+                client.model.clear_neuron_masks()
+            for position, update in zip(positions, updates):
+                updates_by_position[position] = update
+        return updates_by_position  # type: ignore[return-value]
+
+    def map_ordered(self, fn: Callable[[Any], Any],
+                    items: Sequence[Any]) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        chunks: Dict[int, List[Tuple[int, Any]]] = {}
+        for position, item in enumerate(items):
+            chunks.setdefault(position % self.num_slots, []).append(
+                (position, item))
+        slots = sorted(chunks)
+        # Pickle every message before sending any: a pickling failure on
+        # a later chunk must not leave earlier workers with undrained
+        # replies (that would desynchronize the request/reply protocol).
+        blobs = {slot: pickle.dumps(("map", (fn, chunks[slot])),
+                                    _PICKLE_PROTOCOL)
+                 for slot in slots}
+        for slot in slots:
+            self._worker(slot).send(blobs[slot])
+        results: List[Any] = [None] * len(items)
+        error: Optional[BaseException] = None
+        for slot in slots:
+            try:
+                kind, payload = self._workers[slot].recv()
+            except (EOFError, OSError):
+                self.close()
+                raise RuntimeError(
+                    "persistent worker died during map_ordered "
+                    "(pool has been shut down)") from None
+            if kind == "error":
+                error = error or payload
+                continue
+            for position, result in payload:
+                results[position] = result
+        if error is not None:
+            raise error
+        return results
+
+    def invalidate_client(self, index: Optional[int] = None) -> None:
+        """Force a spec re-ship before the client's next training.
+
+        Identity mutations that replace a client's spec (dataset, device,
+        config, …) are detected automatically via the spec version; this
+        hook covers everything the version cannot see — in-place mutation
+        of a dataset's arrays, whole-fleet swaps, backend adoption.
+        """
+        if index is None:
+            self._resident.clear()
+        else:
+            self._resident.pop(index, None)
+
+    def dispatch_payload_bytes(self, clients: Sequence[FLClient],
+                               jobs: Sequence[TrainingJob]) -> int:
+        batches, _ = self._build_payloads(clients, jobs, commit=False)
+        return sum(len(pickle.dumps(("run", batch), _PICKLE_PROTOCOL))
+                   for batch in batches.values())
+
+    def close(self) -> None:
+        """Stop every worker; the pool respawns lazily if used again."""
+        for worker in self._workers.values():
+            worker.stop()
+        self._workers.clear()
+        self._placement.clear()
+        self._resident.clear()
+        self._next_slot = 0
+
+
 #: Registry of backend constructors keyed by CLI/config name.
 _BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     ThreadPoolBackend.name: ThreadPoolBackend,
     ProcessPoolBackend.name: ProcessPoolBackend,
+    PersistentProcessBackend.name: PersistentProcessBackend,
 }
 
 
@@ -300,15 +711,23 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
     ----------
     spec:
         ``None`` (serial), a backend name (``"serial"``, ``"thread"``,
-        ``"process"``) or an already-constructed backend instance (passed
-        through unchanged).
+        ``"process"``, ``"persistent"``) or an already-constructed backend
+        instance (passed through unchanged).
     max_workers:
-        Worker count for the pool backends (``None`` = library default).
+        Worker count for the pooled backends (``None`` = library default).
+        Must be ``None`` when ``spec`` is an already-constructed instance:
+        an instance's pool size cannot be changed, and silently ignoring
+        the argument would hide a configuration error.
     """
+    if isinstance(spec, ExecutionBackend):
+        if max_workers is not None:
+            raise ValueError(
+                f"max_workers={max_workers!r} cannot be applied to an "
+                f"already-constructed backend instance {spec!r}; construct "
+                f"the backend with the desired worker count instead")
+        return spec
     if spec is None:
         return SerialBackend()
-    if isinstance(spec, ExecutionBackend):
-        return spec
     if isinstance(spec, str):
         try:
             factory = _BACKENDS[spec]

@@ -25,16 +25,17 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..hardware.cost_model import TrainingCostModel
+from ..hardware.device import DeviceProfile
 from ..hardware.network import CommunicationModel
 from ..nn.masking import ModelMask
 from ..nn.model import Sequential
-from .client import ClientUpdate, FLClient
+from .client import ClientSpec, ClientUpdate, FLClient
 from .executor import ExecutionBackend, TrainingJob, make_backend
 from .history import CycleRecord, TrainingHistory
 from .server import FLServer
 from .strategy import CycleOutcome, FederatedStrategy
 
-__all__ = ["FederatedSimulation"]
+__all__ = ["FederatedSimulation", "build_simulation", "make_client_specs"]
 
 #: Cache key of one cycle-duration estimate: client index, mask signature,
 #: epochs, communication toggle (see
@@ -85,6 +86,9 @@ class FederatedSimulation:
         #: :mod:`repro.fl.executor`).  All backends are bit-identical under
         #: a fixed seed; they differ only in wall-clock behavior.
         self.backend: ExecutionBackend = make_backend(backend)
+        # A caller-provided instance may have served another fleet: drop
+        # any worker-resident replicas so our clients' specs are shipped.
+        self.backend.invalidate_client()
         self._cost_models: Dict[int, TrainingCostModel] = {}
         self._cycle_cost_cache: Dict[_CostKey, float] = {}
 
@@ -103,6 +107,10 @@ class FederatedSimulation:
         """All client indices."""
         return list(range(len(self.clients)))
 
+    def client_specs(self) -> List[ClientSpec]:
+        """The picklable spec of every fleet member (current identities)."""
+        return [client.spec for client in self.clients]
+
     def add_client(self, client: FLClient) -> int:
         """Register a new client mid-collaboration (scalability path)."""
         self.clients.append(client)
@@ -110,15 +118,51 @@ class FederatedSimulation:
         self.invalidate_cost_caches(index)
         return index
 
+    def set_client_device(self, index: int, device: DeviceProfile) -> None:
+        """Swap one client's device profile mid-collaboration.
+
+        Routes the mutation through both cache layers: the timing caches
+        (the estimate depends on the device) and the execution backend
+        (a worker-resident replica carries the old spec until re-shipped).
+        """
+        self.clients[index].device = device
+        self.invalidate_cost_caches(index)
+
     def set_backend(self,
                     backend: Union[None, str, ExecutionBackend],
                     max_workers: Optional[int] = None) -> ExecutionBackend:
-        """Swap the execution backend (closing the previous pooled one)."""
+        """Swap the execution backend, closing the previous pooled one.
+
+        The old backend is always closed unless the caller passed the
+        *same instance* back in — in particular, passing the same *name*
+        twice builds a fresh pool and shuts the old one down rather than
+        leaking its workers.  Swapping is lossless: every backend mirrors
+        post-training client state (weights, RNG digests) into the
+        parent-side :class:`FLClient` objects after each batch, so the new
+        backend picks the fleet up exactly where the old one left it
+        (worker-resident backends rebuild their replicas from the current
+        specs and RNG digests on first use).
+        """
         new_backend = make_backend(backend, max_workers=max_workers)
-        if new_backend is not self.backend:
-            self.backend.close()
+        if new_backend is self.backend:
+            return new_backend
+        old_backend = self.backend
         self.backend = new_backend
+        # The adopted backend may hold replicas of another fleet; force a
+        # spec re-ship so resident state always matches *our* clients.
+        new_backend.invalidate_client()
+        old_backend.close()
         return new_backend
+
+    def close(self) -> None:
+        """Release the execution backend's worker resources (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # timing services
@@ -131,7 +175,13 @@ class FederatedSimulation:
         from a previously removed fleet member); ``None`` clears
         everything (call after mutating ``workload_scale``, the
         communication model or a client's device in place).
+
+        The invalidation is also forwarded to the execution backend:
+        backends keeping worker-resident client replicas re-ship the
+        affected client's spec before its next training, so fleet
+        mutations never leave a stale replica behind.
         """
+        self.backend.invalidate_client(index)
         if index is None:
             self._cost_models.clear()
             self._cycle_cost_cache.clear()
@@ -331,32 +381,59 @@ class FederatedSimulation:
         return history
 
 
+def make_client_specs(model_factory: Callable[[], Sequential],
+                      client_datasets: Sequence[Dataset],
+                      devices: Sequence,
+                      client_config=None,
+                      seed: int = 0) -> List[ClientSpec]:
+    """One picklable :class:`ClientSpec` per (dataset, device) pair.
+
+    Specs are the unit worker-resident execution backends ship to worker
+    processes; building the fleet through them keeps the description and
+    the runtime state cleanly separated.
+    """
+    if len(client_datasets) != len(devices):
+        raise ValueError("need exactly one device per client dataset")
+    from .client import ClientConfig
+    config = client_config or ClientConfig()
+    return [
+        ClientSpec(client_id=index, dataset=dataset, device=device,
+                   model_factory=model_factory, config=config, seed=seed)
+        for index, (dataset, device) in enumerate(zip(client_datasets,
+                                                      devices))
+    ]
+
+
 def build_simulation(model_factory: Callable[[], Sequential],
-                     client_datasets: Sequence[Dataset],
-                     devices: Sequence,
-                     test_dataset: Dataset,
-                     input_shape: Tuple[int, ...],
+                     client_datasets: Optional[Sequence[Dataset]] = None,
+                     devices: Optional[Sequence] = None,
+                     test_dataset: Optional[Dataset] = None,
+                     input_shape: Tuple[int, ...] = (),
                      client_config=None,
                      comm_model: Optional[CommunicationModel] = None,
                      workload_scale: float = 1.0,
                      seed: int = 0,
-                     backend: Union[None, str, ExecutionBackend] = None
+                     backend: Union[None, str, ExecutionBackend] = None,
+                     client_specs: Optional[Sequence[ClientSpec]] = None
                      ) -> FederatedSimulation:
     """Convenience constructor used by experiments and examples.
 
-    Builds one :class:`FLClient` per (dataset, device) pair, an
-    :class:`FLServer` around ``model_factory`` and wires them into a
-    :class:`FederatedSimulation`.
+    Builds one :class:`FLClient` per (dataset, device) pair — or from
+    prebuilt ``client_specs`` — an :class:`FLServer` around
+    ``model_factory`` and wires them into a :class:`FederatedSimulation`.
     """
-    if len(client_datasets) != len(devices):
-        raise ValueError("need exactly one device per client dataset")
+    if client_specs is None:
+        if client_datasets is None or devices is None:
+            raise ValueError("pass either client_specs or both "
+                             "client_datasets and devices")
+        client_specs = make_client_specs(model_factory, client_datasets,
+                                         devices, client_config=client_config,
+                                         seed=seed)
+    elif client_datasets is not None or devices is not None:
+        raise ValueError("client_specs is mutually exclusive with "
+                         "client_datasets/devices")
     server = FLServer(model_factory, test_dataset=test_dataset)
-    clients = [
-        FLClient(client_id=index, dataset=dataset, device=device,
-                 model_factory=model_factory, config=client_config,
-                 seed=seed)
-        for index, (dataset, device) in enumerate(zip(client_datasets, devices))
-    ]
+    clients = [FLClient.from_spec(spec) for spec in client_specs]
     return FederatedSimulation(clients, server, input_shape,
                                comm_model=comm_model,
                                workload_scale=workload_scale, seed=seed,

@@ -1,12 +1,15 @@
-"""Tests for the FL client."""
+"""Tests for the FL client (spec/state split included)."""
+
+import pickle
 
 import numpy as np
 import pytest
 
-from repro.fl import ClientConfig, FLClient
+from repro.fl import ClientConfig, ClientSpec, FLClient
 from repro.nn import ModelMask
 
-from ..conftest import SLOW_DEVICE, make_tiny_dataset, make_tiny_model
+from ..conftest import (FAST_DEVICE, SLOW_DEVICE, make_tiny_dataset,
+                        make_tiny_model)
 
 
 @pytest.fixture
@@ -119,6 +122,87 @@ class TestMaskedTraining:
                                 np.random.default_rng(0))
         client.local_train(make_tiny_model().get_weights(), mask=mask)
         assert client.model.active_neuron_fraction() == 1.0
+
+
+class TestSpecStateSplit:
+    """ClientSpec (picklable identity) vs. runtime state (model + RNG)."""
+
+    def _spec(self, seed=0):
+        return ClientSpec(client_id=2, dataset=make_tiny_dataset(40, seed=1),
+                          device=SLOW_DEVICE, model_factory=make_tiny_model,
+                          config=ClientConfig(batch_size=20), seed=seed)
+
+    def test_spec_rejects_empty_dataset(self):
+        with pytest.raises(ValueError):
+            ClientSpec(client_id=0,
+                       dataset=make_tiny_dataset(5, seed=0).subset([]),
+                       device=SLOW_DEVICE, model_factory=make_tiny_model)
+
+    def test_build_twice_is_bit_identical(self):
+        spec = self._spec()
+        first, second = spec.build(), spec.build()
+        weights_a, weights_b = (first.model.get_weights(),
+                                second.model.get_weights())
+        for name in weights_a:
+            np.testing.assert_array_equal(weights_a[name], weights_b[name])
+        assert (first.rng.bit_generator.state
+                == second.rng.bit_generator.state)
+
+    def test_spec_round_trips_through_pickle(self):
+        rebuilt = pickle.loads(pickle.dumps(self._spec())).build()
+        reference = self._spec().build()
+        update_a = rebuilt.local_train(make_tiny_model().get_weights())
+        update_b = reference.local_train(make_tiny_model().get_weights())
+        assert update_a.train_loss == update_b.train_loss
+
+    def test_client_records_its_spec(self, client):
+        spec = client.spec
+        assert spec.client_id == client.client_id
+        assert spec.device is client.device
+        assert spec.client_type is FLClient
+
+    def test_build_with_rng_state_resumes_stream(self, client):
+        client.local_train(make_tiny_model().get_weights())
+        resumed = client.spec.build(
+            rng_state=client.rng.bit_generator.state)
+        assert (resumed.rng.bit_generator.state
+                == client.rng.bit_generator.state)
+
+    def test_mutating_identity_replaces_spec(self, client):
+        old_spec = client.spec
+        client.device = FAST_DEVICE
+        assert client.spec is not old_spec
+        assert client.spec.device is FAST_DEVICE
+        assert client.device is FAST_DEVICE
+        assert old_spec.device is SLOW_DEVICE  # specs are immutable
+
+    def test_get_set_state_round_trip(self, client):
+        client.local_train(make_tiny_model().get_weights())
+        state = client.get_state()
+        fresh = client.spec.build()
+        fresh.set_state(state)
+        weights = client.model.get_weights()
+        fresh_weights = fresh.model.get_weights()
+        for name in weights:
+            np.testing.assert_array_equal(weights[name],
+                                          fresh_weights[name])
+        assert (fresh.rng.bit_generator.state
+                == client.rng.bit_generator.state)
+
+    def test_subclass_round_trips_through_spec(self):
+        class_spec = _CountingClient(
+            client_id=0, dataset=make_tiny_dataset(40, seed=0),
+            device=SLOW_DEVICE, model_factory=make_tiny_model).spec
+        assert class_spec.client_type is _CountingClient
+        assert isinstance(class_spec.build(), _CountingClient)
+
+
+class _CountingClient(FLClient):
+    """Subclass used to check that specs preserve the concrete type."""
+
+    def local_train(self, *args, **kwargs):
+        self.trainings = getattr(self, "trainings", 0) + 1
+        return super().local_train(*args, **kwargs)
 
 
 class TestEvaluation:

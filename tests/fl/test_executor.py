@@ -11,14 +11,25 @@ import pytest
 from repro.baselines import SynchronousFLStrategy
 from repro.core import HeliosConfig, HeliosStrategy
 from repro.core.straggler import StragglerIdentifier
-from repro.fl import (ExecutionBackend, ProcessPoolBackend, SerialBackend,
-                      ThreadPoolBackend, TrainingJob, available_backends,
-                      make_backend)
+from repro.fl import (ExecutionBackend, PersistentProcessBackend,
+                      ProcessPoolBackend, SerialBackend, ThreadPoolBackend,
+                      TrainingJob, available_backends, make_backend)
 
 from ..conftest import (FAST_DEVICE, SLOW_DEVICE, make_tiny_model,
                         make_tiny_simulation)
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "persistent")
+CONCURRENT_BACKENDS = ("thread", "process", "persistent")
+
+
+def _square(value):
+    """Module-level map function (picklable for the process backends)."""
+    return value * value
+
+
+def _reciprocal(value):
+    """Module-level map function that raises on zero."""
+    return 1.0 / value
 
 
 def _run_collaboration(backend_name, strategy_factory, num_cycles=3):
@@ -35,7 +46,8 @@ def _run_collaboration(backend_name, strategy_factory, num_cycles=3):
 
 class TestBackendFactory:
     def test_available_backends(self):
-        assert set(available_backends()) == {"serial", "thread", "process"}
+        assert set(available_backends()) == {"serial", "thread", "process",
+                                             "persistent"}
 
     def test_none_means_serial(self):
         assert isinstance(make_backend(None), SerialBackend)
@@ -44,6 +56,7 @@ class TestBackendFactory:
         ("serial", SerialBackend),
         ("thread", ThreadPoolBackend),
         ("process", ProcessPoolBackend),
+        ("persistent", PersistentProcessBackend),
     ])
     def test_by_name(self, name, cls):
         backend = make_backend(name)
@@ -54,6 +67,15 @@ class TestBackendFactory:
         backend = SerialBackend()
         assert make_backend(backend) is backend
 
+    def test_instance_with_max_workers_rejected(self):
+        """max_workers cannot retrofit an already-built pool instance."""
+        backend = ThreadPoolBackend(max_workers=2)
+        try:
+            with pytest.raises(ValueError, match="max_workers"):
+                make_backend(backend, max_workers=4)
+        finally:
+            backend.close()
+
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown execution backend"):
             make_backend("gpu-cluster")
@@ -62,14 +84,22 @@ class TestBackendFactory:
         with pytest.raises(TypeError):
             make_backend(42)
 
-    def test_invalid_worker_count_rejected(self):
+    @pytest.mark.parametrize("cls", [ThreadPoolBackend, ProcessPoolBackend,
+                                     PersistentProcessBackend])
+    def test_invalid_worker_count_rejected(self, cls):
         with pytest.raises(ValueError):
-            ThreadPoolBackend(max_workers=0)
+            cls(max_workers=0)
 
     def test_context_manager_closes(self):
         with ThreadPoolBackend(max_workers=1) as backend:
             assert backend.map_ordered(lambda x: x + 1, [1, 2]) == [2, 3]
         assert backend._pool is None
+
+    def test_persistent_context_manager_closes(self):
+        with PersistentProcessBackend(max_workers=1) as backend:
+            assert backend.map_ordered(_square, [1, 2]) == [1, 4]
+            assert backend._workers
+        assert not backend._workers
 
 
 class TestOrdering:
@@ -83,7 +113,7 @@ class TestOrdering:
             sim.backend.close()
         assert [update.client_id for update in updates] == [2, 0, 1]
 
-    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    @pytest.mark.parametrize("backend_name", CONCURRENT_BACKENDS)
     def test_duplicate_client_jobs_match_serial(self, backend_name):
         """Jobs of one client chain sequentially (RNG order preserved)."""
         def double_train(name):
@@ -117,7 +147,7 @@ class TestOrdering:
 class TestEquivalence:
     """Thread/process histories are bit-identical to serial ones."""
 
-    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    @pytest.mark.parametrize("backend_name", CONCURRENT_BACKENDS)
     def test_sync_fl_history_bit_identical(self, backend_name):
         reference_history, reference_weights = _run_collaboration(
             "serial", lambda: SynchronousFLStrategy(straggler_top_k=1))
@@ -132,7 +162,7 @@ class TestEquivalence:
             np.testing.assert_array_equal(weights[key],
                                           reference_weights[key])
 
-    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    @pytest.mark.parametrize("backend_name", CONCURRENT_BACKENDS)
     def test_helios_history_bit_identical(self, backend_name):
         """Masked soft-training (RNG-heavy path) is backend-invariant."""
         factory = lambda: HeliosStrategy(HeliosConfig(straggler_top_k=1))
@@ -159,7 +189,7 @@ class TestEquivalence:
             return updates, rng_states
 
         serial_updates, serial_rng = state_after_two_batches("serial")
-        for backend_name in ("thread", "process"):
+        for backend_name in CONCURRENT_BACKENDS:
             updates, rng_states = state_after_two_batches(backend_name)
             assert rng_states == serial_rng
             for expected, actual in zip(serial_updates, updates):
@@ -179,7 +209,7 @@ class TestFailurePaths:
         finally:
             sim.backend.close()
 
-    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    @pytest.mark.parametrize("backend_name", CONCURRENT_BACKENDS)
     def test_partial_batch_failure_fails_whole_batch(self, backend_name):
         sim = make_tiny_simulation()
         sim.set_backend(backend_name, max_workers=2)
@@ -203,6 +233,29 @@ class TestMapOrdered:
             assert backend.map_ordered(lambda x: x * x,
                                        list(range(10))) == \
                 [x * x for x in range(10)]
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_map_ordered_on_every_backend(self, backend_name):
+        """Every backend maps in input order (process backends need a
+        picklable function)."""
+        with make_backend(backend_name, max_workers=3) as backend:
+            assert backend.map_ordered(_square, list(range(10))) == \
+                [x * x for x in range(10)]
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_map_ordered_empty_items(self, backend_name):
+        with make_backend(backend_name, max_workers=2) as backend:
+            assert backend.map_ordered(_square, []) == []
+
+    def test_persistent_map_with_more_items_than_workers(self):
+        with PersistentProcessBackend(max_workers=2) as backend:
+            assert backend.map_ordered(_square, list(range(17))) == \
+                [x * x for x in range(17)]
+
+    def test_persistent_map_error_propagates(self):
+        with PersistentProcessBackend(max_workers=2) as backend:
+            with pytest.raises(ZeroDivisionError):
+                backend.map_ordered(_reciprocal, [2, 0, 1])
 
     def test_straggler_identification_with_backend(self):
         """Fleet profiling fans out over a backend's map_ordered."""
@@ -242,3 +295,277 @@ class TestSimulationBackendSelection:
         assert first._pool is None  # closed by the swap
         assert isinstance(second, SerialBackend)
         assert sim.backend is second
+
+    def test_set_backend_same_name_twice_closes_old_pool(self):
+        """A same-name swap builds a fresh pool and shuts the old one."""
+        sim = make_tiny_simulation()
+        first = sim.set_backend("thread", max_workers=1)
+        first.map_ordered(lambda x: x, [1])  # force pool creation
+        second = sim.set_backend("thread", max_workers=1)
+        try:
+            assert second is not first
+            assert first._pool is None  # old pool closed, not leaked
+            assert sim.backend is second
+        finally:
+            sim.close()
+
+    def test_set_backend_same_instance_is_noop(self):
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("thread", max_workers=1)
+        backend.map_ordered(lambda x: x, [1])
+        try:
+            assert sim.set_backend(backend) is backend
+            assert backend._pool is not None  # untouched
+        finally:
+            sim.close()
+
+    def test_simulation_close_and_context_manager(self):
+        with make_tiny_simulation() as sim:
+            backend = sim.set_backend("thread", max_workers=1)
+            backend.map_ordered(lambda x: x, [1])
+        assert backend._pool is None  # closed on context exit
+        sim.close()  # idempotent
+
+    def test_set_backend_migrates_mid_collaboration(self):
+        """serial → persistent mid-run is bit-identical to all-serial."""
+        reference = make_tiny_simulation()
+        reference.train_clients(reference.client_indices())
+        reference_updates = reference.train_clients(
+            reference.client_indices())
+
+        sim = make_tiny_simulation()
+        sim.train_clients(sim.client_indices())  # first batch on serial
+        sim.set_backend("persistent", max_workers=2)
+        try:
+            updates = sim.train_clients(sim.client_indices())
+        finally:
+            sim.close()
+        for expected, actual in zip(reference_updates, updates):
+            assert expected.train_loss == actual.train_loss
+            for key in expected.weights:
+                np.testing.assert_array_equal(expected.weights[key],
+                                              actual.weights[key])
+
+
+class TestBackendLifecycle:
+    """Lazy pool creation, close idempotency, and re-use after close."""
+
+    @pytest.mark.parametrize("cls", [ThreadPoolBackend, ProcessPoolBackend])
+    def test_pool_created_lazily(self, cls):
+        backend = cls(max_workers=1)
+        assert backend._pool is None
+        try:
+            backend.map_ordered(_square, [2])
+            assert backend._pool is not None
+        finally:
+            backend.close()
+
+    def test_persistent_workers_spawn_lazily(self):
+        backend = PersistentProcessBackend(max_workers=2)
+        assert not backend._workers
+        try:
+            backend.map_ordered(_square, [1])
+            assert len(backend._workers) == 1  # one item → one worker slot
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_close_is_idempotent(self, backend_name):
+        backend = make_backend(backend_name, max_workers=1)
+        backend.map_ordered(_square, [1])
+        backend.close()
+        backend.close()
+
+    @pytest.mark.parametrize("backend_name", CONCURRENT_BACKENDS)
+    def test_reuse_after_close_respawns_pool(self, backend_name):
+        sim = make_tiny_simulation()
+        sim.set_backend(backend_name, max_workers=2)
+        try:
+            first = sim.train_clients([0, 1, 2])
+            sim.backend.close()
+            # The pool is gone; the next batch must lazily rebuild it
+            # (for the persistent backend: re-ship specs + RNG digests).
+            second = sim.train_clients([0, 1, 2])
+        finally:
+            sim.close()
+        assert [update.client_id for update in second] == [0, 1, 2]
+        assert all(np.isfinite(update.train_loss) for update in second)
+        # The reused pool continues each client's RNG stream where the
+        # first batch left it — bit-identical to an uninterrupted serial
+        # run of two batches.
+        serial_sim = make_tiny_simulation()
+        serial_sim.train_clients([0, 1, 2])
+        serial_second = serial_sim.train_clients([0, 1, 2])
+        for expected, actual in zip(serial_second, second):
+            assert expected.train_loss == actual.train_loss
+
+
+class TestPersistentResidency:
+    """Sticky placement, one-time spec shipping, and invalidation."""
+
+    def test_sticky_placement_across_batches(self):
+        sim = make_tiny_simulation()
+        sim.set_backend("persistent", max_workers=2)
+        try:
+            sim.train_clients(sim.client_indices())
+            placement_first = dict(sim.backend._placement)
+            sim.train_clients(sim.client_indices())
+            assert sim.backend._placement == placement_first
+            assert set(placement_first.values()) <= {0, 1}
+        finally:
+            sim.close()
+
+    def test_spec_shipped_once_then_payload_shrinks(self):
+        sim = make_tiny_simulation()
+        sim.set_backend("persistent", max_workers=2)
+        weights = sim.server.get_global_weights()
+        jobs = [TrainingJob(index=index, weights=weights)
+                for index in sim.client_indices()]
+        try:
+            cold = sim.backend.dispatch_payload_bytes(sim.clients, jobs)
+            sim.run_jobs(jobs)
+            warm = sim.backend.dispatch_payload_bytes(sim.clients, jobs)
+            assert warm < cold  # specs (datasets!) no longer travel
+            assert sim.backend.last_dispatch_bytes == cold
+            sim.run_jobs(jobs)
+            assert sim.backend.last_dispatch_bytes == warm
+        finally:
+            sim.close()
+
+    def test_warm_payload_independent_of_dataset_size(self):
+        """The headline property: dispatch is O(weights), not O(dataset)."""
+        def warm_payload(samples_per_client):
+            sim = make_tiny_simulation(samples_per_client=samples_per_client)
+            sim.set_backend("persistent", max_workers=2)
+            weights = sim.server.get_global_weights()
+            jobs = [TrainingJob(index=index, weights=weights)
+                    for index in sim.client_indices()]
+            try:
+                sim.run_jobs(jobs)
+                persistent = sim.backend.dispatch_payload_bytes(
+                    sim.clients, jobs)
+                process = ProcessPoolBackend().dispatch_payload_bytes(
+                    sim.clients, jobs)
+            finally:
+                sim.close()
+            return persistent, process
+
+        small_persistent, small_process = warm_payload(20)
+        large_persistent, large_process = warm_payload(200)
+        # Warm persistent dispatch does not grow with the dataset (the
+        # RNG digests' integer values pickle to ±a few bytes) …
+        assert abs(large_persistent - small_persistent) \
+            <= 0.01 * small_persistent
+        # … while whole-client pickling does, and is strictly larger.
+        assert large_process > small_process
+        assert small_persistent < small_process
+        assert large_persistent < large_process
+
+    def test_invalidate_client_reships_spec(self):
+        sim = make_tiny_simulation()
+        sim.set_backend("persistent", max_workers=2)
+        weights = sim.server.get_global_weights()
+        jobs = [TrainingJob(index=index, weights=weights)
+                for index in sim.client_indices()]
+        try:
+            sim.run_jobs(jobs)
+            warm = sim.backend.dispatch_payload_bytes(sim.clients, jobs)
+            sim.invalidate_cost_caches(0)  # lifecycle event → backend hook
+            invalidated = sim.backend.dispatch_payload_bytes(sim.clients,
+                                                             jobs)
+            assert invalidated > warm  # client 0's spec travels again
+            sim.run_jobs(jobs)  # and the batch still trains fine
+        finally:
+            sim.close()
+
+    def test_device_mutation_routed_through_backend(self):
+        sim = make_tiny_simulation()
+        sim.set_backend("persistent", max_workers=2)
+        try:
+            sim.train_clients(sim.client_indices())
+            assert 2 in sim.backend._resident
+            new_device = FAST_DEVICE.scaled(name="upgraded-straggler")
+            sim.set_client_device(2, new_device)
+            assert 2 not in sim.backend._resident
+            assert sim.client(2).device.name == "upgraded-straggler"
+            assert sim.client(2).spec.device.name == "upgraded-straggler"
+            updates = sim.train_clients(sim.client_indices())
+            assert updates[2].client_name == "upgraded-straggler"
+        finally:
+            sim.close()
+
+    @pytest.mark.parametrize("mutate", ["dataset", "config"])
+    def test_identity_mutation_reships_spec_automatically(self, mutate):
+        """dataset/config setters bump the spec version: the resident
+        replica is rebuilt even without an explicit invalidation, so the
+        persistent run stays bit-identical to a serial one."""
+        from repro.fl import ClientConfig
+        from ..conftest import make_tiny_dataset
+
+        def run(backend_name):
+            sim = make_tiny_simulation()
+            if backend_name != "serial":
+                sim.set_backend(backend_name, max_workers=2)
+            try:
+                sim.train_clients(sim.client_indices())
+                if mutate == "dataset":
+                    sim.client(1).dataset = make_tiny_dataset(24, seed=11)
+                else:
+                    sim.client(1).config = ClientConfig(batch_size=20,
+                                                        local_epochs=2,
+                                                        learning_rate=0.1)
+                return sim.train_clients(sim.client_indices())
+            finally:
+                sim.close()
+
+        serial_updates = run("serial")
+        persistent_updates = run("persistent")
+        for expected, actual in zip(serial_updates, persistent_updates):
+            assert expected.num_samples == actual.num_samples
+            assert expected.local_epochs == actual.local_epochs
+            assert expected.train_loss == actual.train_loss
+            for key in expected.weights:
+                np.testing.assert_array_equal(expected.weights[key],
+                                              actual.weights[key])
+
+    def test_add_client_trains_on_persistent_backend(self):
+        from repro.fl import ClientConfig, FLClient
+        from ..conftest import make_tiny_dataset
+        sim = make_tiny_simulation()
+        sim.set_backend("persistent", max_workers=2)
+        try:
+            sim.train_clients(sim.client_indices())
+            joiner = FLClient(client_id=3,
+                              dataset=make_tiny_dataset(40, seed=5),
+                              device=FAST_DEVICE.scaled(name="joiner"),
+                              model_factory=make_tiny_model,
+                              config=ClientConfig(batch_size=20))
+            index = sim.add_client(joiner)
+            updates = sim.train_clients(sim.client_indices())
+            assert updates[index].client_name == "joiner"
+        finally:
+            sim.close()
+
+    def test_shared_backend_across_simulations_reships_specs(self):
+        """Adopting a backend used by another fleet must not reuse its
+        worker-resident replicas."""
+        backend = PersistentProcessBackend(max_workers=2)
+        try:
+            first = make_tiny_simulation()
+            first.set_backend(backend)
+            first.train_clients(first.client_indices())
+
+            reference = make_tiny_simulation(seed=3)
+            reference_updates = reference.train_clients(
+                reference.client_indices())
+
+            second = make_tiny_simulation(seed=3)
+            second.set_backend(backend)
+            updates = second.train_clients(second.client_indices())
+            for expected, actual in zip(reference_updates, updates):
+                assert expected.train_loss == actual.train_loss
+                for key in expected.weights:
+                    np.testing.assert_array_equal(expected.weights[key],
+                                                  actual.weights[key])
+        finally:
+            backend.close()

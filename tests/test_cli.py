@@ -53,6 +53,19 @@ class TestMain:
         assert main(["run", "fig99"]) == 2
         assert "error" in capsys.readouterr().err.lower()
 
+    def test_backend_flag_warns_on_profiling_experiment(self, capsys):
+        """table1 runs no trainings: the flags must not vanish silently."""
+        assert main(["run", "table1", "--scale", "smoke",
+                     "--backend", "persistent", "--workers", "2"]) == 0
+        err = capsys.readouterr().err.lower()
+        assert "warning" in err and "--backend" in err
+
+    def test_workers_with_serial_backend_warns(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke",
+                     "--workers", "4"]) == 0
+        err = capsys.readouterr().err.lower()
+        assert "warning" in err and "--workers" in err
+
     def test_run_table1_smoke(self, capsys, tmp_path):
         output_file = os.path.join(tmp_path, "table1.txt")
         code = main(["run", "table1", "--scale", "smoke",
