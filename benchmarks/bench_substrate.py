@@ -177,6 +177,10 @@ def test_bench_cycle_persistent_backend(benchmark):
     _bench_backend_cycle(benchmark, "persistent")
 
 
+def test_bench_cycle_sharded_backend(benchmark):
+    _bench_backend_cycle(benchmark, "sharded")
+
+
 def _timed_cycle(backend_name):
     """Seconds of one warm full-fleet cycle on the latency-bound fleet."""
     sim = _latency_fleet()
@@ -201,19 +205,23 @@ def test_parallel_backends_beat_serial_cycle():
     thread_s = _timed_cycle("thread")
     process_s = _timed_cycle("process")
     persistent_s = _timed_cycle("persistent")
+    sharded_s = _timed_cycle("sharded")
     print(f"\nmulti-client cycle ({_NUM_LATENCY_CLIENTS} clients, "
           f"{_CLIENT_LATENCY_S * 1000:.0f} ms latency each): "
           f"serial {serial_s * 1000:.1f} ms, "
           f"thread {thread_s * 1000:.1f} ms ({serial_s / thread_s:.2f}x), "
           f"process {process_s * 1000:.1f} ms ({serial_s / process_s:.2f}x), "
           f"persistent {persistent_s * 1000:.1f} ms "
-          f"({serial_s / persistent_s:.2f}x)")
+          f"({serial_s / persistent_s:.2f}x), "
+          f"sharded {sharded_s * 1000:.1f} ms "
+          f"({serial_s / sharded_s:.2f}x)")
     # The serial cycle pays every client's latency back to back; the
     # pooled backends overlap them.  Require a conservative 1.5x so the
     # assertion stays robust on loaded CI machines.
     assert serial_s > 1.5 * thread_s
     assert serial_s > 1.5 * process_s
     assert serial_s > 1.5 * persistent_s
+    assert serial_s > 1.5 * sharded_s
 
 
 # --------------------------------------------------------------------- #
@@ -247,7 +255,13 @@ def _payload_fleet(samples_per_client):
 
 
 def _dispatch_payloads(samples_per_client):
-    """Warm per-cycle dispatch bytes of the process/persistent backends."""
+    """Warm per-cycle dispatch bytes of the distributed-capable backends.
+
+    Measures the ``persistent`` pipe backend, a 2-shard ``sharded``
+    socket fleet (the wire bytes a multi-host deployment would put on
+    the network each cycle) and the whole-client-pickling ``process``
+    baseline.
+    """
     from repro.fl import ProcessPoolBackend
     from repro.fl.executor import TrainingJob
 
@@ -264,7 +278,22 @@ def _dispatch_payloads(samples_per_client):
                                                               jobs)
     finally:
         sim.close()
+
+    sharded_sim = _payload_fleet(samples_per_client)
+    sharded_sim.set_backend("sharded", max_workers=2)
+    sharded_weights = sharded_sim.server.get_global_weights()
+    sharded_jobs = [TrainingJob(index=index, weights=sharded_weights)
+                    for index in sharded_sim.client_indices()]
+    try:
+        sharded_cold = sharded_sim.backend.dispatch_payload_bytes(
+            sharded_sim.clients, sharded_jobs)
+        sharded_sim.run_jobs(sharded_jobs)
+        sharded_warm = sharded_sim.backend.dispatch_payload_bytes(
+            sharded_sim.clients, sharded_jobs)
+    finally:
+        sharded_sim.close()
     return {"persistent_cold": cold, "persistent_warm": warm,
+            "sharded_cold": sharded_cold, "sharded_warm": sharded_warm,
             "process": process}
 
 
@@ -272,11 +301,12 @@ def test_substrate_report_json(results_dir):
     """Write BENCH_substrate.json and assert the dispatch-scaling claim."""
     cycle_seconds = {name: _timed_cycle(name)
                      for name in ("serial", "thread", "process",
-                                  "persistent")}
+                                  "persistent", "sharded")}
     payloads = {"small": _dispatch_payloads(samples_per_client=20),
                 "large": _dispatch_payloads(samples_per_client=200)}
     report = {
         "num_clients": _NUM_LATENCY_CLIENTS,
+        "num_shards": 2,
         "client_latency_s": _CLIENT_LATENCY_S,
         "cycle_seconds": cycle_seconds,
         "dispatch_payload_bytes": payloads,
@@ -286,19 +316,26 @@ def test_substrate_report_json(results_dir):
         json.dump(report, handle, indent=2, sort_keys=True)
     print(f"\nwritten {path}: "
           f"warm persistent dispatch {payloads['small']['persistent_warm']}B "
-          f"(small) / {payloads['large']['persistent_warm']}B (large) vs. "
+          f"(small) / {payloads['large']['persistent_warm']}B (large), "
+          f"warm sharded {payloads['small']['sharded_warm']}B / "
+          f"{payloads['large']['sharded_warm']}B vs. "
           f"process {payloads['small']['process']}B / "
           f"{payloads['large']['process']}B")
-    # Warm persistent dispatch ships weights + RNG digests only: the
+    # Warm resident dispatch ships weights + RNG digests only: the
     # payload must not grow with the dataset (the digests' integer
     # values pickle to ±a few bytes, hence the 1 % tolerance on a 10x
-    # dataset-size increase) …
-    assert (abs(payloads["large"]["persistent_warm"]
-                - payloads["small"]["persistent_warm"])
-            <= 0.01 * payloads["small"]["persistent_warm"])
+    # dataset-size increase) — for the pipe workers *and* the 2-shard
+    # socket fleet, whose wire format is identical …
+    for warm in ("persistent_warm", "sharded_warm"):
+        assert (abs(payloads["large"][warm] - payloads["small"][warm])
+                <= 0.01 * payloads["small"][warm])
+    assert (payloads["small"]["sharded_warm"]
+            == payloads["small"]["persistent_warm"])
     # … while the process backend re-pickles whole clients, datasets
     # included, and must be strictly larger at every size.
     assert payloads["large"]["process"] > payloads["small"]["process"]
     for size in ("small", "large"):
         assert (payloads[size]["persistent_warm"]
+                < payloads[size]["process"])
+        assert (payloads[size]["sharded_warm"]
                 < payloads[size]["process"])

@@ -5,11 +5,15 @@ Usage::
     python -m repro list
     python -m repro run table1 --scale fast
     python -m repro run fig5 --scale smoke --output results/fig5.txt
+    python -m repro run fig6 --backend sharded --shards host1:7600,host2:7600
+    python -m repro shard-worker --host 0.0.0.0 --port 7600
     python -m repro scales
 
 Every experiment prints the same rows/series the paper reports; the
 optional ``--output`` flag additionally writes the formatted text to a
-file.
+file.  ``shard-worker`` starts one shard server of the ``sharded``
+execution backend (see :mod:`repro.fl.transport`); ``--backend sharded``
+without ``--shards`` auto-spawns localhost shard workers instead.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ from typing import List, Optional
 
 from .experiments import (SCALES, available_experiments, get_experiment,
                           run_experiment)
-from .fl.executor import available_backends, make_backend
+from .fl.executor import (SHARD_ANNOUNCE_PREFIX, available_backends,
+                          make_backend)
 
 __all__ = ["build_parser", "main"]
 
@@ -56,10 +61,30 @@ def build_parser() -> argparse.ArgumentParser:
                                  "per cycle)")
     run_parser.add_argument("--workers", type=int, default=None,
                             help="worker count for the pooled backends "
-                                 "(thread/process/persistent; default: "
-                                 "library default)")
+                                 "(thread/process/persistent, or the "
+                                 "number of auto-spawned localhost shards "
+                                 "for sharded; default: library default)")
+    run_parser.add_argument("--shards", default=None,
+                            help="comma-separated host:port addresses of "
+                                 "running 'repro shard-worker' servers "
+                                 "(requires --backend sharded; omit to "
+                                 "auto-spawn localhost shards)")
     run_parser.add_argument("--output", default=None,
                             help="also write the formatted output to a file")
+
+    shard_parser = subparsers.add_parser(
+        "shard-worker",
+        help="serve one shard of the 'sharded' execution backend")
+    shard_parser.add_argument("--host", default="127.0.0.1",
+                              help="interface to listen on "
+                                   "(default: 127.0.0.1)")
+    shard_parser.add_argument("--port", type=int, default=0,
+                              help="port to listen on (default: 0 = let "
+                                   "the OS pick; the bound port is "
+                                   "announced on stdout)")
+    shard_parser.add_argument("--max-frame-bytes", type=int, default=None,
+                              help="reject protocol frames larger than "
+                                   "this many bytes")
     return parser
 
 
@@ -78,7 +103,10 @@ def _print_scales() -> None:
 
 def _run(experiment: str, scale: str, seed: int,
          output: Optional[str], backend: str = "serial",
-         workers: Optional[int] = None) -> int:
+         workers: Optional[int] = None,
+         shards: Optional[str] = None) -> int:
+    if shards is not None and backend != "sharded":
+        raise ValueError("--shards requires --backend sharded")
     kwargs = {"scale": scale}
     entry = get_experiment(experiment)
     # Profiling-only experiments take neither a seed nor a training
@@ -89,12 +117,14 @@ def _run(experiment: str, scale: str, seed: int,
     shared_backend = None
     if backend != "serial" and "backend" not in accepts:
         print(f"warning: experiment {experiment!r} runs no client "
-              f"trainings; ignoring --backend/--workers", file=sys.stderr)
+              f"trainings; ignoring --backend/--workers/--shards",
+              file=sys.stderr)
     elif backend == "serial" and workers is not None:
         print("warning: --workers has no effect with the serial backend",
               file=sys.stderr)
     elif "backend" in accepts and backend != "serial":
-        shared_backend = make_backend(backend, max_workers=workers)
+        shared_backend = make_backend(backend, max_workers=workers,
+                                      shards=shards)
         kwargs["backend"] = shared_backend
     try:
         _, text = run_experiment(experiment, **kwargs)
@@ -122,12 +152,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         try:
             return _run(args.experiment, args.scale, args.seed, args.output,
-                        backend=args.backend, workers=args.workers)
+                        backend=args.backend, workers=args.workers,
+                        shards=args.shards)
         except (KeyError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.command == "shard-worker":
+        return _serve_shard(args.host, args.port, args.max_frame_bytes)
     parser.print_help()
     return 1
+
+
+def _serve_shard(host: str, port: int,
+                 max_frame_bytes: Optional[int]) -> int:
+    """Run one shard server until it receives a shutdown message."""
+    from .fl.transport import DEFAULT_MAX_FRAME_BYTES, serve_shard
+
+    if max_frame_bytes is not None and not 0 < max_frame_bytes <= 0xFFFFFFFF:
+        print("error: --max-frame-bytes must be positive and within the "
+              "4-byte frame header's 4 GiB limit", file=sys.stderr)
+        return 2
+    if max_frame_bytes is None:
+        max_frame_bytes = DEFAULT_MAX_FRAME_BYTES
+
+    def announce(bound_host: str, bound_port: int) -> None:
+        # The auto-spawn mode of ShardedSocketBackend parses this line.
+        print(f"{SHARD_ANNOUNCE_PREFIX} {bound_host} {bound_port}",
+              flush=True)
+
+    try:
+        serve_shard(host, port, max_frame_bytes=max_frame_bytes,
+                    ready=announce)
+    except OSError as error:
+        print(f"error: cannot serve shard on {host}:{port}: {error}",
+              file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -212,17 +212,21 @@ def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
                    num_cycles: int, eval_every: int = 1,
                    verbose: bool = False,
                    backend: Union[None, str, ExecutionBackend] = None,
-                   max_workers: Optional[int] = None
-                   ) -> Dict[str, TrainingHistory]:
+                   max_workers: Optional[int] = None,
+                   shards=None) -> Dict[str, TrainingHistory]:
     """Run every strategy on its own fresh copy of the simulation.
 
     ``backend`` (optional) overrides the execution backend of every fresh
     simulation; a single pool instance is shared across the strategy runs
     and closed afterwards when this function created it.  ``max_workers``
     only applies when ``backend`` is a name — combining it with an
-    already-constructed instance raises ``ValueError``.
+    already-constructed instance raises ``ValueError``.  ``shards``
+    (``backend="sharded"`` only) selects the shard topology: a list of
+    ``host:port`` addresses of running ``repro shard-worker`` servers or
+    an integer count of auto-spawned localhost shards.
     """
-    shared_backend = (make_backend(backend, max_workers=max_workers)
+    shared_backend = (make_backend(backend, max_workers=max_workers,
+                                   shards=shards)
                       if backend is not None else None)
     owns_backend = (shared_backend is not None
                     and not isinstance(backend, ExecutionBackend))

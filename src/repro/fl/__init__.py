@@ -5,8 +5,9 @@ from .aggregation import (ModelStructure, aggregate_full, aggregate_partial,
 from .client import (ClientConfig, ClientSpec, ClientState, ClientUpdate,
                      FLClient)
 from .executor import (ExecutionBackend, PersistentProcessBackend,
-                       ProcessPoolBackend, SerialBackend, ThreadPoolBackend,
-                       TrainingJob, available_backends, make_backend)
+                       ProcessPoolBackend, SerialBackend, ShardError,
+                       ShardedSocketBackend, ThreadPoolBackend, TrainingJob,
+                       available_backends, make_backend)
 from .history import CycleRecord, TrainingHistory
 from .sampling import (ClientSampler, FullParticipation, RandomSampling,
                        ResourceAwareSampling)
@@ -39,6 +40,8 @@ __all__ = [
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "PersistentProcessBackend",
+    "ShardedSocketBackend",
+    "ShardError",
     "TrainingJob",
     "available_backends",
     "make_backend",

@@ -23,6 +23,18 @@ Four implementations are provided:
   per-job masks and a per-client RNG digest.  Dispatch cost is therefore
   O(weights), independent of dataset size — this is the substrate for
   sharded / multi-host fleets.
+* :class:`ShardedSocketBackend` — the persistent protocol lifted onto
+  sockets (see :mod:`repro.fl.transport`): the fleet is partitioned
+  across N shard servers, each an addressable ``repro shard-worker``
+  process hosting resident clients.  Shards may run on other machines
+  (``shards=["host:port", ...]``) or be auto-spawned on localhost for
+  single-machine use.
+
+The two resident backends share all determinism-critical machinery
+(sticky placement, spec-version residency, weight-snapshot dedup,
+ordered reply collection) through :class:`_ResidentFleetBackend`; they
+differ only in the transport underneath (duplex pipes vs. framed
+sockets).
 
 Determinism
 -----------
@@ -46,9 +58,15 @@ fails loudly rather than silently dropping a client's update.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
+import select
+import subprocess
+import sys
+import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
@@ -58,6 +76,9 @@ import numpy as np
 
 from ..nn.masking import ModelMask
 from .client import ClientSpec, ClientUpdate, FLClient
+from .transport import (DEFAULT_MAX_FRAME_BYTES, ProtocolError,
+                        TransportError, _picklable_exception,
+                        connect_to_shard, format_address, parse_address)
 
 __all__ = [
     "TrainingJob",
@@ -66,12 +87,25 @@ __all__ = [
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "PersistentProcessBackend",
+    "ShardedSocketBackend",
+    "ShardError",
     "available_backends",
     "make_backend",
 ]
 
 #: Pickle protocol used for worker traffic (payload accounting included).
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Transport failures that mean "the worker/shard is gone", as opposed to
+#: an exception the remote training itself raised.
+_TRANSPORT_FAILURES = (EOFError, OSError, TransportError)
+
+#: Control messages, pickled once at import time so that closing a
+#: backend never needs to pickle anything — ``close()`` stays safe even
+#: during interpreter shutdown, when module globals may be torn down.
+_CLOSE_BLOB = pickle.dumps(("close", None), _PICKLE_PROTOCOL)
+_BYE_BLOB = pickle.dumps(("bye", None), _PICKLE_PROTOCOL)
+_SHUTDOWN_BLOB = pickle.dumps(("shutdown", None), _PICKLE_PROTOCOL)
 
 
 @dataclass
@@ -232,9 +266,15 @@ class _PoolBackend(ExecutionBackend):
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True)
+            except Exception:
+                # close() must stay idempotent and safe during interpreter
+                # shutdown; a pool that cannot shut down cleanly anymore
+                # has nothing left worth raising about.
+                pass
 
     def _submit_job_groups(self, clients: Sequence[FLClient],
                            jobs: Sequence[TrainingJob],
@@ -376,13 +416,46 @@ class _WireBatch:
     groups: List[_WireGroup]
 
 
-def _picklable_exception(exc: BaseException) -> BaseException:
-    """The exception itself if it pickles, else a faithful stand-in."""
+def _handle_resident_request(kind: str, payload: Any,
+                             residents: Dict[int, "FLClient"]
+                             ) -> Tuple[str, Any]:
+    """Serve one ``run``/``map`` request against a resident fleet.
+
+    This is the protocol core shared by the pipe workers and the socket
+    shard servers (their loops differ only in transport and control
+    messages).  A request whose handling blows up degrades to an
+    ``("error", ...)`` reply instead of killing the worker — only
+    ``Exception``, though, so Ctrl-C still stops a foreground shard
+    mid-batch.
+    """
+    if kind == "run":
+        try:
+            return ("results", _run_wire_batch(residents, payload))
+        except Exception as exc:
+            return ("error", _picklable_exception(exc))
+    if kind == "map":
+        try:
+            fn, items = payload
+            return ("ok", [(position, fn(item))
+                           for position, item in items])
+        except Exception as exc:
+            return ("error", _picklable_exception(exc))
+    return ("error", ProtocolError(f"unknown message kind {kind!r}"))
+
+
+def _pickle_reply(reply: Tuple[str, Any]) -> bytes:
+    """Pickle a reply, degrading to an error reply if the result won't.
+
+    The parent is blocked waiting for exactly one reply per request, so
+    an unpicklable result must answer *something* rather than kill the
+    worker and tear the whole fleet down.
+    """
     try:
-        pickle.dumps(exc, _PICKLE_PROTOCOL)
-        return exc
-    except Exception:
-        return RuntimeError(f"{type(exc).__name__}: {exc}")
+        return pickle.dumps(reply, _PICKLE_PROTOCOL)
+    except Exception as exc:
+        return pickle.dumps(
+            ("error", RuntimeError(f"worker reply does not pickle: "
+                                   f"{exc!r}")), _PICKLE_PROTOCOL)
 
 
 def _persistent_worker_main(conn) -> None:
@@ -403,19 +476,8 @@ def _persistent_worker_main(conn) -> None:
             kind, payload = pickle.loads(blob)
             if kind == "close":
                 break
-            if kind == "run":
-                reply = ("results", _run_wire_batch(residents, payload))
-            elif kind == "map":
-                fn, items = payload
-                try:
-                    reply = ("ok", [(position, fn(item))
-                                    for position, item in items])
-                except BaseException as exc:
-                    reply = ("error", _picklable_exception(exc))
-            else:  # pragma: no cover - protocol misuse guard
-                reply = ("error",
-                         RuntimeError(f"unknown message kind {kind!r}"))
-            conn.send_bytes(pickle.dumps(reply, _PICKLE_PROTOCOL))
+            reply = _handle_resident_request(kind, payload, residents)
+            conn.send_bytes(_pickle_reply(reply))
     finally:
         conn.close()
 
@@ -426,7 +488,15 @@ def _run_wire_batch(residents: Dict[int, FLClient],
     results: List[Tuple] = []
     for group in batch.groups:
         if group.spec is not None:
-            residents[group.index] = group.spec.build()
+            # A spec that cannot build on this host (import error, missing
+            # file) fails its own group, not the whole worker/shard.
+            try:
+                residents[group.index] = group.spec.build()
+            except Exception as exc:
+                residents.pop(group.index, None)
+                results.append((group.index, "error",
+                                _picklable_exception(exc)))
+                continue
         client = residents.get(group.index)
         if client is None:  # pragma: no cover - protocol invariant guard
             results.append((group.index, "error", RuntimeError(
@@ -439,7 +509,7 @@ def _run_wire_batch(residents: Dict[int, FLClient],
                 batch.weights_table[job.weights_ref], mask=job.mask,
                 local_epochs=job.local_epochs, base_cycle=job.base_cycle)
                 for job in group.jobs]
-        except BaseException as exc:
+        except Exception as exc:
             # The replica may be mid-training; drop it so the parent
             # re-ships a clean spec before the client's next batch.
             residents.pop(group.index, None)
@@ -469,50 +539,57 @@ class _PersistentWorker:
         return pickle.loads(self.conn.recv_bytes())
 
     def stop(self) -> None:
+        # Every step is individually guarded: stop() is called from
+        # close(), which must succeed on an already-dead worker and even
+        # during interpreter shutdown (hence the pre-pickled blob).
         try:
-            self.conn.send_bytes(pickle.dumps(("close", None),
-                                              _PICKLE_PROTOCOL))
-        except (OSError, ValueError, BrokenPipeError):
+            self.conn.send_bytes(_CLOSE_BLOB)
+        except Exception:
             pass
-        self.process.join(timeout=5.0)
-        if self.process.is_alive():  # pragma: no cover - hang safety net
-            self.process.terminate()
-            self.process.join(timeout=1.0)
-        self.conn.close()
+        try:
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover - hang safety net
+                self.process.terminate()
+                self.process.join(timeout=1.0)
+        except Exception:
+            pass
+        try:
+            self.conn.close()
+        except Exception:
+            pass
 
 
-class PersistentProcessBackend(ExecutionBackend):
-    """Stateful worker pool: clients are built once and stay resident.
+class ShardError(RuntimeError):
+    """A shard server failed or disconnected mid-operation.
 
-    Every client index is pinned to one worker (sticky placement, round-
-    robin on first appearance).  The first batch that touches a client
-    ships its :class:`ClientSpec`; afterwards the worker reuses its
-    resident replica and the parent sends only
-
-    * the starting-weights snapshot, **once per worker per batch**
-      (jobs reference it by table index, so a shared global snapshot is
-      never duplicated),
-    * per-job masks and epoch overrides,
-    * a per-client RNG digest (a few hundred bytes).
-
-    Per-cycle dispatch is therefore O(weights + masks), independent of
-    dataset size.  The reply path matches the process backend: updates
-    plus the post-training RNG digest, which the parent mirrors into its
-    own client objects — so the fleet in the parent process is always
-    current and migrating to another backend via
-    :meth:`FederatedSimulation.set_backend` is lossless.
+    Carries the shard identity (``slot`` and ``address``) so a fleet
+    operator can tell *which* shard to inspect or restart.
     """
 
-    name = "persistent"
+    def __init__(self, message: str, slot: Optional[int] = None,
+                 address: Optional[Tuple[str, int]] = None) -> None:
+        super().__init__(message)
+        self.slot = slot
+        self.address = address
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
-        if max_workers is not None and max_workers <= 0:
-            raise ValueError("max_workers must be positive")
-        self.max_workers = max_workers
-        self._ctx = multiprocessing.get_context()
-        self._workers: Dict[int, _PersistentWorker] = {}
+
+class _ResidentFleetBackend(ExecutionBackend):
+    """Shared machinery of the worker-resident backends.
+
+    Subclasses own the transport — duplex pipes to local worker
+    processes (:class:`PersistentProcessBackend`) or framed sockets to
+    shard servers (:class:`ShardedSocketBackend`) — and this base owns
+    everything determinism-critical: sticky client→slot placement,
+    spec-version residency tracking, per-slot weight-snapshot dedup,
+    ordered reply collection and parent-side state mirroring.  A
+    transport failure on any slot aborts the whole batch, closes the
+    backend (no orphan workers or sockets) and raises the subclass's
+    slot-identified error.
+    """
+
+    def __init__(self) -> None:
         self._placement: Dict[int, int] = {}
-        #: index → spec_version of the replica resident in its worker; a
+        #: index → spec_version of the replica resident in its slot; a
         #: client whose current spec_version differs (any identity
         #: mutation: dataset, device, config, …) gets its spec re-shipped.
         self._resident: Dict[int, int] = {}
@@ -522,16 +599,55 @@ class PersistentProcessBackend(ExecutionBackend):
 
     @property
     def num_slots(self) -> int:
-        """Number of worker slots (workers spawn lazily per slot)."""
-        return self.max_workers or os.cpu_count() or 1
+        """Number of slots the fleet is partitioned across."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------ #
-    def _worker(self, slot: int) -> _PersistentWorker:
-        worker = self._workers.get(slot)
-        if worker is None:
-            worker = _PersistentWorker(self._ctx)
-            self._workers[slot] = worker
-        return worker
+    # transport interface implemented by subclasses
+    # ------------------------------------------------------------------ #
+    def _slot_send(self, slot: int, blob: bytes) -> None:
+        """Ship one pre-pickled message to a slot (creating it lazily)."""
+        raise NotImplementedError
+
+    def _slot_recv(self, slot: int) -> Tuple[str, Any]:
+        """Receive one ``(kind, payload)`` reply from a slot."""
+        raise NotImplementedError
+
+    def _slot_error(self, slot: int, context: str) -> RuntimeError:
+        """The error to raise when a slot's transport died."""
+        raise NotImplementedError
+
+    def _teardown(self) -> None:
+        """Release every slot's transport resources."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, slot: int, blob: bytes, context: str) -> None:
+        try:
+            self._slot_send(slot, blob)
+        except ShardError:
+            # Spawn/announce failures already carry the shard identity;
+            # still close: earlier slots may have undrained in-flight
+            # batches that would desynchronize the protocol on reuse.
+            self.close()
+            raise
+        except _TRANSPORT_FAILURES as exc:
+            # Build the error before close() wipes the slot bookkeeping
+            # (it carries the slot identity, e.g. the shard's address).
+            error = self._slot_error(slot, context)
+            self.close()
+            raise error from exc
+
+    def _collect_reply(self, slot: int, context: str) -> Tuple[str, Any]:
+        try:
+            return self._slot_recv(slot)
+        except ShardError:
+            self.close()
+            raise
+        except _TRANSPORT_FAILURES as exc:
+            error = self._slot_error(slot, context)
+            self.close()
+            raise error from exc
 
     def _build_payloads(self, clients: Sequence[FLClient],
                         jobs: Sequence[TrainingJob], commit: bool
@@ -586,16 +702,15 @@ class PersistentProcessBackend(ExecutionBackend):
         self.last_dispatch_bytes = sum(len(blob) for blob in blobs.values())
         slots = sorted(blobs)
         for slot in slots:
-            self._worker(slot).send(blobs[slot])
+            self._dispatch(slot, blobs[slot], "dispatching a batch")
         outcomes: Dict[int, Tuple] = {}
         for slot in slots:
-            try:
-                kind, results = self._workers[slot].recv()
-            except (EOFError, OSError):
+            kind, results = self._collect_reply(slot, "running a batch")
+            if kind != "results":
                 self.close()
-                raise RuntimeError(
-                    "persistent worker died while running a batch "
-                    "(pool has been shut down)") from None
+                if isinstance(results, BaseException):
+                    raise results
+                raise RuntimeError(f"unexpected batch reply {kind!r}")
             for outcome in results:
                 outcomes[outcome[0]] = outcome
         # Residency first, for *every* outcome: workers drop a replica
@@ -640,17 +755,11 @@ class PersistentProcessBackend(ExecutionBackend):
                                     _PICKLE_PROTOCOL)
                  for slot in slots}
         for slot in slots:
-            self._worker(slot).send(blobs[slot])
+            self._dispatch(slot, blobs[slot], "dispatching map_ordered")
         results: List[Any] = [None] * len(items)
         error: Optional[BaseException] = None
         for slot in slots:
-            try:
-                kind, payload = self._workers[slot].recv()
-            except (EOFError, OSError):
-                self.close()
-                raise RuntimeError(
-                    "persistent worker died during map_ordered "
-                    "(pool has been shut down)") from None
+            kind, payload = self._collect_reply(slot, "running map_ordered")
             if kind == "error":
                 error = error or payload
                 continue
@@ -680,13 +789,349 @@ class PersistentProcessBackend(ExecutionBackend):
                    for batch in batches.values())
 
     def close(self) -> None:
-        """Stop every worker; the pool respawns lazily if used again."""
-        for worker in self._workers.values():
-            worker.stop()
-        self._workers.clear()
+        """Stop every slot; the backend re-creates them lazily if reused.
+
+        Idempotent, safe after a worker/shard death and safe during
+        interpreter shutdown: teardown failures are swallowed, the
+        placement/residency bookkeeping is always reset.
+        """
+        try:
+            self._teardown()
+        except Exception:
+            pass
         self._placement.clear()
         self._resident.clear()
         self._next_slot = 0
+
+
+class PersistentProcessBackend(_ResidentFleetBackend):
+    """Stateful worker pool: clients are built once and stay resident.
+
+    Every client index is pinned to one worker (sticky placement, round-
+    robin on first appearance).  The first batch that touches a client
+    ships its :class:`ClientSpec`; afterwards the worker reuses its
+    resident replica and the parent sends only
+
+    * the starting-weights snapshot, **once per worker per batch**
+      (jobs reference it by table index, so a shared global snapshot is
+      never duplicated),
+    * per-job masks and epoch overrides,
+    * a per-client RNG digest (a few hundred bytes).
+
+    Per-cycle dispatch is therefore O(weights + masks), independent of
+    dataset size.  The reply path matches the process backend: updates
+    plus the post-training RNG digest, which the parent mirrors into its
+    own client objects — so the fleet in the parent process is always
+    current and migrating to another backend via
+    :meth:`FederatedSimulation.set_backend` is lossless.
+    """
+
+    name = "persistent"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._ctx = multiprocessing.get_context()
+        self._workers: Dict[int, _PersistentWorker] = {}
+
+    @property
+    def num_slots(self) -> int:
+        """Number of worker slots (workers spawn lazily per slot)."""
+        return self.max_workers or os.cpu_count() or 1
+
+    def _worker(self, slot: int) -> _PersistentWorker:
+        worker = self._workers.get(slot)
+        if worker is None:
+            worker = _PersistentWorker(self._ctx)
+            self._workers[slot] = worker
+        return worker
+
+    def _slot_send(self, slot: int, blob: bytes) -> None:
+        self._worker(slot).send(blob)
+
+    def _slot_recv(self, slot: int) -> Tuple[str, Any]:
+        return self._workers[slot].recv()
+
+    def _slot_error(self, slot: int, context: str) -> RuntimeError:
+        return RuntimeError(
+            f"persistent worker {slot} died while {context} "
+            f"(pool has been shut down)")
+
+    def _teardown(self) -> None:
+        workers = list(self._workers.values())
+        self._workers.clear()
+        for worker in workers:
+            worker.stop()
+
+
+# --------------------------------------------------------------------- #
+# socket-sharded backend
+# --------------------------------------------------------------------- #
+
+#: Auto-spawned localhost shard processes still alive; an atexit hook
+#: kills leftovers so an unclosed backend cannot orphan interpreters.
+_SPAWNED_SHARD_PROCS: set = set()
+
+
+def _kill_spawned_shards() -> None:  # pragma: no cover - interpreter exit
+    for proc in list(_SPAWNED_SHARD_PROCS):
+        try:
+            if proc.poll() is None:
+                proc.kill()
+        except Exception:
+            pass
+
+
+atexit.register(_kill_spawned_shards)
+
+
+def _reap_shard_process(proc, timeout: float = 5.0) -> None:
+    """Wait for an auto-spawned shard to exit, killing it if it must."""
+    try:
+        proc.wait(timeout=timeout)
+    except Exception:
+        try:
+            proc.kill()
+            proc.wait(timeout=1.0)
+        except Exception:
+            pass
+    _SPAWNED_SHARD_PROCS.discard(proc)
+    try:
+        if proc.stdout is not None:
+            proc.stdout.close()
+    except Exception:
+        pass
+
+
+#: Announce line a shard worker prints once it is listening.
+SHARD_ANNOUNCE_PREFIX = "SHARD_LISTENING"
+
+
+def _read_shard_announce(proc, timeout: float) -> Tuple[str, int]:
+    """Read ``SHARD_LISTENING host port`` from a spawned shard's stdout.
+
+    Reads the raw fd directly (``os.read`` after ``select``) instead of
+    the buffered stream: mixing ``select`` with ``readline`` would lose
+    the announce whenever it arrives in the same pipe chunk as earlier
+    output (an import-time warning, a sitecustomize print) — the chunk
+    lands in the stream's buffer, the fd never polls readable again, and
+    the spawn would time out despite a live shard.
+    """
+    deadline = time.monotonic() + timeout
+    fd = proc.stdout.fileno()
+    pending = ""
+    while True:
+        while "\n" in pending:
+            line, _, pending = pending.partition("\n")
+            if line.startswith(SHARD_ANNOUNCE_PREFIX):
+                _, host, port = line.split()
+                # Keep draining the pipe in the background: a shard that
+                # prints during training (verbose factories, warnings)
+                # must not fill the 64 KiB pipe buffer and deadlock
+                # mid-batch.
+                threading.Thread(target=_drain_stream,
+                                 args=(proc.stdout,),
+                                 daemon=True).start()
+                return host, int(port)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise ShardError(
+                f"timed out after {timeout:.0f}s waiting for a local shard "
+                f"worker to announce its address")
+        readable, _, _ = select.select([fd], [], [], remaining)
+        if not readable:
+            continue
+        chunk = os.read(fd, 65536)
+        if not chunk:
+            raise ShardError(
+                f"local shard worker exited before announcing its address "
+                f"(exit code {proc.poll()})")
+        pending += chunk.decode("utf-8", errors="replace")
+
+
+def _drain_stream(stream) -> None:
+    try:
+        for _ in stream:
+            pass
+    except Exception:
+        pass
+
+
+class ShardedSocketBackend(_ResidentFleetBackend):
+    """Partition the fleet across N addressable shard servers.
+
+    The persistent pipe protocol lifted onto sockets: each shard is a
+    ``repro shard-worker`` process hosting resident clients behind the
+    framed transport of :mod:`repro.fl.transport`.  Placement, residency
+    and dispatch semantics are identical to
+    :class:`PersistentProcessBackend` — histories stay bit-identical to
+    a serial run — but shards are *addressable*, so the fleet can span
+    machines.
+
+    Two topologies:
+
+    * ``shards=["host:port", ...]`` (or a single comma-separated string)
+      connects to externally started shard servers.  ``close()`` sends a
+      polite ``bye`` and disconnects; the servers keep running and a
+      reused backend reconnects (re-shipping specs — a fresh connection
+      never trusts leftover residents).
+    * ``shards=None`` auto-spawns ``max_workers`` (default 2) localhost
+      shard workers via the CLI entrypoint.  The children inherit the
+      parent's ``sys.path`` so specs unpickle identically; ``close()``
+      shuts them down and reaps the processes, and an ``atexit`` hook
+      kills any leftovers.
+
+    A shard dying mid-cycle aborts the whole batch with a
+    :class:`ShardError` naming the shard (slot and address) and closes
+    the backend, leaving no orphan processes or half-open sockets.
+    """
+
+    name = "sharded"
+
+    #: Localhost shards spawned when neither addresses nor a worker
+    #: count are given (interpreter spawns are not free; stay modest).
+    DEFAULT_LOCAL_SHARDS = 2
+
+    def __init__(self, shards: Union[None, int, str,
+                                     Sequence[Any]] = None,
+                 max_workers: Optional[int] = None,
+                 connect_timeout: float = 30.0,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if isinstance(shards, str):
+            shards = [part.strip() for part in shards.split(",")
+                      if part.strip()]
+        self._addresses: Optional[List[Tuple[str, int]]]
+        if shards is None:
+            self._addresses = None
+            self._num_shards = max_workers or self.DEFAULT_LOCAL_SHARDS
+        elif isinstance(shards, int):
+            if shards <= 0:
+                raise ValueError("shard count must be positive")
+            if max_workers is not None:
+                raise ValueError("pass either shards or max_workers, "
+                                 "not both")
+            self._addresses = None
+            self._num_shards = shards
+        else:
+            addresses = [parse_address(shard) for shard in shards]
+            if not addresses:
+                raise ValueError("need at least one shard address")
+            if max_workers is not None:
+                raise ValueError(
+                    f"max_workers={max_workers!r} cannot be combined with "
+                    f"explicit shard addresses (one shard per address)")
+            self._addresses = addresses
+            self._num_shards = len(addresses)
+        if not 0 < max_frame_bytes <= 0xFFFFFFFF:
+            raise ValueError("max_frame_bytes must be positive and within "
+                             "the 4-byte frame header's 4 GiB limit")
+        self.connect_timeout = connect_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._channels: Dict[int, Any] = {}
+        self._procs: Dict[int, Any] = {}
+        self._live_addresses: Dict[int, Tuple[str, int]] = {}
+
+    @property
+    def num_slots(self) -> int:
+        return self._num_shards
+
+    @property
+    def autospawn(self) -> bool:
+        """Whether this backend spawns its own localhost shard workers."""
+        return self._addresses is None
+
+    def shard_address(self, slot: int) -> Optional[Tuple[str, int]]:
+        """The ``(host, port)`` a slot is (or would be) served from."""
+        address = self._live_addresses.get(slot)
+        if address is None and self._addresses is not None:
+            address = self._addresses[slot]
+        return address
+
+    # ------------------------------------------------------------------ #
+    def _spawn_local_shard(self, slot: int) -> Tuple[str, int]:
+        env = dict(os.environ)
+        # The child must unpickle whatever the parent can import (specs,
+        # model factories, map functions): hand it the parent's sys.path.
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "shard-worker",
+             "--host", "127.0.0.1", "--port", "0",
+             "--max-frame-bytes", str(self.max_frame_bytes)],
+            stdout=subprocess.PIPE, env=env, text=True)
+        self._procs[slot] = proc
+        _SPAWNED_SHARD_PROCS.add(proc)
+        try:
+            return _read_shard_announce(proc, self.connect_timeout)
+        except Exception:
+            self._procs.pop(slot, None)
+            _reap_shard_process(proc, timeout=0.0)
+            raise
+
+    def _channel(self, slot: int):
+        channel = self._channels.get(slot)
+        if channel is None:
+            if self._addresses is not None:
+                address = self._addresses[slot]
+            else:
+                address = self._spawn_local_shard(slot)
+            channel = connect_to_shard(
+                address, timeout=self.connect_timeout,
+                max_frame_bytes=self.max_frame_bytes)
+            self._channels[slot] = channel
+            self._live_addresses[slot] = parse_address(address)
+            # Invariant guard: a fresh connection must never trust
+            # residency (shard servers clear residents per connection).
+            # Today this purge finds nothing — channels are only created
+            # after __init__ or close(), both of which reset residency —
+            # but it keeps the invariant local if per-slot reconnects
+            # are ever added.
+            for index, placed in self._placement.items():
+                if placed == slot:
+                    self._resident.pop(index, None)
+        return channel
+
+    def _slot_send(self, slot: int, blob: bytes) -> None:
+        self._channel(slot).send_bytes(blob)
+
+    def _slot_recv(self, slot: int) -> Tuple[str, Any]:
+        return self._channels[slot].recv()
+
+    def _slot_error(self, slot: int, context: str) -> ShardError:
+        address = self.shard_address(slot)
+        where = (format_address(address) if address is not None
+                 else "unknown address")
+        return ShardError(
+            f"shard {slot} ({where}) failed while {context}; the batch "
+            f"was aborted and the backend has been shut down",
+            slot=slot, address=address)
+
+    def _teardown(self) -> None:
+        channels = dict(self._channels)
+        self._channels.clear()
+        procs = dict(self._procs)
+        self._procs.clear()
+        self._live_addresses.clear()
+        for slot, channel in channels.items():
+            # Auto-spawned shards are told to exit; external shards only
+            # to hang up (they keep serving other runs / reconnects).
+            blob = _SHUTDOWN_BLOB if slot in procs else _BYE_BLOB
+            try:
+                channel.send_bytes(blob)
+            except Exception:
+                pass
+            channel.close()
+        for slot, proc in procs.items():
+            if slot not in channels:
+                # Spawned but never connected: nobody sent it a
+                # shutdown, so don't wait politely.
+                _reap_shard_process(proc, timeout=0.0)
+            else:
+                _reap_shard_process(proc)
 
 
 #: Registry of backend constructors keyed by CLI/config name.
@@ -695,6 +1140,7 @@ _BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {
     ThreadPoolBackend.name: ThreadPoolBackend,
     ProcessPoolBackend.name: ProcessPoolBackend,
     PersistentProcessBackend.name: PersistentProcessBackend,
+    ShardedSocketBackend.name: ShardedSocketBackend,
 }
 
 
@@ -704,20 +1150,29 @@ def available_backends() -> Tuple[str, ...]:
 
 
 def make_backend(spec: Union[None, str, ExecutionBackend] = None,
-                 max_workers: Optional[int] = None) -> ExecutionBackend:
+                 max_workers: Optional[int] = None,
+                 shards: Union[None, int, str, Sequence[Any]] = None
+                 ) -> ExecutionBackend:
     """Resolve a backend specification into an :class:`ExecutionBackend`.
 
     Parameters
     ----------
     spec:
         ``None`` (serial), a backend name (``"serial"``, ``"thread"``,
-        ``"process"``, ``"persistent"``) or an already-constructed backend
-        instance (passed through unchanged).
+        ``"process"``, ``"persistent"``, ``"sharded"``) or an already-
+        constructed backend instance (passed through unchanged).
     max_workers:
-        Worker count for the pooled backends (``None`` = library default).
-        Must be ``None`` when ``spec`` is an already-constructed instance:
-        an instance's pool size cannot be changed, and silently ignoring
-        the argument would hide a configuration error.
+        Worker count for the pooled backends (``None`` = library default);
+        for ``"sharded"`` without addresses it is the number of auto-
+        spawned localhost shards.  Must be ``None`` when ``spec`` is an
+        already-constructed instance: an instance's pool size cannot be
+        changed, and silently ignoring the argument would hide a
+        configuration error.
+    shards:
+        Shard topology, only meaningful with ``spec="sharded"``: a list
+        of ``"host:port"`` addresses (or one comma-separated string) of
+        externally started ``repro shard-worker`` servers, or an integer
+        count of localhost shards to auto-spawn.
     """
     if isinstance(spec, ExecutionBackend):
         if max_workers is not None:
@@ -725,7 +1180,14 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 f"max_workers={max_workers!r} cannot be applied to an "
                 f"already-constructed backend instance {spec!r}; construct "
                 f"the backend with the desired worker count instead")
+        if shards is not None:
+            raise ValueError(
+                f"shards={shards!r} cannot be applied to an already-"
+                f"constructed backend instance {spec!r}")
         return spec
+    if shards is not None and spec != ShardedSocketBackend.name:
+        raise ValueError(
+            f"shards only applies to the 'sharded' backend, not {spec!r}")
     if spec is None:
         return SerialBackend()
     if isinstance(spec, str):
@@ -737,5 +1199,8 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 f"available: {available_backends()}") from None
         if factory is SerialBackend:
             return SerialBackend()
+        if factory is ShardedSocketBackend:
+            return ShardedSocketBackend(shards=shards,
+                                        max_workers=max_workers)
         return factory(max_workers=max_workers)
     raise TypeError(f"cannot build an execution backend from {spec!r}")

@@ -130,7 +130,8 @@ class FederatedSimulation:
 
     def set_backend(self,
                     backend: Union[None, str, ExecutionBackend],
-                    max_workers: Optional[int] = None) -> ExecutionBackend:
+                    max_workers: Optional[int] = None,
+                    shards=None) -> ExecutionBackend:
         """Swap the execution backend, closing the previous pooled one.
 
         The old backend is always closed unless the caller passed the
@@ -142,8 +143,13 @@ class FederatedSimulation:
         backend picks the fleet up exactly where the old one left it
         (worker-resident backends rebuild their replicas from the current
         specs and RNG digests on first use).
+
+        ``shards`` (addresses or a localhost count, ``"sharded"`` backend
+        only) selects the shard topology — see
+        :class:`~repro.fl.executor.ShardedSocketBackend`.
         """
-        new_backend = make_backend(backend, max_workers=max_workers)
+        new_backend = make_backend(backend, max_workers=max_workers,
+                                   shards=shards)
         if new_backend is self.backend:
             return new_backend
         old_backend = self.backend

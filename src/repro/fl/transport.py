@@ -1,0 +1,453 @@
+"""Socket transport for the sharded execution backend.
+
+This module is the wire layer of :class:`~repro.fl.executor.
+ShardedSocketBackend`: length-prefixed message framing over TCP, a
+version-checked hello handshake, and the shard-server loop that hosts
+worker-resident clients behind the ``repro shard-worker`` CLI.
+
+Framing
+-------
+Every frame is a 4-byte big-endian unsigned length followed by exactly
+that many payload bytes.  Payloads are pickles of ``(kind, payload)``
+tuples — the same message shape the pipe-based persistent backend uses,
+so the sharded backend reuses the persistent wire format
+(:class:`~repro.fl.executor._WireBatch` and friends) unchanged.
+
+Malformed traffic never hangs and never surfaces as a bare socket error:
+
+* a connection closed cleanly *between* frames raises
+  :class:`ConnectionClosedError`;
+* a connection dying *inside* a frame (header or payload) raises
+  :class:`TruncatedFrameError`;
+* a header announcing more than ``max_frame_bytes`` raises
+  :class:`FrameTooLargeError` before any payload is read (the stream is
+  unrecoverable afterwards — close the connection);
+* a payload that does not unpickle to a ``(kind, payload)`` tuple raises
+  :class:`MalformedMessageError`;
+* a hello carrying the wrong protocol version raises
+  :class:`ProtocolVersionError` on the connecting side.
+
+Handshake
+---------
+The connecting side opens every connection with ``("hello",
+{"protocol": PROTOCOL_VERSION})``; the shard replies ``("hello-ack",
+{"protocol": ...})`` or ``("error", ProtocolVersionError(...))`` and
+closes.  Both sides run the handshake under a timeout, so a
+version-mismatched or silent peer fails fast instead of blocking a fleet
+start-up forever.
+
+Trust boundary
+--------------
+Payloads are pickles and a shard *executes* what it is sent (specs
+build models, ``map`` ships functions) — that is the backend's job, and
+it means **any peer that can reach a shard port can run code as the
+shard user**.  There is no authentication layer yet.  The default bind
+address is loopback; bind non-loopback addresses (``--host 0.0.0.0``)
+only on networks where every host is already trusted, e.g. behind a
+private interface or an SSH tunnel/WireGuard mesh.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "TransportError",
+    "ConnectionClosedError",
+    "TruncatedFrameError",
+    "FrameTooLargeError",
+    "ProtocolError",
+    "ProtocolVersionError",
+    "MalformedMessageError",
+    "MessageChannel",
+    "connect_to_shard",
+    "serve_shard",
+    "parse_address",
+    "format_address",
+]
+
+#: Version of the shard wire protocol; bumped on incompatible changes.
+PROTOCOL_VERSION = 1
+
+#: Default cap on one frame's payload (weights tables of large fleets fit
+#: comfortably; a corrupt header claiming gigabytes is rejected instead).
+DEFAULT_MAX_FRAME_BYTES = 1 << 30
+
+#: Pickle protocol for shard traffic (matches the pipe workers).
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+_HEADER = struct.Struct(">I")
+
+#: Seconds both sides allow the hello handshake to take.
+_HANDSHAKE_TIMEOUT_S = 20.0
+
+
+class TransportError(RuntimeError):
+    """Base class of every shard-transport failure."""
+
+
+class ConnectionClosedError(TransportError):
+    """The peer closed the connection cleanly between frames."""
+
+
+class TruncatedFrameError(TransportError):
+    """The connection died mid-frame (incomplete header or payload)."""
+
+
+class FrameTooLargeError(TransportError):
+    """A frame header announced a payload above ``max_frame_bytes``."""
+
+
+class ProtocolError(TransportError):
+    """The peer spoke a structurally valid but unexpected message."""
+
+
+class ProtocolVersionError(ProtocolError):
+    """The hello handshake revealed incompatible protocol versions."""
+
+
+class MalformedMessageError(ProtocolError):
+    """A frame's payload was not a picklable ``(kind, payload)`` tuple."""
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles, else a faithful stand-in."""
+    try:
+        pickle.dumps(exc, _PICKLE_PROTOCOL)
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def parse_address(address: Any) -> Tuple[str, int]:
+    """Normalize a shard address into a ``(host, port)`` pair.
+
+    Accepts ``"host:port"`` strings (the CLI's ``--shards`` format) and
+    ``(host, port)`` tuples.
+    """
+    if isinstance(address, str):
+        host, sep, port = address.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"shard address {address!r} is not of the form 'host:port'")
+        try:
+            return host, int(port)
+        except ValueError:
+            raise ValueError(f"shard address {address!r} has a non-integer "
+                             f"port") from None
+    try:
+        host, port = address
+    except (TypeError, ValueError):
+        raise ValueError(f"cannot parse shard address {address!r}; expected "
+                         f"'host:port' or (host, port)") from None
+    return str(host), int(port)
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    """``host:port`` rendering used in logs and error messages."""
+    return f"{address[0]}:{address[1]}"
+
+
+def _load_message(blob: bytes) -> Tuple[str, Any]:
+    """Unpickle one frame payload into a ``(kind, payload)`` message."""
+    try:
+        message = pickle.loads(blob)
+    except Exception as exc:
+        raise MalformedMessageError(
+            f"frame payload does not unpickle: {exc}") from None
+    if (not isinstance(message, tuple) or len(message) != 2
+            or not isinstance(message[0], str)):
+        raise MalformedMessageError(
+            f"expected a (kind, payload) tuple, got {type(message).__name__}")
+    return message
+
+
+class MessageChannel:
+    """One framed, message-oriented connection over a stream socket.
+
+    Thin and stateless beyond the socket itself: ``send``/``recv`` move
+    whole ``(kind, payload)`` messages, ``send_bytes``/``recv_bytes``
+    move pre-pickled frames (the backend pre-pickles batches to measure
+    dispatch bytes before sending).  ``close`` is idempotent and safe to
+    call during interpreter shutdown.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes <= 0:
+            raise ValueError("max_frame_bytes must be positive")
+        if max_frame_bytes > 0xFFFFFFFF:
+            raise ValueError("max_frame_bytes cannot exceed the 4-byte "
+                             "frame header's 4 GiB limit")
+        self._sock: Optional[socket.socket] = sock
+        self.max_frame_bytes = max_frame_bytes
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    def _socket(self) -> socket.socket:
+        if self._sock is None:
+            raise ConnectionClosedError("channel is closed")
+        return self._sock
+
+    # ------------------------------------------------------------------ #
+    def send_bytes(self, blob: bytes) -> None:
+        """Send one pre-pickled payload as a length-prefixed frame."""
+        if len(blob) > self.max_frame_bytes:
+            raise FrameTooLargeError(
+                f"refusing to send a {len(blob)}-byte frame "
+                f"(max_frame_bytes={self.max_frame_bytes})")
+        sock = self._socket()
+        # Two sendalls instead of header+blob concatenation: batches
+        # carry whole weights tables, and copying them once per send
+        # just to prepend 4 bytes would be an O(weights) tax per cycle.
+        sock.sendall(_HEADER.pack(len(blob)))
+        sock.sendall(blob)
+
+    def send(self, message: Tuple[str, Any]) -> None:
+        """Pickle and send one ``(kind, payload)`` message."""
+        self.send_bytes(pickle.dumps(message, _PICKLE_PROTOCOL))
+
+    def _recv_exact(self, num_bytes: int, *, mid_frame: bool) -> bytes:
+        sock = self._socket()
+        chunks = []
+        remaining = num_bytes
+        while remaining:
+            chunk = sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                if mid_frame or chunks:
+                    raise TruncatedFrameError(
+                        f"connection closed {num_bytes - remaining} bytes "
+                        f"into a {num_bytes}-byte read")
+                raise ConnectionClosedError(
+                    "connection closed at a frame boundary")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv_bytes(self) -> bytes:
+        """Receive one frame's payload bytes.
+
+        Raises :class:`ConnectionClosedError` on a clean close between
+        frames, :class:`TruncatedFrameError` on a mid-frame close, and
+        :class:`FrameTooLargeError` on an oversized announcement.
+        """
+        header = self._recv_exact(_HEADER.size, mid_frame=False)
+        (length,) = _HEADER.unpack(header)
+        if length > self.max_frame_bytes:
+            raise FrameTooLargeError(
+                f"peer announced a {length}-byte frame "
+                f"(max_frame_bytes={self.max_frame_bytes})")
+        return self._recv_exact(length, mid_frame=True)
+
+    def recv(self) -> Tuple[str, Any]:
+        """Receive and unpickle one ``(kind, payload)`` message."""
+        return _load_message(self.recv_bytes())
+
+    # ------------------------------------------------------------------ #
+    def settimeout(self, timeout: Optional[float]) -> None:
+        if self._sock is not None:
+            self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "MessageChannel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# handshake
+# --------------------------------------------------------------------- #
+
+def connect_to_shard(address: Any, *,
+                     timeout: float = _HANDSHAKE_TIMEOUT_S,
+                     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                     protocol: int = PROTOCOL_VERSION) -> MessageChannel:
+    """Connect to a shard server and run the hello handshake.
+
+    Returns a ready :class:`MessageChannel` with no operation timeout
+    (batches may legitimately train for a long time).  Raises
+    :class:`ProtocolVersionError` if the shard rejects our version, and
+    ordinary :class:`TransportError` subclasses on malformed replies —
+    never hangs past ``timeout`` during the handshake itself.
+    """
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    channel = MessageChannel(sock, max_frame_bytes)
+    try:
+        channel.send(("hello", {"protocol": protocol}))
+        kind, payload = channel.recv()
+    except (OSError, socket.timeout) as exc:
+        channel.close()
+        raise TransportError(
+            f"handshake with shard {host}:{port} failed: {exc}") from None
+    except TransportError:
+        channel.close()
+        raise
+    if kind == "error" and isinstance(payload, BaseException):
+        channel.close()
+        raise payload
+    if kind != "hello-ack":
+        channel.close()
+        raise ProtocolError(
+            f"shard {host}:{port} answered the hello with {kind!r}")
+    channel.settimeout(None)
+    return channel
+
+
+def _server_handshake(channel: MessageChannel) -> bool:
+    """Validate a fresh connection's hello; ``True`` if it may proceed."""
+    try:
+        kind, payload = channel.recv()
+    except (TransportError, OSError, socket.timeout):
+        return False
+    if kind != "hello" or not isinstance(payload, dict):
+        _try_send(channel, ("error", ProtocolError(
+            f"expected a hello, got {kind!r}")))
+        return False
+    peer_version = payload.get("protocol")
+    if peer_version != PROTOCOL_VERSION:
+        _try_send(channel, ("error", ProtocolVersionError(
+            f"shard speaks protocol {PROTOCOL_VERSION}, "
+            f"client sent {peer_version!r}")))
+        return False
+    return _try_send(channel, ("hello-ack", {"protocol": PROTOCOL_VERSION}))
+
+
+def _try_send(channel: MessageChannel, message: Tuple[str, Any]) -> bool:
+    try:
+        channel.send(message)
+        return True
+    except (TransportError, OSError):
+        return False
+
+
+def _send_reply(channel: MessageChannel, reply: Tuple[str, Any]) -> bool:
+    """Send a request's reply, degrading to an error reply if needed.
+
+    The parent is blocked waiting for exactly one reply, so a reply that
+    cannot be pickled or exceeds the frame limit must not be silently
+    dropped (that would hang the fleet) nor crash the server: it is
+    replaced by a small ``("error", ...)`` explaining the failure.
+    ``False`` means the connection itself is gone.
+    """
+    try:
+        blob = pickle.dumps(reply, _PICKLE_PROTOCOL)
+    except Exception as exc:
+        return _try_send(channel, ("error", RuntimeError(
+            f"shard reply does not pickle: {exc!r}")))
+    if len(blob) > channel.max_frame_bytes:
+        return _try_send(channel, ("error", FrameTooLargeError(
+            f"shard reply is {len(blob)} bytes "
+            f"(max_frame_bytes={channel.max_frame_bytes})")))
+    try:
+        channel.send_bytes(blob)
+        return True
+    except (TransportError, OSError):
+        return False
+
+
+# --------------------------------------------------------------------- #
+# shard server
+# --------------------------------------------------------------------- #
+
+def serve_shard(host: str = "127.0.0.1", port: int = 0, *,
+                max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                ready: Optional[Callable[[str, int], None]] = None) -> None:
+    """Run one shard server until a ``shutdown`` message arrives.
+
+    The server hosts worker-resident clients exactly like a persistent
+    pipe worker: specs build residents once, then only weights/masks/RNG
+    digests travel per cycle.  One connection is served at a time; a
+    dropped or misbehaving connection returns the server to ``accept``
+    (reconnect semantics), and the resident fleet is cleared per
+    connection — a reconnecting parent re-ships specs, so residents from
+    a previous run can never leak into the next.
+
+    ``ready`` is called with the bound ``(host, port)`` once listening —
+    the CLI prints the announce line from it, the auto-spawn mode and the
+    tests read it back.
+    """
+    # Imported lazily: executor imports this module at load time.
+    from .executor import _handle_resident_request
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        listener.bind((host, port))
+        listener.listen(1)
+        bound_host, bound_port = listener.getsockname()[:2]
+        if ready is not None:
+            ready(bound_host, bound_port)
+        shutdown = False
+        while not shutdown:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                break
+            channel = MessageChannel(conn, max_frame_bytes)
+            channel.settimeout(_HANDSHAKE_TIMEOUT_S)
+            if not _server_handshake(channel):
+                channel.close()
+                continue
+            channel.settimeout(None)
+            shutdown = _serve_connection(channel, _handle_resident_request)
+            channel.close()
+    finally:
+        try:
+            listener.close()
+        except Exception:
+            pass
+
+
+def _serve_connection(channel: MessageChannel,
+                      handle_request: Callable) -> bool:
+    """Serve one parent connection; ``True`` means shut the server down.
+
+    Control messages (``bye``/``shutdown``/``ping``) are handled here;
+    everything else goes through ``handle_request`` — the protocol core
+    shared with the pipe workers (``run``/``map`` against the resident
+    fleet, degrading failures to ``("error", ...)`` replies so a
+    misbehaving request cannot crash a long-running shard).
+    """
+    residents: Dict[int, Any] = {}
+    while True:
+        try:
+            blob = channel.recv_bytes()
+        except (TransportError, OSError):
+            # Clean close, truncated frame or oversized announcement: the
+            # stream is over either way — back to accept().
+            return False
+        try:
+            kind, payload = _load_message(blob)
+        except MalformedMessageError as exc:
+            # Framing is intact, only this payload was garbage: report it
+            # and keep serving.
+            if not _try_send(channel, ("error", exc)):
+                return False
+            continue
+        if kind == "bye":
+            return False
+        if kind == "shutdown":
+            return True
+        if kind == "ping":
+            reply: Tuple[str, Any] = ("pong", {"residents": len(residents)})
+        else:
+            reply = handle_request(kind, payload, residents)
+        if not _send_reply(channel, reply):
+            return False

@@ -12,14 +12,17 @@ from repro.baselines import SynchronousFLStrategy
 from repro.core import HeliosConfig, HeliosStrategy
 from repro.core.straggler import StragglerIdentifier
 from repro.fl import (ExecutionBackend, PersistentProcessBackend,
-                      ProcessPoolBackend, SerialBackend, ThreadPoolBackend,
-                      TrainingJob, available_backends, make_backend)
+                      ProcessPoolBackend, SerialBackend,
+                      ShardedSocketBackend, ThreadPoolBackend, TrainingJob,
+                      available_backends, make_backend)
 
 from ..conftest import (FAST_DEVICE, SLOW_DEVICE, make_tiny_model,
                         make_tiny_simulation)
 
-BACKENDS = ("serial", "thread", "process", "persistent")
-CONCURRENT_BACKENDS = ("thread", "process", "persistent")
+BACKENDS = ("serial", "thread", "process", "persistent", "sharded")
+CONCURRENT_BACKENDS = ("thread", "process", "persistent", "sharded")
+#: Backends keeping worker-resident client replicas (spec shipped once).
+RESIDENT_BACKENDS = ("persistent", "sharded")
 
 
 def _square(value):
@@ -47,7 +50,7 @@ def _run_collaboration(backend_name, strategy_factory, num_cycles=3):
 class TestBackendFactory:
     def test_available_backends(self):
         assert set(available_backends()) == {"serial", "thread", "process",
-                                             "persistent"}
+                                             "persistent", "sharded"}
 
     def test_none_means_serial(self):
         assert isinstance(make_backend(None), SerialBackend)
@@ -57,6 +60,7 @@ class TestBackendFactory:
         ("thread", ThreadPoolBackend),
         ("process", ProcessPoolBackend),
         ("persistent", PersistentProcessBackend),
+        ("sharded", ShardedSocketBackend),
     ])
     def test_by_name(self, name, cls):
         backend = make_backend(name)
@@ -85,10 +89,30 @@ class TestBackendFactory:
             make_backend(42)
 
     @pytest.mark.parametrize("cls", [ThreadPoolBackend, ProcessPoolBackend,
-                                     PersistentProcessBackend])
+                                     PersistentProcessBackend,
+                                     ShardedSocketBackend])
     def test_invalid_worker_count_rejected(self, cls):
         with pytest.raises(ValueError):
             cls(max_workers=0)
+
+    def test_sharded_rejects_empty_and_malformed_addresses(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardedSocketBackend(shards=[])
+        with pytest.raises(ValueError, match="host:port"):
+            ShardedSocketBackend(shards=["nonsense"])
+        with pytest.raises(ValueError, match="non-integer"):
+            ShardedSocketBackend(shards=["localhost:http"])
+
+    def test_sharded_rejects_addresses_plus_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ShardedSocketBackend(shards=["localhost:1"], max_workers=2)
+
+    def test_shards_only_apply_to_sharded_backend(self):
+        with pytest.raises(ValueError, match="only applies"):
+            make_backend("persistent", shards="localhost:1")
+        backend = SerialBackend()
+        with pytest.raises(ValueError, match="already-constructed"):
+            make_backend(backend, shards="localhost:1")
 
     def test_context_manager_closes(self):
         with ThreadPoolBackend(max_workers=1) as backend:
@@ -376,6 +400,27 @@ class TestBackendLifecycle:
         backend.close()
         backend.close()
 
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_close_before_any_use(self, backend_name):
+        """close() on a never-used backend is a safe no-op."""
+        backend = make_backend(backend_name, max_workers=1)
+        backend.close()
+        backend.close()
+
+    def test_persistent_close_after_worker_death(self):
+        """Regression: closing a pool whose worker was killed must not
+        raise (close-after-worker-death used to be untested)."""
+        backend = PersistentProcessBackend(max_workers=1)
+        try:
+            backend.map_ordered(_square, [1])
+            worker = backend._workers[0]
+            worker.process.kill()
+            worker.process.join()
+        finally:
+            backend.close()
+        backend.close()
+        assert not backend._workers
+
     @pytest.mark.parametrize("backend_name", CONCURRENT_BACKENDS)
     def test_reuse_after_close_respawns_pool(self, backend_name):
         sim = make_tiny_simulation()
@@ -401,11 +446,16 @@ class TestBackendLifecycle:
 
 
 class TestPersistentResidency:
-    """Sticky placement, one-time spec shipping, and invalidation."""
+    """Sticky placement, one-time spec shipping, and invalidation.
 
-    def test_sticky_placement_across_batches(self):
+    Parametrized over both worker-resident backends (pipe workers and
+    socket shards) wherever the contract is transport-independent.
+    """
+
+    @pytest.mark.parametrize("backend_name", RESIDENT_BACKENDS)
+    def test_sticky_placement_across_batches(self, backend_name):
         sim = make_tiny_simulation()
-        sim.set_backend("persistent", max_workers=2)
+        sim.set_backend(backend_name, max_workers=2)
         try:
             sim.train_clients(sim.client_indices())
             placement_first = dict(sim.backend._placement)
@@ -461,9 +511,10 @@ class TestPersistentResidency:
         assert small_persistent < small_process
         assert large_persistent < large_process
 
-    def test_invalidate_client_reships_spec(self):
+    @pytest.mark.parametrize("backend_name", RESIDENT_BACKENDS)
+    def test_invalidate_client_reships_spec(self, backend_name):
         sim = make_tiny_simulation()
-        sim.set_backend("persistent", max_workers=2)
+        sim.set_backend(backend_name, max_workers=2)
         weights = sim.server.get_global_weights()
         jobs = [TrainingJob(index=index, weights=weights)
                 for index in sim.client_indices()]
@@ -478,9 +529,10 @@ class TestPersistentResidency:
         finally:
             sim.close()
 
-    def test_device_mutation_routed_through_backend(self):
+    @pytest.mark.parametrize("backend_name", RESIDENT_BACKENDS)
+    def test_device_mutation_routed_through_backend(self, backend_name):
         sim = make_tiny_simulation()
-        sim.set_backend("persistent", max_workers=2)
+        sim.set_backend(backend_name, max_workers=2)
         try:
             sim.train_clients(sim.client_indices())
             assert 2 in sim.backend._resident

@@ -1,0 +1,284 @@
+"""End-to-end and failure-injection tests of the sharded socket backend.
+
+Three guarantees under test:
+
+* a 2-shard localhost fleet produces *bit-identical* histories to the
+  serial backend under a fixed seed (the trust anchor of the whole
+  multi-host story);
+* a shard dying mid-cycle aborts the batch with a :class:`ShardError`
+  naming the shard, and ``close()`` leaves no orphan processes or
+  sockets — double-close and close-after-shard-death included;
+* clean close/reconnect semantics: a closed backend lazily respawns its
+  shards and continues every client's RNG stream exactly where it
+  stopped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SynchronousFLStrategy
+from repro.fl import ShardedSocketBackend, ShardError, TrainingJob
+
+from ..conftest import FAST_DEVICE, make_tiny_simulation
+
+
+def _run_collaboration(backend, num_cycles=3):
+    """History + final global weights of one tiny collaboration."""
+    sim = make_tiny_simulation()
+    if backend is not None:
+        sim.set_backend(backend)
+    try:
+        history = sim.run(SynchronousFLStrategy(straggler_top_k=1),
+                          num_cycles=num_cycles)
+        weights = sim.server.get_global_weights()
+    finally:
+        sim.close()
+    return history, weights
+
+
+def _assert_no_orphans(backend):
+    """The backend holds no live channels and no live shard processes."""
+    assert not backend._channels
+    assert not backend._live_addresses
+    assert not backend._procs
+
+
+def _print_much(value):
+    """Floods the shard's stdout far past the OS pipe buffer."""
+    print("n" * 100_000)
+    return value
+
+
+def test_announce_read_survives_leading_stdout_junk():
+    """Regression: output flushed in the same pipe chunk as the announce
+    line (import-time warning, sitecustomize print) must not make the
+    spawn time out."""
+    import subprocess
+    import sys
+
+    from repro.fl.executor import _read_shard_announce
+    proc = subprocess.Popen(
+        [sys.executable, "-c",
+         "print('junk line'); "
+         "print('SHARD_LISTENING 127.0.0.1 1234', flush=True); "
+         "import time; time.sleep(30)"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        assert _read_shard_announce(proc, timeout=10) == ("127.0.0.1", 1234)
+    finally:
+        proc.kill()
+        proc.wait(timeout=10)
+        proc.stdout.close()
+
+
+def test_noisy_shard_stdout_does_not_deadlock():
+    """Regression: an auto-spawned shard writing to stdout mid-batch must
+    not fill the announce pipe and hang the fleet (the parent drains it)."""
+    backend = ShardedSocketBackend(shards=1)
+    try:
+        assert backend.map_ordered(_print_much, [0, 1, 2]) == [0, 1, 2]
+    finally:
+        backend.close()
+    _assert_no_orphans(backend)
+
+
+class TestTwoShardFleet:
+    def test_history_bit_identical_to_serial(self):
+        """Acceptance: a 2-shard localhost fleet end-to-end equals serial."""
+        reference_history, reference_weights = _run_collaboration(None)
+        backend = ShardedSocketBackend(shards=2)
+        history, weights = _run_collaboration(backend)
+        assert history.accuracies() == reference_history.accuracies()
+        assert history.times_s() == reference_history.times_s()
+        assert ([record.mean_train_loss for record in history.records]
+                == [record.mean_train_loss
+                    for record in reference_history.records])
+        for key in reference_weights:
+            np.testing.assert_array_equal(weights[key],
+                                          reference_weights[key])
+        _assert_no_orphans(backend)
+
+    def test_fleet_spans_both_shards(self):
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("sharded", max_workers=2)
+        try:
+            sim.train_clients(sim.client_indices())
+            assert set(backend._placement.values()) == {0, 1}
+            assert len(backend._procs) == 2
+            assert all(proc.poll() is None
+                       for proc in backend._procs.values())
+        finally:
+            sim.close()
+        _assert_no_orphans(backend)
+
+    def test_dispatch_bytes_measured_and_match_persistent(self):
+        """Warm sharded dispatch is the persistent wire format on sockets:
+        byte-for-byte the same payload size."""
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("sharded", max_workers=2)
+        weights = sim.server.get_global_weights()
+        jobs = [TrainingJob(index=index, weights=weights)
+                for index in sim.client_indices()]
+        try:
+            cold = backend.dispatch_payload_bytes(sim.clients, jobs)
+            sim.run_jobs(jobs)
+            assert backend.last_dispatch_bytes == cold
+            warm = backend.dispatch_payload_bytes(sim.clients, jobs)
+            assert warm < cold  # specs (datasets!) no longer travel
+        finally:
+            sim.close()
+
+        persistent_sim = make_tiny_simulation()
+        persistent = persistent_sim.set_backend("persistent", max_workers=2)
+        try:
+            persistent_sim.run_jobs(jobs)
+            persistent_warm = persistent.dispatch_payload_bytes(
+                persistent_sim.clients, jobs)
+        finally:
+            persistent_sim.close()
+        assert warm == persistent_warm
+
+
+class TestFailureInjection:
+    def test_shard_killed_mid_cycle_propagates_identity(self):
+        """Killing a shard worker aborts the batch with the shard's
+        identity in the error, and tears the fleet down orphan-free."""
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("sharded", max_workers=2)
+        try:
+            sim.train_clients(sim.client_indices())  # shards warm
+            victim_slot = 0
+            victim = backend._procs[victim_slot]
+            survivor = backend._procs[1]
+            address = backend.shard_address(victim_slot)
+            victim.kill()
+            victim.wait(timeout=10)
+            with pytest.raises(ShardError) as excinfo:
+                sim.train_clients(sim.client_indices())
+            error = excinfo.value
+            assert error.slot == victim_slot
+            assert error.address == address
+            assert f"{address[0]}:{address[1]}" in str(error)
+            # The batch abort closed the backend: both shard processes
+            # are gone, no sockets remain.
+            _assert_no_orphans(backend)
+            assert survivor.poll() is not None
+        finally:
+            sim.close()  # idempotent on the already-closed backend
+        _assert_no_orphans(backend)
+
+    def test_close_after_shard_death_is_safe(self):
+        """Regression: close() on a backend whose shard was killed
+        externally must not raise (and stays idempotent)."""
+        backend = ShardedSocketBackend(shards=2)
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        try:
+            sim.train_clients(sim.client_indices())
+            for proc in backend._procs.values():
+                proc.kill()
+                proc.wait(timeout=10)
+        finally:
+            sim.close()
+        sim.close()
+        backend.close()
+        _assert_no_orphans(backend)
+
+    def test_unreachable_shard_aborts_and_closes(self):
+        """A shard address nobody listens on fails the batch with the
+        shard's identity and leaves the backend fully closed."""
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        backend = ShardedSocketBackend(
+            shards=[f"127.0.0.1:{free_port}"], connect_timeout=2)
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        try:
+            with pytest.raises(ShardError) as excinfo:
+                sim.train_clients(sim.client_indices())
+            assert excinfo.value.address == ("127.0.0.1", free_port)
+            _assert_no_orphans(backend)
+        finally:
+            sim.close()
+
+    def test_training_error_does_not_kill_shards(self):
+        """A job raising *inside* a shard surfaces the original exception
+        (not a ShardError) and leaves the shards serving."""
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("sharded", max_workers=2)
+        weights = sim.server.get_global_weights()
+        try:
+            sim.train_clients(sim.client_indices())
+            with pytest.raises(ValueError, match="local_epochs"):
+                sim.run_jobs([TrainingJob(index=0, weights=weights,
+                                          local_epochs=0)])
+            assert all(proc.poll() is None
+                       for proc in backend._procs.values())
+            # The failed client's replica was dropped; the next batch
+            # re-ships its spec and trains fine.
+            updates = sim.train_clients(sim.client_indices())
+            assert [update.client_id for update in updates] == [0, 1, 2]
+        finally:
+            sim.close()
+        _assert_no_orphans(backend)
+
+
+class TestCloseReconnect:
+    def test_reuse_after_close_continues_rng_streams(self):
+        serial_sim = make_tiny_simulation()
+        serial_sim.train_clients(serial_sim.client_indices())
+        serial_second = serial_sim.train_clients(
+            serial_sim.client_indices())
+
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("sharded", max_workers=2)
+        try:
+            sim.train_clients(sim.client_indices())
+            first_procs = list(backend._procs.values())
+            backend.close()
+            _assert_no_orphans(backend)
+            assert all(proc.poll() is not None for proc in first_procs)
+            # Lazy respawn: fresh shard processes, specs re-shipped, RNG
+            # streams continued — bit-identical to uninterrupted serial.
+            second = sim.train_clients(sim.client_indices())
+        finally:
+            sim.close()
+        for expected, actual in zip(serial_second, second):
+            assert expected.train_loss == actual.train_loss
+            for key in expected.weights:
+                np.testing.assert_array_equal(expected.weights[key],
+                                              actual.weights[key])
+
+    def test_fleet_mutations_stay_bit_identical(self):
+        """add_client + device swap mid-run match a serial run exactly."""
+        def run(backend_name):
+            from repro.fl import ClientConfig, FLClient
+            from ..conftest import make_tiny_dataset, make_tiny_model
+            sim = make_tiny_simulation()
+            if backend_name != "serial":
+                sim.set_backend(backend_name, max_workers=2)
+            try:
+                sim.train_clients(sim.client_indices())
+                sim.add_client(FLClient(
+                    client_id=3, dataset=make_tiny_dataset(40, seed=9),
+                    device=FAST_DEVICE.scaled(name="joiner"),
+                    model_factory=make_tiny_model,
+                    config=ClientConfig(batch_size=20)))
+                sim.set_client_device(
+                    1, FAST_DEVICE.scaled(compute=0.5, name="throttled"))
+                return sim.train_clients(sim.client_indices())
+            finally:
+                sim.close()
+
+        serial_updates = run("serial")
+        sharded_updates = run("sharded")
+        assert [update.client_name for update in sharded_updates] \
+            == [update.client_name for update in serial_updates]
+        for expected, actual in zip(serial_updates, sharded_updates):
+            assert expected.train_loss == actual.train_loss
+            for key in expected.weights:
+                np.testing.assert_array_equal(expected.weights[key],
+                                              actual.weights[key])

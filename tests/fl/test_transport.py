@@ -1,0 +1,309 @@
+"""Protocol tests for the shard transport (:mod:`repro.fl.transport`).
+
+The contract: framed messages round-trip losslessly, every category of
+malformed traffic (truncated frames, oversized announcements, garbage
+payloads, version-mismatched hellos) surfaces as an explicit
+:class:`TransportError` subclass instead of a hang or a bare socket
+error, and the shard server survives misbehaving connections.
+"""
+
+import pickle
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.fl.transport import (PROTOCOL_VERSION, ConnectionClosedError,
+                                FrameTooLargeError, MalformedMessageError,
+                                MessageChannel, ProtocolError,
+                                ProtocolVersionError, TransportError,
+                                TruncatedFrameError, connect_to_shard,
+                                format_address, parse_address, serve_shard)
+
+
+def _channel_pair(max_frame_bytes=1 << 20):
+    left, right = socket.socketpair()
+    return (MessageChannel(left, max_frame_bytes),
+            MessageChannel(right, max_frame_bytes))
+
+
+@pytest.fixture
+def shard_server():
+    """A live in-process shard server; yields its (host, port)."""
+    ready = threading.Event()
+    address = {}
+
+    def on_ready(host, port):
+        address["host"], address["port"] = host, port
+        ready.set()
+
+    thread = threading.Thread(target=serve_shard,
+                              kwargs={"ready": on_ready}, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10), "shard server did not come up"
+    yield address["host"], address["port"]
+    # Shut the server down so the thread exits (and the port is freed).
+    try:
+        channel = connect_to_shard((address["host"], address["port"]),
+                                   timeout=5)
+        channel.send(("shutdown", None))
+        channel.close()
+    except TransportError:
+        pass  # already gone
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+class TestAddressParsing:
+    def test_host_port_string(self):
+        assert parse_address("node-3:7600") == ("node-3", 7600)
+
+    def test_tuple_passthrough(self):
+        assert parse_address(("10.0.0.1", 7601)) == ("10.0.0.1", 7601)
+
+    @pytest.mark.parametrize("bad", ["no-port", ":7600", "host:", 42])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_format_round_trips(self):
+        assert parse_address(format_address(("h", 1))) == ("h", 1)
+
+
+class TestFraming:
+    def test_message_round_trip(self):
+        left, right = _channel_pair()
+        payload = {"weights": np.arange(100.0), "nested": [1, (2, "x")]}
+        left.send(("run", payload))
+        kind, received = right.recv()
+        assert kind == "run"
+        np.testing.assert_array_equal(received["weights"],
+                                      payload["weights"])
+        assert received["nested"] == payload["nested"]
+        left.close()
+        right.close()
+
+    def test_many_messages_in_order(self):
+        left, right = _channel_pair()
+        for index in range(20):
+            left.send(("seq", index))
+        assert [right.recv()[1] for _ in range(20)] == list(range(20))
+        left.close()
+        right.close()
+
+    def test_empty_payload_frame(self):
+        left, right = _channel_pair()
+        left.send_bytes(b"")
+        assert right.recv_bytes() == b""
+        left.close()
+        right.close()
+
+    def test_clean_close_between_frames(self):
+        left, right = _channel_pair()
+        left.send(("ping", None))
+        right.recv()
+        left.close()
+        with pytest.raises(ConnectionClosedError):
+            right.recv()
+
+    def test_truncated_header_raises(self):
+        left, right = _channel_pair()
+        left._socket().sendall(b"\x00\x00")  # half a length header
+        left.close()
+        with pytest.raises(TruncatedFrameError):
+            right.recv()
+
+    def test_truncated_payload_raises(self):
+        left, right = _channel_pair()
+        left._socket().sendall(struct.pack(">I", 100) + b"only-ten-b")
+        left.close()
+        with pytest.raises(TruncatedFrameError):
+            right.recv()
+
+    def test_oversized_announcement_raises(self):
+        left, right = _channel_pair(max_frame_bytes=1024)
+        left._socket().sendall(struct.pack(">I", 4096))
+        with pytest.raises(FrameTooLargeError):
+            right.recv()
+        left.close()
+        right.close()
+
+    def test_oversized_send_rejected_locally(self):
+        left, right = _channel_pair(max_frame_bytes=64)
+        with pytest.raises(FrameTooLargeError):
+            left.send_bytes(b"x" * 65)
+        left.close()
+        right.close()
+
+    def test_garbage_payload_raises_malformed(self):
+        left, right = _channel_pair()
+        left.send_bytes(b"this is not a pickle")
+        with pytest.raises(MalformedMessageError):
+            right.recv()
+        left.close()
+        right.close()
+
+    def test_non_tuple_message_raises_malformed(self):
+        left, right = _channel_pair()
+        left.send_bytes(pickle.dumps({"kind": "run"}))
+        with pytest.raises(MalformedMessageError):
+            right.recv()
+        left.close()
+        right.close()
+
+    def test_closed_channel_refuses_io(self):
+        left, right = _channel_pair()
+        left.close()
+        assert left.closed
+        with pytest.raises(ConnectionClosedError):
+            left.send(("ping", None))
+        with pytest.raises(ConnectionClosedError):
+            left.recv()
+        left.close()  # idempotent
+        right.close()
+
+    @pytest.mark.parametrize("bad_limit", [0, -1, (1 << 32)])
+    def test_invalid_max_frame_bytes_rejected(self, bad_limit):
+        """Zero/negative limits and limits beyond the 4-byte header's
+        range (which would make send_bytes die in struct.pack) are
+        rejected at construction."""
+        left, right = socket.socketpair()
+        with pytest.raises(ValueError):
+            MessageChannel(left, max_frame_bytes=bad_limit)
+        left.close()
+        right.close()
+
+
+class TestHandshake:
+    def test_hello_round_trip(self, shard_server):
+        channel = connect_to_shard(shard_server, timeout=5)
+        channel.send(("ping", None))
+        kind, payload = channel.recv()
+        assert kind == "pong"
+        assert payload == {"residents": 0}
+        channel.close()
+
+    def test_version_mismatch_raises_instead_of_hanging(self, shard_server):
+        with pytest.raises(ProtocolVersionError,
+                           match=f"protocol {PROTOCOL_VERSION}"):
+            connect_to_shard(shard_server, timeout=5,
+                             protocol=PROTOCOL_VERSION + 1)
+
+    def test_server_survives_bad_hello_then_serves(self, shard_server):
+        # A connection that never says hello is dropped ...
+        host, port = shard_server
+        raw = socket.create_connection((host, port), timeout=5)
+        bad = MessageChannel(raw)
+        bad.send(("run", None))  # not a hello
+        kind, payload = bad.recv()
+        assert kind == "error"
+        assert isinstance(payload, ProtocolError)
+        bad.close()
+        # ... and the server accepts the next, well-behaved client.
+        channel = connect_to_shard(shard_server, timeout=5)
+        channel.send(("ping", None))
+        assert channel.recv()[0] == "pong"
+        channel.close()
+
+    def test_connect_to_unreachable_shard_fails_fast(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            connect_to_shard(("127.0.0.1", free_port), timeout=2)
+
+
+class TestShardServerLoop:
+    def test_unknown_kind_answered_with_error(self, shard_server):
+        channel = connect_to_shard(shard_server, timeout=5)
+        channel.send(("frobnicate", None))
+        kind, payload = channel.recv()
+        assert kind == "error"
+        assert isinstance(payload, ProtocolError)
+        assert "frobnicate" in str(payload)
+        # The connection is still usable afterwards.
+        channel.send(("ping", None))
+        assert channel.recv()[0] == "pong"
+        channel.close()
+
+    def test_garbage_frame_answered_then_connection_usable(
+            self, shard_server):
+        channel = connect_to_shard(shard_server, timeout=5)
+        channel.send_bytes(b"not a pickle at all")
+        kind, payload = channel.recv()
+        assert kind == "error"
+        assert isinstance(payload, MalformedMessageError)
+        channel.send(("ping", None))
+        assert channel.recv()[0] == "pong"
+        channel.close()
+
+    def test_abrupt_disconnect_then_reconnect(self, shard_server):
+        first = connect_to_shard(shard_server, timeout=5)
+        first.close()  # no polite bye
+        second = connect_to_shard(shard_server, timeout=5)
+        second.send(("ping", None))
+        assert second.recv()[0] == "pong"
+        second.close()
+
+    def test_map_request_round_trips(self, shard_server):
+        channel = connect_to_shard(shard_server, timeout=5)
+        channel.send(("map", (_triple, [(0, 2), (1, 5)])))
+        kind, payload = channel.recv()
+        assert kind == "ok"
+        assert payload == [(0, 6), (1, 15)]
+        channel.close()
+
+    def test_map_error_reported(self, shard_server):
+        channel = connect_to_shard(shard_server, timeout=5)
+        channel.send(("map", (_explode, [(0, 1)])))
+        kind, payload = channel.recv()
+        assert kind == "error"
+        assert isinstance(payload, ZeroDivisionError)
+        channel.close()
+
+    def test_unpicklable_reply_reported_and_server_survives(
+            self, shard_server):
+        """Regression: a successful map whose *result* does not pickle
+        must degrade to an error reply, not crash the shard or hang the
+        waiting parent."""
+        channel = connect_to_shard(shard_server, timeout=5)
+        channel.send(("map", (_make_unpicklable, [(0, 1)])))
+        kind, payload = channel.recv()
+        assert kind == "error"
+        assert "pickle" in str(payload)
+        channel.send(("ping", None))
+        assert channel.recv()[0] == "pong"
+        channel.close()
+
+    @pytest.mark.parametrize("message", [
+        ("run", "not a wire batch"),
+        ("map", None),  # unpacking (fn, items) raises
+    ])
+    def test_bad_request_payload_reported_and_server_survives(
+            self, shard_server, message):
+        """Regression: a structurally valid message whose payload blows
+        up the handler must not crash a long-running shard server."""
+        channel = connect_to_shard(shard_server, timeout=5)
+        channel.send(message)
+        kind, payload = channel.recv()
+        assert kind == "error"
+        assert isinstance(payload, BaseException)
+        channel.send(("ping", None))
+        assert channel.recv()[0] == "pong"
+        channel.close()
+
+
+def _triple(value):
+    """Module-level map function (picklable for shard traffic)."""
+    return value * 3
+
+
+def _explode(value):
+    return value / 0
+
+
+def _make_unpicklable(value):
+    return lambda: value  # lambdas don't pickle

@@ -31,6 +31,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig6", "--scale", "huge"])
 
+    def test_shard_worker_command_parses(self):
+        args = build_parser().parse_args(["shard-worker", "--port", "7600"])
+        assert args.command == "shard-worker"
+        assert args.host == "127.0.0.1"
+        assert args.port == 7600
+
+    def test_run_accepts_shards(self):
+        args = build_parser().parse_args(
+            ["run", "fig6", "--backend", "sharded",
+             "--shards", "node-a:7600,node-b:7600"])
+        assert args.backend == "sharded"
+        assert args.shards == "node-a:7600,node-b:7600"
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -79,3 +92,14 @@ class TestMain:
     def test_run_fig1_smoke(self, capsys):
         assert main(["run", "fig1", "--scale", "smoke"]) == 0
         assert "idle" in capsys.readouterr().out.lower()
+
+    def test_shards_without_sharded_backend_fails(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--shards", "localhost:7600"]) == 2
+        assert "--backend sharded" in capsys.readouterr().err
+
+    def test_run_fig6_sharded_smoke(self, capsys):
+        """CLI-level wiring: fig6 on two auto-spawned localhost shards."""
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "sharded", "--workers", "2"]) == 0
+        assert "cycle" in capsys.readouterr().out.lower()
