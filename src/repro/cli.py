@@ -6,6 +6,8 @@ Usage::
     python -m repro run table1 --scale fast
     python -m repro run fig5 --scale smoke --output results/fig5.txt
     python -m repro run fig6 --backend sharded --shards host1:7600,host2:7600
+    python -m repro run fig6 --backend sharded --workers 3 \
+        --on-shard-failure rebalance --heartbeat-interval 10
     python -m repro shard-worker --host 0.0.0.0 --port 7600
     python -m repro scales
 
@@ -25,8 +27,8 @@ from typing import List, Optional
 
 from .experiments import (SCALES, available_experiments, get_experiment,
                           run_experiment)
-from .fl.executor import (SHARD_ANNOUNCE_PREFIX, available_backends,
-                          make_backend)
+from .fl.executor import (FAILURE_POLICIES, SHARD_ANNOUNCE_PREFIX,
+                          available_backends, make_backend)
 
 __all__ = ["build_parser", "main"]
 
@@ -69,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
                                  "running 'repro shard-worker' servers "
                                  "(requires --backend sharded; omit to "
                                  "auto-spawn localhost shards)")
+    run_parser.add_argument("--on-shard-failure", default=None,
+                            choices=FAILURE_POLICIES,
+                            help="what a dead worker/shard does to the run "
+                                 "(sharded/persistent backends): 'abort' "
+                                 "fails the batch naming the dead shard "
+                                 "(default), 'rebalance' repairs the "
+                                 "topology and retries the batch "
+                                 "bit-identically")
+    run_parser.add_argument("--heartbeat-interval", type=float, default=None,
+                            metavar="SECONDS",
+                            help="probe every connected shard with a ping "
+                                 "between batches at most this often "
+                                 "(requires --backend sharded; probe "
+                                 "failures follow --on-shard-failure)")
     run_parser.add_argument("--output", default=None,
                             help="also write the formatted output to a file")
 
@@ -104,9 +120,17 @@ def _print_scales() -> None:
 def _run(experiment: str, scale: str, seed: int,
          output: Optional[str], backend: str = "serial",
          workers: Optional[int] = None,
-         shards: Optional[str] = None) -> int:
+         shards: Optional[str] = None,
+         on_shard_failure: Optional[str] = None,
+         heartbeat_interval: Optional[float] = None) -> int:
     if shards is not None and backend != "sharded":
         raise ValueError("--shards requires --backend sharded")
+    if on_shard_failure is not None and backend not in ("sharded",
+                                                        "persistent"):
+        raise ValueError("--on-shard-failure requires --backend "
+                         "sharded or --backend persistent")
+    if heartbeat_interval is not None and backend != "sharded":
+        raise ValueError("--heartbeat-interval requires --backend sharded")
     kwargs = {"scale": scale}
     entry = get_experiment(experiment)
     # Profiling-only experiments take neither a seed nor a training
@@ -117,14 +141,17 @@ def _run(experiment: str, scale: str, seed: int,
     shared_backend = None
     if backend != "serial" and "backend" not in accepts:
         print(f"warning: experiment {experiment!r} runs no client "
-              f"trainings; ignoring --backend/--workers/--shards",
+              f"trainings; ignoring --backend/--workers/--shards/"
+              f"--on-shard-failure/--heartbeat-interval",
               file=sys.stderr)
     elif backend == "serial" and workers is not None:
         print("warning: --workers has no effect with the serial backend",
               file=sys.stderr)
     elif "backend" in accepts and backend != "serial":
         shared_backend = make_backend(backend, max_workers=workers,
-                                      shards=shards)
+                                      shards=shards,
+                                      on_shard_failure=on_shard_failure,
+                                      heartbeat_interval=heartbeat_interval)
         kwargs["backend"] = shared_backend
     try:
         _, text = run_experiment(experiment, **kwargs)
@@ -153,7 +180,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return _run(args.experiment, args.scale, args.seed, args.output,
                         backend=args.backend, workers=args.workers,
-                        shards=args.shards)
+                        shards=args.shards,
+                        on_shard_failure=args.on_shard_failure,
+                        heartbeat_interval=args.heartbeat_interval)
         except (KeyError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

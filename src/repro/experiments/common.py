@@ -213,7 +213,10 @@ def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
                    verbose: bool = False,
                    backend: Union[None, str, ExecutionBackend] = None,
                    max_workers: Optional[int] = None,
-                   shards=None) -> Dict[str, TrainingHistory]:
+                   shards=None,
+                   on_shard_failure: Optional[str] = None,
+                   heartbeat_interval: Optional[float] = None
+                   ) -> Dict[str, TrainingHistory]:
     """Run every strategy on its own fresh copy of the simulation.
 
     ``backend`` (optional) overrides the execution backend of every fresh
@@ -224,9 +227,14 @@ def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
     (``backend="sharded"`` only) selects the shard topology: a list of
     ``host:port`` addresses of running ``repro shard-worker`` servers or
     an integer count of auto-spawned localhost shards.
+    ``on_shard_failure`` and ``heartbeat_interval`` select the
+    worker-resident backends' fault-tolerance policy — see
+    :func:`~repro.fl.executor.make_backend`.
     """
     shared_backend = (make_backend(backend, max_workers=max_workers,
-                                   shards=shards)
+                                   shards=shards,
+                                   on_shard_failure=on_shard_failure,
+                                   heartbeat_interval=heartbeat_interval)
                       if backend is not None else None)
     owns_backend = (shared_backend is not None
                     and not isinstance(backend, ExecutionBackend))

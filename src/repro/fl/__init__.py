@@ -4,10 +4,11 @@ from .aggregation import (ModelStructure, aggregate_full, aggregate_partial,
                           normalize_weights, sample_count_weights)
 from .client import (ClientConfig, ClientSpec, ClientState, ClientUpdate,
                      FLClient)
-from .executor import (ExecutionBackend, PersistentProcessBackend,
-                       ProcessPoolBackend, SerialBackend, ShardError,
-                       ShardedSocketBackend, ThreadPoolBackend, TrainingJob,
-                       available_backends, make_backend)
+from .executor import (FAILURE_POLICIES, ExecutionBackend,
+                       PersistentProcessBackend, ProcessPoolBackend,
+                       SerialBackend, ShardError, ShardedSocketBackend,
+                       ThreadPoolBackend, TrainingJob, available_backends,
+                       make_backend)
 from .history import CycleRecord, TrainingHistory
 from .sampling import (ClientSampler, FullParticipation, RandomSampling,
                        ResourceAwareSampling)
@@ -42,6 +43,7 @@ __all__ = [
     "PersistentProcessBackend",
     "ShardedSocketBackend",
     "ShardError",
+    "FAILURE_POLICIES",
     "TrainingJob",
     "available_backends",
     "make_backend",

@@ -23,6 +23,14 @@ A client is two things with very different lifetimes:
   parent process and persistent workers every cycle (a few hundred bytes,
   independent of dataset or model size).
 
+The split is also what makes shard failover recoverable: the parent-side
+client always holds the last *committed* runtime state (backends mirror
+post-training weights/RNG only after a batch fully succeeds), so spec +
+current RNG digest form a per-client recovery snapshot from which a
+replacement worker rebuilds a bit-identical resident replica after a
+shard dies mid-run (see ``on_failure="rebalance"`` in
+:mod:`repro.fl.executor`).
+
 ``FLClient`` keeps its historical constructor; it simply records the
 arguments as a spec.  Mutating an identity attribute (``client.device =
 new_profile``) replaces the spec, so a re-shipped spec always reflects the

@@ -54,6 +54,19 @@ All backends are *bit-identical* to each other under a fixed seed:
 
 A worker that raises propagates its exception to the caller — the batch
 fails loudly rather than silently dropping a client's update.
+
+Fault tolerance
+---------------
+A worker/shard *dying* (as opposed to a training raising) is a transport
+failure, and the worker-resident backends expose a policy for it:
+``on_failure="abort"`` (default) fails the batch with a slot-identified
+error and closes the backend; ``on_failure="rebalance"`` repairs the
+topology and retries the batch.  Because every wire batch carries the
+clients' starting weights and pre-batch RNG digests, and parent-side
+state is only mirrored after a batch fully succeeds, the retry is
+bit-identical to an undisturbed run — a killed shard costs wall-clock
+time, never reproducibility.  The sharded backend can additionally probe
+shard liveness between batches (``heartbeat_interval``).
 """
 
 from __future__ import annotations
@@ -89,6 +102,7 @@ __all__ = [
     "PersistentProcessBackend",
     "ShardedSocketBackend",
     "ShardError",
+    "FAILURE_POLICIES",
     "available_backends",
     "make_backend",
 ]
@@ -106,6 +120,36 @@ _TRANSPORT_FAILURES = (EOFError, OSError, TransportError)
 _CLOSE_BLOB = pickle.dumps(("close", None), _PICKLE_PROTOCOL)
 _BYE_BLOB = pickle.dumps(("bye", None), _PICKLE_PROTOCOL)
 _SHUTDOWN_BLOB = pickle.dumps(("shutdown", None), _PICKLE_PROTOCOL)
+_PING_BLOB = pickle.dumps(("ping", None), _PICKLE_PROTOCOL)
+
+#: Policies of the worker-resident backends when a slot's transport dies
+#: mid-operation: ``abort`` (historical behavior — fail the batch, close
+#: the backend, raise the slot-identified error) or ``rebalance``
+#: (repair the topology and retry the batch — see
+#: :class:`_ResidentFleetBackend`).
+FAILURE_POLICIES = ("abort", "rebalance")
+
+
+class _SlotFailed(Exception):
+    """Internal: a slot's transport died during ``context``.
+
+    Raised by :meth:`_ResidentFleetBackend._dispatch` /
+    :meth:`_collect_reply` *instead of* closing the backend, so the
+    retry loop in :meth:`run_jobs` can decide between aborting (close +
+    raise the slot-identified error) and failing over.  ``pending``
+    names the surviving slots that still owe a reply for the aborted
+    batch — the failover drains them so their request/reply streams
+    return to idle.  Never escapes the backend.
+    """
+
+    def __init__(self, slot: int, context: str,
+                 cause: Optional[BaseException] = None,
+                 pending: Sequence[int] = ()) -> None:
+        super().__init__(f"slot {slot} failed while {context}")
+        self.slot = slot
+        self.context = context
+        self.cause = cause
+        self.pending = tuple(pending)
 
 
 @dataclass
@@ -582,18 +626,66 @@ class _ResidentFleetBackend(ExecutionBackend):
     everything determinism-critical: sticky client→slot placement,
     spec-version residency tracking, per-slot weight-snapshot dedup,
     ordered reply collection and parent-side state mirroring.  A
-    transport failure on any slot aborts the whole batch, closes the
-    backend (no orphan workers or sockets) and raises the subclass's
-    slot-identified error.
+    transport failure on any slot either aborts the whole batch —
+    closing the backend (no orphan workers or sockets) and raising the
+    subclass's slot-identified error — or, under
+    ``on_failure="rebalance"``, repairs the topology and retries it.
+
+    Failure recovery
+    ----------------
+    Retrying an aborted batch is *bit-identical* by construction: every
+    wire group ships the client's starting weights (by table reference)
+    and its pre-batch RNG digest, and the parent mirrors post-training
+    state into its own clients only after **all** replies arrived.  The
+    parent-side clients therefore always hold the last *committed*
+    state — together with each client's immutable spec they are the
+    recovery snapshot from which a replacement slot rebuilds its
+    residents (see :class:`~repro.fl.client.ClientSpec` /
+    :meth:`~repro.fl.client.FLClient.get_state`).  What ``rebalance``
+    does on a dead slot:
+
+    1. drain the surviving slots' replies to the aborted batch and
+       discard them (their undrained in-flight replies would otherwise
+       desynchronize the request/reply protocol — and resetting the
+       connections instead could cascade the failure onto healthy
+       slots that are merely still busy);
+    2. discard the dead slot's transport (and, where the subclass can,
+       arrange a replacement — a respawned localhost shard, a fresh
+       pipe worker — or mark the slot dead and move its clients onto
+       surviving slots);
+    3. re-dispatch the whole batch — same weights, same RNG digests,
+       hence the same history as an undisturbed run.
     """
 
-    def __init__(self) -> None:
+    #: What to do when a slot's transport dies (see
+    #: :data:`FAILURE_POLICIES`).
+    on_failure = "abort"
+
+    def __init__(self, on_failure: str = "abort") -> None:
+        if on_failure not in FAILURE_POLICIES:
+            raise ValueError(
+                f"unknown failure policy {on_failure!r}; "
+                f"available: {FAILURE_POLICIES}")
+        self.on_failure = on_failure
         self._placement: Dict[int, int] = {}
         #: index → spec_version of the replica resident in its slot; a
         #: client whose current spec_version differs (any identity
         #: mutation: dataset, device, config, …) gets its spec re-shipped.
         self._resident: Dict[int, int] = {}
         self._next_slot = 0
+        #: Slots declared permanently lost (externally addressed shards
+        #: that failed repeatedly); their clients rebalance onto the
+        #: surviving slots.  Reset by :meth:`close`.
+        self._dead_slots: set = set()
+        #: Consecutive transport failures per slot since the last
+        #: successful batch (the sharded backend's give-up threshold
+        #: for externally addressed shards reads it).
+        self._slot_failures: Dict[int, int] = {}
+        self._close_lock = threading.Lock()
+        #: Bumped by every :meth:`close`; an in-flight batch that sees
+        #: the epoch move refuses to fail over (it would resurrect a
+        #: backend its owner just shut down) and aborts instead.
+        self._close_epoch = 0
         #: Measured pickled bytes of the most recent dispatched batch.
         self.last_dispatch_bytes = 0
 
@@ -622,32 +714,141 @@ class _ResidentFleetBackend(ExecutionBackend):
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
-    def _dispatch(self, slot: int, blob: bytes, context: str) -> None:
+    # failure policy
+    # ------------------------------------------------------------------ #
+    def _active_slots(self) -> List[int]:
+        """Slots still eligible to host clients."""
+        return [slot for slot in range(self.num_slots)
+                if slot not in self._dead_slots]
+
+    def _failover(self, failure: _SlotFailed) -> bool:
+        """Repair the topology after a slot's transport died.
+
+        ``True`` means the aborted batch may be retried; ``False`` means
+        the failure is unrecoverable (no surviving capacity) and the
+        caller must abort.  The base class cannot recover anything.
+        """
+        return False
+
+    #: Upper bound on waiting for one surviving slot's owed reply while
+    #: failing over.  Generous — the survivor is usually just finishing
+    #: its legitimate chunk of the aborted batch — but finite, so a
+    #: survivor that silently vanished (network partition, host power
+    #: loss, no RST) cannot hang the recovery machinery forever; on
+    #: expiry the slot loses its transport and is judged like any other
+    #: failure on the retry.
+    DRAIN_TIMEOUT_S = 600.0
+
+    def _discard_slot_transport(self, slot: int) -> None:
+        """Drop one slot's transport so it is rebuilt on next use."""
+        raise NotImplementedError
+
+    def _drain_slot(self, slot: int) -> None:
+        """Consume and discard one slot's owed reply, bounded in time."""
+        raise NotImplementedError
+
+    def _drain_pending(self, pending: Sequence[int]) -> None:
+        """Consume and discard the aborted batch's undrained replies.
+
+        Surviving slots are *not* reset on failover: they may still be
+        crunching their chunk of the aborted batch, and reconnecting to
+        a busy shard can time out at the handshake and cascade the
+        failure onto healthy hosts.  Instead their owed replies are
+        collected like a normal batch (bounded by
+        :data:`DRAIN_TIMEOUT_S`) and thrown away, which returns every
+        surviving request/reply stream to idle with resident state
+        intact.  A slot that fails or times out *while draining* loses
+        its transport too; the retry rebuilds it and the normal failure
+        path judges it.
+        """
+        for slot in pending:
+            self._drain_slot(slot)
+
+    def _failover_attempt_limit(self) -> int:
+        """Cap on recovery attempts per batch (runaway-loop backstop)."""
+        return max(2 * self.num_slots, 4)
+
+    def _maybe_check_health(self) -> None:
+        """Pre-batch health hook (heartbeat probing, where supported).
+
+        Raises :class:`_SlotFailed` for a probed-dead slot so the
+        detection funnels through the same abort/rebalance recovery
+        path (and attempt cap) as every other transport failure.
+        """
+
+    def _prepare_slot(self, slot: int) -> bool:
+        """Ensure a slot's transport is ready before payloads are built.
+
+        ``True`` means the slot came up without its previous resident
+        state (fresh worker, non-resumed connection) and the caller must
+        rebuild payloads so specs are re-shipped.
+        """
+        return False
+
+    def _recover_or_raise(self, failure: _SlotFailed,
+                          attempts: int) -> None:
+        """Fail over after a slot death, or abort the batch loudly."""
+        # Build the error before any teardown wipes the slot bookkeeping
+        # (it carries the slot identity, e.g. the shard's address).
+        error = self._slot_error(failure.slot, failure.context)
+        recoverable = (self.on_failure == "rebalance"
+                       and attempts <= self._failover_attempt_limit()
+                       and self._failover(failure))
+        if not recoverable:
+            self.close()
+            raise error from failure.cause
+
+    def _with_failover(self, attempt: Callable[[], Any]) -> Any:
+        """Run one batch attempt under the configured failure policy."""
+        attempts = 0
+        while True:
+            epoch = self._close_epoch
+            try:
+                self._maybe_check_health()
+                result = attempt()
+            except _SlotFailed as failure:
+                if self._close_epoch != epoch:
+                    # close() raced this batch: the transports died
+                    # because the owner shut the backend down, and
+                    # failing over would resurrect it behind their
+                    # back.  Abort loudly instead (and close again so
+                    # anything the attempt spawned meanwhile is
+                    # reaped).
+                    error = self._slot_error(failure.slot,
+                                             failure.context)
+                    self.close()
+                    raise error from failure.cause
+                attempts += 1
+                self._recover_or_raise(failure, attempts)
+                continue
+            self._slot_failures.clear()
+            return result
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, slot: int, blob: bytes, context: str,
+                  pending: Sequence[int] = ()) -> None:
         try:
             self._slot_send(slot, blob)
         except ShardError:
-            # Spawn/announce failures already carry the shard identity;
-            # still close: earlier slots may have undrained in-flight
-            # batches that would desynchronize the protocol on reuse.
+            # Spawn/announce failures already carry the shard identity
+            # and mean the host cannot even start a worker — that is not
+            # a failure another slot can absorb.  Close: earlier slots
+            # may have undrained in-flight batches that would
+            # desynchronize the protocol on reuse.
             self.close()
             raise
         except _TRANSPORT_FAILURES as exc:
-            # Build the error before close() wipes the slot bookkeeping
-            # (it carries the slot identity, e.g. the shard's address).
-            error = self._slot_error(slot, context)
-            self.close()
-            raise error from exc
+            raise _SlotFailed(slot, context, exc, pending) from exc
 
-    def _collect_reply(self, slot: int, context: str) -> Tuple[str, Any]:
+    def _collect_reply(self, slot: int, context: str,
+                       pending: Sequence[int] = ()) -> Tuple[str, Any]:
         try:
             return self._slot_recv(slot)
         except ShardError:
             self.close()
             raise
         except _TRANSPORT_FAILURES as exc:
-            error = self._slot_error(slot, context)
-            self.close()
-            raise error from exc
+            raise _SlotFailed(slot, context, exc, pending) from exc
 
     def _build_payloads(self, clients: Sequence[FLClient],
                         jobs: Sequence[TrainingJob], commit: bool
@@ -661,13 +862,22 @@ class _ResidentFleetBackend(ExecutionBackend):
         """
         placement = self._placement if commit else dict(self._placement)
         next_slot = self._next_slot
+        active = self._active_slots()
+        if not active:
+            raise self._slot_error(
+                next(iter(sorted(self._dead_slots)), 0),
+                "partitioning the fleet (every slot is dead)")
         batches: Dict[int, _WireBatch] = {}
         weight_refs: Dict[int, Dict[int, int]] = {}
         order: List[Tuple[int, List[int]]] = []
         for index, positions, client_jobs in _group_jobs(jobs):
             slot = placement.get(index)
-            if slot is None:
-                slot = next_slot % self.num_slots
+            if slot is None or slot in self._dead_slots:
+                # First appearance — or the placed slot was declared
+                # dead, in which case the client moves to a survivor
+                # (its spec travels again; the failover purged its
+                # residency entry).
+                slot = active[next_slot % len(active)]
                 next_slot += 1
                 placement[index] = slot
             batch = batches.setdefault(slot, _WireBatch(weights_table=[],
@@ -696,16 +906,37 @@ class _ResidentFleetBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     def run_jobs(self, clients: Sequence[FLClient],
                  jobs: Sequence[TrainingJob]) -> List[ClientUpdate]:
+        return self._with_failover(
+            lambda: self._run_jobs_attempt(clients, jobs))
+
+    def _run_jobs_attempt(self, clients: Sequence[FLClient],
+                          jobs: Sequence[TrainingJob]
+                          ) -> List[ClientUpdate]:
         batches, order = self._build_payloads(clients, jobs, commit=True)
+        # Bring every participating slot's transport up *before* the
+        # payloads are trusted: a slot that comes back without its
+        # resident state (fresh worker, non-resumed reconnect) purges
+        # its residency entries, and the payloads must be rebuilt so
+        # those clients' specs travel again.
+        stale = False
+        for slot in sorted(batches):
+            stale = self._prepare_slot(slot) or stale
+        if stale:
+            batches, order = self._build_payloads(clients, jobs,
+                                                  commit=True)
         blobs = {slot: pickle.dumps(("run", batch), _PICKLE_PROTOCOL)
                  for slot, batch in batches.items()}
         self.last_dispatch_bytes = sum(len(blob) for blob in blobs.values())
         slots = sorted(blobs)
+        dispatched: List[int] = []
         for slot in slots:
-            self._dispatch(slot, blobs[slot], "dispatching a batch")
+            self._dispatch(slot, blobs[slot], "dispatching a batch",
+                           pending=dispatched)
+            dispatched.append(slot)
         outcomes: Dict[int, Tuple] = {}
-        for slot in slots:
-            kind, results = self._collect_reply(slot, "running a batch")
+        for position, slot in enumerate(slots):
+            kind, results = self._collect_reply(slot, "running a batch",
+                                                pending=slots[position + 1:])
             if kind != "results":
                 self.close()
                 if isinstance(results, BaseException):
@@ -743,9 +974,22 @@ class _ResidentFleetBackend(ExecutionBackend):
         items = list(items)
         if not items:
             return []
+        # Under ``rebalance`` a dead slot retries the whole map on the
+        # repaired topology, so ``fn`` should be idempotent (the
+        # training path always is — see :meth:`run_jobs`).
+        return self._with_failover(
+            lambda: self._map_ordered_attempt(fn, items))
+
+    def _map_ordered_attempt(self, fn: Callable[[Any], Any],
+                             items: List[Any]) -> List[Any]:
+        active = self._active_slots()
+        if not active:
+            raise self._slot_error(
+                next(iter(sorted(self._dead_slots)), 0),
+                "partitioning map_ordered (every slot is dead)")
         chunks: Dict[int, List[Tuple[int, Any]]] = {}
         for position, item in enumerate(items):
-            chunks.setdefault(position % self.num_slots, []).append(
+            chunks.setdefault(active[position % len(active)], []).append(
                 (position, item))
         slots = sorted(chunks)
         # Pickle every message before sending any: a pickling failure on
@@ -754,12 +998,17 @@ class _ResidentFleetBackend(ExecutionBackend):
         blobs = {slot: pickle.dumps(("map", (fn, chunks[slot])),
                                     _PICKLE_PROTOCOL)
                  for slot in slots}
+        dispatched: List[int] = []
         for slot in slots:
-            self._dispatch(slot, blobs[slot], "dispatching map_ordered")
+            self._dispatch(slot, blobs[slot], "dispatching map_ordered",
+                           pending=dispatched)
+            dispatched.append(slot)
         results: List[Any] = [None] * len(items)
         error: Optional[BaseException] = None
-        for slot in slots:
-            kind, payload = self._collect_reply(slot, "running map_ordered")
+        for slot_position, slot in enumerate(slots):
+            kind, payload = self._collect_reply(
+                slot, "running map_ordered",
+                pending=slots[slot_position + 1:])
             if kind == "error":
                 error = error or payload
                 continue
@@ -791,17 +1040,24 @@ class _ResidentFleetBackend(ExecutionBackend):
     def close(self) -> None:
         """Stop every slot; the backend re-creates them lazily if reused.
 
-        Idempotent, safe after a worker/shard death and safe during
-        interpreter shutdown: teardown failures are swallowed, the
-        placement/residency bookkeeping is always reset.
+        Idempotent, safe after a worker/shard death, safe when invoked
+        concurrently from several threads (serialized by a lock) and
+        safe during interpreter shutdown: teardown failures are
+        swallowed, the placement/residency/failure bookkeeping is
+        always reset — a reused backend starts from the full topology,
+        dead external shards included (they may have been restarted).
         """
-        try:
-            self._teardown()
-        except Exception:
-            pass
-        self._placement.clear()
-        self._resident.clear()
-        self._next_slot = 0
+        with self._close_lock:
+            self._close_epoch += 1
+            try:
+                self._teardown()
+            except Exception:
+                pass
+            self._placement.clear()
+            self._resident.clear()
+            self._dead_slots.clear()
+            self._slot_failures.clear()
+            self._next_slot = 0
 
 
 class PersistentProcessBackend(_ResidentFleetBackend):
@@ -828,8 +1084,9 @@ class PersistentProcessBackend(_ResidentFleetBackend):
 
     name = "persistent"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
-        super().__init__()
+    def __init__(self, max_workers: Optional[int] = None,
+                 on_failure: str = "abort") -> None:
+        super().__init__(on_failure=on_failure)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
@@ -858,6 +1115,43 @@ class PersistentProcessBackend(_ResidentFleetBackend):
         return RuntimeError(
             f"persistent worker {slot} died while {context} "
             f"(pool has been shut down)")
+
+    def _discard_slot_transport(self, slot: int) -> None:
+        worker = self._workers.pop(slot, None)
+        if worker is not None:
+            worker.stop()
+        # A fresh pipe worker starts with no residents, so every client
+        # placed on this slot must ship its spec again.
+        for index, placed in self._placement.items():
+            if placed == slot:
+                self._resident.pop(index, None)
+
+    def _drain_slot(self, slot: int) -> None:
+        worker = self._workers.get(slot)
+        if worker is None:
+            return
+        try:
+            if worker.conn.poll(self.DRAIN_TIMEOUT_S):
+                worker.recv()
+            else:
+                self._discard_slot_transport(slot)
+        except Exception:
+            self._discard_slot_transport(slot)
+
+    def _failover(self, failure: _SlotFailed) -> bool:
+        """Drain the survivors, replace the dead worker, retry.
+
+        The surviving workers keep their pipes and residents — only
+        their owed replies for the aborted batch are consumed and
+        discarded.  A fresh worker respawns lazily at the dead slot and
+        rebuilds its residents from the parent-side recovery snapshots
+        (spec + RNG digest) on the retry.  Pipe workers are always
+        respawnable, so a slot is never declared dead — the attempt cap
+        in :meth:`_with_failover` stops a crash loop.
+        """
+        self._drain_pending(failure.pending)
+        self._discard_slot_transport(failure.slot)
+        return True
 
     def _teardown(self) -> None:
         workers = list(self._workers.values())
@@ -983,9 +1277,24 @@ class ShardedSocketBackend(_ResidentFleetBackend):
       shuts them down and reaps the processes, and an ``atexit`` hook
       kills any leftovers.
 
-    A shard dying mid-cycle aborts the whole batch with a
-    :class:`ShardError` naming the shard (slot and address) and closes
-    the backend, leaving no orphan processes or half-open sockets.
+    Failure semantics (see also README § Failure semantics):
+
+    * ``on_failure="abort"`` (default) — a shard dying mid-cycle aborts
+      the whole batch with a :class:`ShardError` naming the shard (slot
+      and address) and closes the backend, leaving no orphan processes
+      or half-open sockets.
+    * ``on_failure="rebalance"`` — the dead slot is repaired (auto-spawn
+      topologies respawn a localhost shard in place; an external shard
+      is given one reconnect attempt and then declared dead, its
+      clients rebalancing onto the survivors) and the aborted batch is
+      retried bit-identically.  Surviving shards keep their connections
+      and resident fleets (their owed replies are drained, not reset);
+      the session handshake lets even an abruptly dropped connection
+      resume its residents on reconnect.
+
+    ``heartbeat_interval`` (seconds, ``None`` = off) additionally probes
+    every connected shard with a ``ping`` between batches, so a silently
+    dead shard is caught at a cycle boundary instead of mid-dispatch.
     """
 
     name = "sharded"
@@ -994,14 +1303,26 @@ class ShardedSocketBackend(_ResidentFleetBackend):
     #: count are given (interpreter spawns are not free; stay modest).
     DEFAULT_LOCAL_SHARDS = 2
 
+    #: Transport failures an externally addressed shard is allowed
+    #: before its slot is declared dead (the first failure kills the
+    #: live connection, the second exhausts the reconnect attempt).
+    EXTERNAL_SHARD_STRIKES = 2
+
     def __init__(self, shards: Union[None, int, str,
                                      Sequence[Any]] = None,
                  max_workers: Optional[int] = None,
                  connect_timeout: float = 30.0,
-                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
-        super().__init__()
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 on_failure: str = "abort",
+                 heartbeat_interval: Optional[float] = None,
+                 heartbeat_timeout: float = 5.0) -> None:
+        super().__init__(on_failure=on_failure)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if heartbeat_interval is not None and heartbeat_interval < 0:
+            raise ValueError("heartbeat_interval must be non-negative")
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
         if isinstance(shards, str):
             shards = [part.strip() for part in shards.split(",")
                       if part.strip()]
@@ -1032,6 +1353,15 @@ class ShardedSocketBackend(_ResidentFleetBackend):
                              "the 4-byte frame header's 4 GiB limit")
         self.connect_timeout = connect_timeout
         self.max_frame_bytes = max_frame_bytes
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        #: Session token of the hello handshake: shards keep their
+        #: resident fleet for a reconnecting parent presenting the same
+        #: token, which is what makes failover resets cheap for the
+        #: surviving shards.  Unique per backend instance, so two fleets
+        #: can never resume each other's residents.
+        self._session = f"{os.getpid():x}-{os.urandom(12).hex()}"
+        self._last_probe: Optional[float] = None
         self._channels: Dict[int, Any] = {}
         self._procs: Dict[int, Any] = {}
         self._live_addresses: Dict[int, Tuple[str, int]] = {}
@@ -1078,22 +1408,146 @@ class ShardedSocketBackend(_ResidentFleetBackend):
             if self._addresses is not None:
                 address = self._addresses[slot]
             else:
-                address = self._spawn_local_shard(slot)
+                # Reconnect to the slot's live auto-spawned shard if one
+                # survived a transport reset (failover closes every
+                # channel); only spawn a fresh interpreter when the
+                # process itself is gone.
+                proc = self._procs.get(slot)
+                address = self._live_addresses.get(slot)
+                if proc is None or proc.poll() is not None or address is None:
+                    if proc is not None:
+                        self._procs.pop(slot, None)
+                        _reap_shard_process(proc, timeout=0.0)
+                    address = self._spawn_local_shard(slot)
             channel = connect_to_shard(
                 address, timeout=self.connect_timeout,
-                max_frame_bytes=self.max_frame_bytes)
+                max_frame_bytes=self.max_frame_bytes,
+                session=self._session)
             self._channels[slot] = channel
             self._live_addresses[slot] = parse_address(address)
-            # Invariant guard: a fresh connection must never trust
-            # residency (shard servers clear residents per connection).
-            # Today this purge finds nothing — channels are only created
-            # after __init__ or close(), both of which reset residency —
-            # but it keeps the invariant local if per-slot reconnects
-            # are ever added.
-            for index, placed in self._placement.items():
-                if placed == slot:
-                    self._resident.pop(index, None)
+            # A connection that did not resume our session must never
+            # trust residency: the shard serves a clean fleet, so every
+            # client placed there gets its spec re-shipped.  (A resumed
+            # connection keeps the shard-side residents — that is the
+            # point of the session handshake.)
+            if not channel.resumed:
+                for index, placed in self._placement.items():
+                    if placed == slot:
+                        self._resident.pop(index, None)
         return channel
+
+    def _prepare_slot(self, slot: int) -> bool:
+        if slot in self._channels:
+            return False
+        try:
+            channel = self._channel(slot)
+        except ShardError:
+            # Spawn/announce failures mean this host cannot start a
+            # worker at all — not recoverable by rebalancing.
+            self.close()
+            raise
+        except _TRANSPORT_FAILURES as exc:
+            raise _SlotFailed(slot, "connecting to the shard", exc) from exc
+        return not channel.resumed
+
+    def _discard_slot_transport(self, slot: int) -> None:
+        channel = self._channels.pop(slot, None)
+        if channel is not None:
+            channel.close()
+        # Residency is purged when the slot reconnects without resuming
+        # our session (see _channel); a resumed reconnect keeps it.
+
+    def _drain_slot(self, slot: int) -> None:
+        channel = self._channels.get(slot)
+        if channel is None:
+            return
+        try:
+            channel.settimeout(self.DRAIN_TIMEOUT_S)
+            channel.recv()
+            channel.settimeout(None)
+        except Exception:
+            self._discard_slot_transport(slot)
+
+    def _failover(self, failure: _SlotFailed) -> bool:
+        """Drain the survivors, discard the dead slot, retry.
+
+        Surviving shards keep their connections and resident fleets —
+        only their owed replies for the aborted batch are consumed and
+        discarded (reconnecting instead could time out against a shard
+        that is merely still training and cascade the failure onto
+        healthy hosts).  The dead slot's channel and process go away:
+        auto-spawned slots respawn in place on the next batch, while an
+        externally addressed shard gets :data:`EXTERNAL_SHARD_STRIKES`
+        chances (the failure itself, then one reconnect attempt) before
+        its slot is declared dead and its clients rebalance onto the
+        survivors.  ``False`` means no capacity survives and the caller
+        must abort.
+        """
+        slot = failure.slot
+        self._drain_pending(failure.pending)
+        self._discard_slot_transport(slot)
+        self._live_addresses.pop(slot, None)
+        proc = self._procs.pop(slot, None)
+        if proc is not None:
+            _reap_shard_process(proc, timeout=0.0)
+        self._slot_failures[slot] = self._slot_failures.get(slot, 0) + 1
+        if (not self.autospawn
+                and self._slot_failures[slot] >= self.EXTERNAL_SHARD_STRIKES):
+            self._dead_slots.add(slot)
+            for index, placed in list(self._placement.items()):
+                if placed == slot:
+                    self._placement.pop(index)
+                    self._resident.pop(index, None)
+        return bool(self._active_slots())
+
+    # ------------------------------------------------------------------ #
+    # health checking
+    # ------------------------------------------------------------------ #
+    def check_health(self, timeout: Optional[float] = None) -> List[int]:
+        """Probe every connected shard with a ping; return dead slots.
+
+        Each probe is bounded by ``timeout`` (default: the backend's
+        ``heartbeat_timeout``), so a hung shard cannot block the fleet.
+        A slot that fails its probe has its channel closed (a timed-out
+        pong would desynchronize the stream) and is reported; what to
+        *do* about it is the caller's policy — the pre-batch heartbeat
+        applies ``on_failure``, a monitoring caller may just observe.
+        Only call between batches: probing a slot with an in-flight
+        request would interleave replies.
+        """
+        probe_timeout = self.heartbeat_timeout if timeout is None else timeout
+        dead: List[int] = []
+        for slot in sorted(self._channels):
+            channel = self._channels[slot]
+            try:
+                channel.settimeout(probe_timeout)
+                channel.send_bytes(_PING_BLOB)
+                kind, _ = channel.recv()
+                if kind != "pong":
+                    raise ProtocolError(
+                        f"shard answered a ping with {kind!r}")
+                channel.settimeout(None)
+            except _TRANSPORT_FAILURES:
+                self._channels.pop(slot, None)
+                channel.close()
+                dead.append(slot)
+        return dead
+
+    def _maybe_check_health(self) -> None:
+        if self.heartbeat_interval is None or not self._channels:
+            return
+        now = time.monotonic()
+        if (self._last_probe is not None
+                and now - self._last_probe < self.heartbeat_interval):
+            return
+        self._last_probe = now
+        dead = self.check_health()
+        if dead:
+            # Surface one failure; the shared recovery path (abort or
+            # rebalance, attempt cap included) judges it.  Any further
+            # dead shard is caught when its closed channel reconnects
+            # on the next attempt, or by the next probe.
+            raise _SlotFailed(dead[0], "answering a health probe")
 
     def _slot_send(self, slot: int, blob: bytes) -> None:
         self._channel(slot).send_bytes(blob)
@@ -1116,6 +1570,7 @@ class ShardedSocketBackend(_ResidentFleetBackend):
         procs = dict(self._procs)
         self._procs.clear()
         self._live_addresses.clear()
+        self._last_probe = None
         for slot, channel in channels.items():
             # Auto-spawned shards are told to exit; external shards only
             # to hang up (they keep serving other runs / reconnects).
@@ -1151,7 +1606,9 @@ def available_backends() -> Tuple[str, ...]:
 
 def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                  max_workers: Optional[int] = None,
-                 shards: Union[None, int, str, Sequence[Any]] = None
+                 shards: Union[None, int, str, Sequence[Any]] = None,
+                 on_shard_failure: Optional[str] = None,
+                 heartbeat_interval: Optional[float] = None
                  ) -> ExecutionBackend:
     """Resolve a backend specification into an :class:`ExecutionBackend`.
 
@@ -1165,14 +1622,26 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         Worker count for the pooled backends (``None`` = library default);
         for ``"sharded"`` without addresses it is the number of auto-
         spawned localhost shards.  Must be ``None`` when ``spec`` is an
-        already-constructed instance: an instance's pool size cannot be
-        changed, and silently ignoring the argument would hide a
-        configuration error.
+        already-constructed instance (an instance's pool size cannot be
+        changed) *and* when ``spec`` names the serial backend (which has
+        no workers) — silently ignoring the argument would hide a
+        configuration error either way.
     shards:
         Shard topology, only meaningful with ``spec="sharded"``: a list
         of ``"host:port"`` addresses (or one comma-separated string) of
         externally started ``repro shard-worker`` servers, or an integer
         count of localhost shards to auto-spawn.
+    on_shard_failure:
+        Failure policy of the worker-resident backends
+        (``"sharded"``/``"persistent"``): ``"abort"`` (default) fails
+        the batch with a slot-identified error and closes the backend;
+        ``"rebalance"`` repairs the topology — respawning a localhost
+        slot or moving a dead external shard's clients onto survivors —
+        and retries the batch bit-identically.
+    heartbeat_interval:
+        Seconds between pre-batch ``ping`` probes of every connected
+        shard (``"sharded"`` only; ``None`` = no probing).  A probe
+        failure is handled under ``on_shard_failure``.
     """
     if isinstance(spec, ExecutionBackend):
         if max_workers is not None:
@@ -1184,11 +1653,37 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
             raise ValueError(
                 f"shards={shards!r} cannot be applied to an already-"
                 f"constructed backend instance {spec!r}")
+        if on_shard_failure is not None or heartbeat_interval is not None:
+            raise ValueError(
+                f"on_shard_failure/heartbeat_interval cannot be applied "
+                f"to an already-constructed backend instance {spec!r}; "
+                f"construct the backend with the desired failure policy "
+                f"instead")
         return spec
     if shards is not None and spec != ShardedSocketBackend.name:
         raise ValueError(
             f"shards only applies to the 'sharded' backend, not {spec!r}")
+    if on_shard_failure is not None and spec not in (
+            ShardedSocketBackend.name, PersistentProcessBackend.name):
+        raise ValueError(
+            f"on_shard_failure only applies to the worker-resident "
+            f"backends ('sharded', 'persistent'), not {spec!r}")
+    if heartbeat_interval is not None and spec != ShardedSocketBackend.name:
+        raise ValueError(
+            f"heartbeat_interval only applies to the 'sharded' backend, "
+            f"not {spec!r}")
     if spec is None:
+        if max_workers is not None:
+            # Mirrors the instance rejection above: a defaulted (serial)
+            # backend has no workers, and silently dropping the argument
+            # used to hide e.g. a forgotten backend name.  An *explicit*
+            # "serial" still tolerates max_workers so callers can sweep
+            # one worker count across backend names.
+            raise ValueError(
+                f"max_workers={max_workers!r} has no effect on the "
+                f"default serial backend; pass a pooled backend name "
+                f"('thread', 'process', 'persistent', 'sharded') or drop "
+                f"the argument")
         return SerialBackend()
     if isinstance(spec, str):
         try:
@@ -1200,7 +1695,13 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         if factory is SerialBackend:
             return SerialBackend()
         if factory is ShardedSocketBackend:
-            return ShardedSocketBackend(shards=shards,
-                                        max_workers=max_workers)
+            return ShardedSocketBackend(
+                shards=shards, max_workers=max_workers,
+                on_failure=on_shard_failure or "abort",
+                heartbeat_interval=heartbeat_interval)
+        if factory is PersistentProcessBackend:
+            return PersistentProcessBackend(
+                max_workers=max_workers,
+                on_failure=on_shard_failure or "abort")
         return factory(max_workers=max_workers)
     raise TypeError(f"cannot build an execution backend from {spec!r}")

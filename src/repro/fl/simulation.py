@@ -131,7 +131,10 @@ class FederatedSimulation:
     def set_backend(self,
                     backend: Union[None, str, ExecutionBackend],
                     max_workers: Optional[int] = None,
-                    shards=None) -> ExecutionBackend:
+                    shards=None,
+                    on_shard_failure: Optional[str] = None,
+                    heartbeat_interval: Optional[float] = None
+                    ) -> ExecutionBackend:
         """Swap the execution backend, closing the previous pooled one.
 
         The old backend is always closed unless the caller passed the
@@ -147,9 +150,16 @@ class FederatedSimulation:
         ``shards`` (addresses or a localhost count, ``"sharded"`` backend
         only) selects the shard topology — see
         :class:`~repro.fl.executor.ShardedSocketBackend`.
+        ``on_shard_failure`` (``"abort"``/``"rebalance"``, worker-
+        resident backends only) selects what a dead worker or shard does
+        to a running collaboration, and ``heartbeat_interval`` enables
+        between-batch liveness probing of connected shards — see
+        :func:`~repro.fl.executor.make_backend`.
         """
         new_backend = make_backend(backend, max_workers=max_workers,
-                                   shards=shards)
+                                   shards=shards,
+                                   on_shard_failure=on_shard_failure,
+                                   heartbeat_interval=heartbeat_interval)
         if new_backend is self.backend:
             return new_backend
         old_backend = self.backend

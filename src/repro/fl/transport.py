@@ -30,11 +30,30 @@ Malformed traffic never hangs and never surfaces as a bare socket error:
 Handshake
 ---------
 The connecting side opens every connection with ``("hello",
-{"protocol": PROTOCOL_VERSION})``; the shard replies ``("hello-ack",
-{"protocol": ...})`` or ``("error", ProtocolVersionError(...))`` and
-closes.  Both sides run the handshake under a timeout, so a
-version-mismatched or silent peer fails fast instead of blocking a fleet
-start-up forever.
+{"protocol": PROTOCOL_VERSION, "session": ...})``; the shard replies
+``("hello-ack", {"protocol": ..., "resumed": ...})`` or ``("error",
+ProtocolVersionError(...))`` and closes.  Both sides run the handshake
+under a timeout, so a version-mismatched or silent peer fails fast
+instead of blocking a fleet start-up forever.
+
+Reconnects and resident state
+-----------------------------
+A shard keeps the resident clients of its *most recent session* across
+connection drops: a parent that reconnects with the same ``session``
+token resumes them (the ack carries ``"resumed": True``) instead of
+re-shipping every spec — this is what makes failover of a sibling shard
+cheap, because the surviving shards' fleets survive the reconnect.  A
+hello with a different (or no) session token drops the stored residents,
+so state can never leak between unrelated runs; a polite ``bye`` clears
+them too.
+
+Health checking
+---------------
+``ping`` frames are answered with ``("pong", {"residents": ...})`` at
+any point in a connection's lifetime.  The sharded backend uses them as
+heartbeat probes between batches (see
+:meth:`~repro.fl.executor.ShardedSocketBackend.check_health`) so a dead
+shard is detected at a cycle boundary, where recovery is cheapest.
 
 Trust boundary
 --------------
@@ -57,6 +76,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 __all__ = [
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_LISTEN_BACKLOG",
     "TransportError",
     "ConnectionClosedError",
     "TruncatedFrameError",
@@ -77,6 +97,13 @@ PROTOCOL_VERSION = 1
 #: Default cap on one frame's payload (weights tables of large fleets fit
 #: comfortably; a corrupt header claiming gigabytes is rejected instead).
 DEFAULT_MAX_FRAME_BYTES = 1 << 30
+
+#: Listen backlog of the shard server.  One connection is *served* at a
+#: time, but reconnects racing a half-closed predecessor (failover
+#: resets every channel at once) and overlapping parents must be able to
+#: queue instead of having their SYNs dropped — ``listen(1)`` made a
+#: second connection in quick succession hang until its connect timeout.
+DEFAULT_LISTEN_BACKLOG = 128
 
 #: Pickle protocol for shard traffic (matches the pipe workers).
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
@@ -186,6 +213,9 @@ class MessageChannel:
                              "frame header's 4 GiB limit")
         self._sock: Optional[socket.socket] = sock
         self.max_frame_bytes = max_frame_bytes
+        #: Whether the hello handshake resumed a previous session's
+        #: resident state on the shard (set by :func:`connect_to_shard`).
+        self.resumed = False
 
     @property
     def closed(self) -> bool:
@@ -277,7 +307,8 @@ class MessageChannel:
 def connect_to_shard(address: Any, *,
                      timeout: float = _HANDSHAKE_TIMEOUT_S,
                      max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-                     protocol: int = PROTOCOL_VERSION) -> MessageChannel:
+                     protocol: int = PROTOCOL_VERSION,
+                     session: Optional[str] = None) -> MessageChannel:
     """Connect to a shard server and run the hello handshake.
 
     Returns a ready :class:`MessageChannel` with no operation timeout
@@ -285,12 +316,21 @@ def connect_to_shard(address: Any, *,
     :class:`ProtocolVersionError` if the shard rejects our version, and
     ordinary :class:`TransportError` subclasses on malformed replies —
     never hangs past ``timeout`` during the handshake itself.
+
+    ``session`` (opaque token) lets a reconnecting parent resume the
+    resident clients its previous connection left on the shard; the
+    returned channel's :attr:`~MessageChannel.resumed` says whether the
+    shard actually kept them.  Without a token every connection starts
+    from a clean resident fleet.
     """
     host, port = parse_address(address)
     sock = socket.create_connection((host, port), timeout=timeout)
     channel = MessageChannel(sock, max_frame_bytes)
     try:
-        channel.send(("hello", {"protocol": protocol}))
+        hello = {"protocol": protocol}
+        if session is not None:
+            hello["session"] = session
+        channel.send(("hello", hello))
         kind, payload = channel.recv()
     except (OSError, socket.timeout) as exc:
         channel.close()
@@ -306,27 +346,47 @@ def connect_to_shard(address: Any, *,
         channel.close()
         raise ProtocolError(
             f"shard {host}:{port} answered the hello with {kind!r}")
+    channel.resumed = bool(isinstance(payload, dict)
+                           and payload.get("resumed"))
     channel.settimeout(None)
     return channel
 
 
-def _server_handshake(channel: MessageChannel) -> bool:
-    """Validate a fresh connection's hello; ``True`` if it may proceed."""
+def _server_handshake(channel: MessageChannel,
+                      session: Dict[str, Any]) -> Optional[Dict[int, Any]]:
+    """Validate a fresh connection's hello and resolve its residents.
+
+    ``session`` is the server's cross-connection store (``token`` +
+    ``residents``).  A hello carrying the stored token *resumes* the
+    previous connection's residents; any other hello (different token,
+    or none) replaces them with a clean fleet.  Returns the residents
+    dict the connection must serve against, or ``None`` if the
+    handshake failed and the connection must be dropped.
+    """
     try:
         kind, payload = channel.recv()
     except (TransportError, OSError, socket.timeout):
-        return False
+        return None
     if kind != "hello" or not isinstance(payload, dict):
         _try_send(channel, ("error", ProtocolError(
             f"expected a hello, got {kind!r}")))
-        return False
+        return None
     peer_version = payload.get("protocol")
     if peer_version != PROTOCOL_VERSION:
         _try_send(channel, ("error", ProtocolVersionError(
             f"shard speaks protocol {PROTOCOL_VERSION}, "
             f"client sent {peer_version!r}")))
-        return False
-    return _try_send(channel, ("hello-ack", {"protocol": PROTOCOL_VERSION}))
+        return None
+    token = payload.get("session")
+    resumed = token is not None and token == session.get("token")
+    if not resumed:
+        session["residents"] = {}
+    session["token"] = token
+    ack = {"protocol": PROTOCOL_VERSION, "resumed": resumed,
+           "residents": len(session["residents"])}
+    if not _try_send(channel, ("hello-ack", ack)):
+        return None
+    return session["residents"]
 
 
 def _try_send(channel: MessageChannel, message: Tuple[str, Any]) -> bool:
@@ -368,6 +428,7 @@ def _send_reply(channel: MessageChannel, reply: Tuple[str, Any]) -> bool:
 
 def serve_shard(host: str = "127.0.0.1", port: int = 0, *,
                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                backlog: int = DEFAULT_LISTEN_BACKLOG,
                 ready: Optional[Callable[[str, int], None]] = None) -> None:
     """Run one shard server until a ``shutdown`` message arrives.
 
@@ -375,9 +436,12 @@ def serve_shard(host: str = "127.0.0.1", port: int = 0, *,
     pipe worker: specs build residents once, then only weights/masks/RNG
     digests travel per cycle.  One connection is served at a time; a
     dropped or misbehaving connection returns the server to ``accept``
-    (reconnect semantics), and the resident fleet is cleared per
-    connection — a reconnecting parent re-ships specs, so residents from
-    a previous run can never leak into the next.
+    (reconnect semantics) while further connections queue in the listen
+    ``backlog``.  The resident fleet *survives* a reconnect of the same
+    session (the parent's hello token decides — see
+    :func:`_server_handshake`); a connection from any other session
+    starts from a clean fleet, so residents from a previous run can
+    never leak into the next.
 
     ``ready`` is called with the bound ``(host, port)`` once listening —
     the CLI prints the announce line from it, the auto-spawn mode and the
@@ -390,10 +454,11 @@ def serve_shard(host: str = "127.0.0.1", port: int = 0, *,
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     try:
         listener.bind((host, port))
-        listener.listen(1)
+        listener.listen(backlog)
         bound_host, bound_port = listener.getsockname()[:2]
         if ready is not None:
             ready(bound_host, bound_port)
+        session: Dict[str, Any] = {"token": None, "residents": {}}
         shutdown = False
         while not shutdown:
             try:
@@ -402,11 +467,13 @@ def serve_shard(host: str = "127.0.0.1", port: int = 0, *,
                 break
             channel = MessageChannel(conn, max_frame_bytes)
             channel.settimeout(_HANDSHAKE_TIMEOUT_S)
-            if not _server_handshake(channel):
+            residents = _server_handshake(channel, session)
+            if residents is None:
                 channel.close()
                 continue
             channel.settimeout(None)
-            shutdown = _serve_connection(channel, _handle_resident_request)
+            shutdown = _serve_connection(channel, _handle_resident_request,
+                                         session=session)
             channel.close()
     finally:
         try:
@@ -415,8 +482,8 @@ def serve_shard(host: str = "127.0.0.1", port: int = 0, *,
             pass
 
 
-def _serve_connection(channel: MessageChannel,
-                      handle_request: Callable) -> bool:
+def _serve_connection(channel: MessageChannel, handle_request: Callable,
+                      session: Optional[Dict[str, Any]] = None) -> bool:
     """Serve one parent connection; ``True`` means shut the server down.
 
     Control messages (``bye``/``shutdown``/``ping``) are handled here;
@@ -424,8 +491,20 @@ def _serve_connection(channel: MessageChannel,
     shared with the pipe workers (``run``/``map`` against the resident
     fleet, degrading failures to ``("error", ...)`` replies so a
     misbehaving request cannot crash a long-running shard).
+
+    ``session`` is the server's cross-connection store; its residents
+    are mutated in place so they survive into the next connection of the
+    same session.  A polite ``bye`` empties the residents *and* forgets
+    the token — the parent declared the run over, so a later same-token
+    reconnect must not be told it resumed anything — whereas an abrupt
+    transport failure keeps both for a resuming reconnect.  A frame
+    announcing more than the channel's limit leaves the stream
+    unrecoverable (the payload was never read), so it drops the
+    connection instead of returning to ``recv`` desynchronized.
     """
-    residents: Dict[int, Any] = {}
+    if session is None:
+        session = {"token": None, "residents": {}}
+    residents = session["residents"]
     while True:
         try:
             blob = channel.recv_bytes()
@@ -442,6 +521,8 @@ def _serve_connection(channel: MessageChannel,
                 return False
             continue
         if kind == "bye":
+            residents.clear()
+            session["token"] = None
             return False
         if kind == "shutdown":
             return True

@@ -114,6 +114,48 @@ class TestBackendFactory:
         with pytest.raises(ValueError, match="already-constructed"):
             make_backend(backend, shards="localhost:1")
 
+    def test_default_spec_with_max_workers_rejected(self):
+        """Regression: make_backend(None, max_workers=4) silently built a
+        SerialBackend and dropped the worker count."""
+        with pytest.raises(ValueError, match="max_workers"):
+            make_backend(None, max_workers=4)
+
+    def test_failure_policy_constructed(self):
+        for name in ("sharded", "persistent"):
+            backend = make_backend(name, on_shard_failure="rebalance")
+            assert backend.on_failure == "rebalance"
+            backend.close()
+        default = make_backend("sharded")
+        assert default.on_failure == "abort"
+        default.close()
+
+    def test_unknown_failure_policy_rejected(self):
+        with pytest.raises(ValueError, match="failure policy"):
+            make_backend("sharded", on_shard_failure="retry-forever")
+        with pytest.raises(ValueError, match="failure policy"):
+            PersistentProcessBackend(on_failure="retry-forever")
+
+    def test_failure_policy_only_for_resident_backends(self):
+        for spec in (None, "serial", "thread", "process"):
+            with pytest.raises(ValueError, match="worker-resident"):
+                make_backend(spec, on_shard_failure="rebalance")
+        backend = SerialBackend()
+        with pytest.raises(ValueError, match="already-constructed"):
+            make_backend(backend, on_shard_failure="rebalance")
+
+    def test_heartbeat_only_for_sharded_backend(self):
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            make_backend("persistent", heartbeat_interval=5.0)
+        backend = make_backend("sharded", heartbeat_interval=5.0)
+        assert backend.heartbeat_interval == 5.0
+        backend.close()
+
+    def test_invalid_heartbeat_values_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            ShardedSocketBackend(heartbeat_interval=-1.0)
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            ShardedSocketBackend(heartbeat_timeout=0)
+
     def test_context_manager_closes(self):
         with ThreadPoolBackend(max_workers=1) as backend:
             assert backend.map_ordered(lambda x: x + 1, [1, 2]) == [2, 3]
@@ -419,6 +461,75 @@ class TestBackendLifecycle:
         finally:
             backend.close()
         backend.close()
+        assert not backend._workers
+
+    def test_persistent_worker_death_aborts_batch_by_default(self):
+        """Default policy is the historical one: a dead worker fails the
+        batch with a slot-identified error and shuts the pool down."""
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("persistent", max_workers=2)
+        try:
+            sim.train_clients(sim.client_indices())
+            worker = backend._workers[0]
+            worker.process.kill()
+            worker.process.join()
+            with pytest.raises(RuntimeError, match="persistent worker"):
+                sim.train_clients(sim.client_indices())
+            assert not backend._workers
+        finally:
+            sim.close()
+
+    def test_persistent_worker_death_rebalance_bit_identical(self):
+        """Under on_failure='rebalance' a killed pipe worker respawns
+        and the retried batch matches an undisturbed serial run."""
+        serial_sim = make_tiny_simulation()
+        serial_sim.train_clients(serial_sim.client_indices())
+        serial_second = serial_sim.train_clients(serial_sim.client_indices())
+
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("persistent", max_workers=2,
+                                  on_shard_failure="rebalance")
+        try:
+            sim.train_clients(sim.client_indices())
+            worker = backend._workers[0]
+            worker.process.kill()
+            worker.process.join()
+            second = sim.train_clients(sim.client_indices())
+            # The pool healed: fresh workers, residents rebuilt.
+            assert backend._workers
+            assert all(w.process.is_alive()
+                       for w in backend._workers.values())
+        finally:
+            sim.close()
+        for expected, actual in zip(serial_second, second):
+            assert expected.train_loss == actual.train_loss
+            for key in expected.weights:
+                np.testing.assert_array_equal(expected.weights[key],
+                                              actual.weights[key])
+
+    def test_concurrent_close_from_two_threads(self):
+        """Regression: close() racing close() (teardown at interpreter
+        exit racing an explicit close, two owners) must not raise."""
+        import threading
+
+        backend = PersistentProcessBackend(max_workers=2)
+        backend.map_ordered(_square, [1, 2, 3])
+        errors = []
+
+        def close_backend():
+            try:
+                backend.close()
+            except BaseException as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close_backend)
+                   for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        assert not errors
         assert not backend._workers
 
     @pytest.mark.parametrize("backend_name", CONCURRENT_BACKENDS)

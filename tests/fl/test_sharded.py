@@ -1,23 +1,35 @@
 """End-to-end and failure-injection tests of the sharded socket backend.
 
-Three guarantees under test:
+Four guarantees under test:
 
 * a 2-shard localhost fleet produces *bit-identical* histories to the
   serial backend under a fixed seed (the trust anchor of the whole
   multi-host story);
 * a shard dying mid-cycle aborts the batch with a :class:`ShardError`
   naming the shard, and ``close()`` leaves no orphan processes or
-  sockets — double-close and close-after-shard-death included;
+  sockets — double-close, close-after-shard-death, close racing close
+  and close racing an in-flight batch included;
+* under ``on_failure="rebalance"`` a SIGKILLed shard does *not* end the
+  run: the topology is repaired (respawn in place, or rebalance onto
+  surviving external shards) and the finished history is bit-identical
+  to serial — the acceptance criterion of the failover substrate;
 * clean close/reconnect semantics: a closed backend lazily respawns its
   shards and continues every client's RNG stream exactly where it
   stopped.
 """
+
+import os
+import subprocess
+import sys
+import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.baselines import SynchronousFLStrategy
 from repro.fl import ShardedSocketBackend, ShardError, TrainingJob
+from repro.fl.executor import _read_shard_announce, _reap_shard_process
 
 from ..conftest import FAST_DEVICE, make_tiny_simulation
 
@@ -47,6 +59,57 @@ def _print_much(value):
     """Floods the shard's stdout far past the OS pipe buffer."""
     print("n" * 100_000)
     return value
+
+
+def _sleep_return(seconds):
+    """Module-level map function that sleeps (close-race probe)."""
+    time.sleep(seconds)
+    return seconds
+
+
+def _kill_shard(backend, slot):
+    """SIGKILL one auto-spawned shard process and wait for it to die."""
+    proc = backend._procs[slot]
+    proc.kill()
+    proc.wait(timeout=10)
+    return proc
+
+
+def _spawn_external_shard():
+    """Start a ``repro shard-worker`` subprocess; returns (proc, addr)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "shard-worker", "--port", "0"],
+        stdout=subprocess.PIPE, env=env, text=True)
+    try:
+        host, port = _read_shard_announce(proc, timeout=30)
+    except Exception:
+        _reap_shard_process(proc, timeout=0.0)
+        raise
+    return proc, f"{host}:{port}"
+
+
+class _ShardKillingSync(SynchronousFLStrategy):
+    """Synchronous FL that SIGKILLs one shard before a chosen cycle.
+
+    The kill happens *between* batches (before the cycle's trainings are
+    dispatched) — the scenario of the acceptance criterion: a shard host
+    dies somewhere in a multi-hour run and the next cycle notices.
+    """
+
+    def __init__(self, backend, kill_before_cycle, slot=0, **kwargs):
+        super().__init__(**kwargs)
+        self._backend = backend
+        self._kill_before_cycle = kill_before_cycle
+        self._slot = slot
+        self.killed = False
+
+    def execute_cycle(self, cycle, sim):
+        if cycle == self._kill_before_cycle and not self.killed:
+            self.killed = True
+            _kill_shard(self._backend, self._slot)
+        return super().execute_cycle(cycle, sim)
 
 
 def test_announce_read_survives_leading_stdout_junk():
@@ -282,3 +345,274 @@ class TestCloseReconnect:
             for key in expected.weights:
                 np.testing.assert_array_equal(expected.weights[key],
                                               actual.weights[key])
+
+
+def _assert_updates_equal(expected_updates, actual_updates):
+    assert len(expected_updates) == len(actual_updates)
+    for expected, actual in zip(expected_updates, actual_updates):
+        assert expected.client_id == actual.client_id
+        assert expected.train_loss == actual.train_loss
+        for key in expected.weights:
+            np.testing.assert_array_equal(expected.weights[key],
+                                          actual.weights[key])
+
+
+class TestRebalanceFailover:
+    """``on_failure="rebalance"``: a dead shard costs time, not the run."""
+
+    def test_sigkill_between_cycles_completes_bit_identical(self):
+        """Acceptance: a 3-shard run with one shard SIGKILLed between
+        cycles finishes under rebalance with a history bit-identical to
+        serial, and the fleet is healed afterwards."""
+        reference_history, reference_weights = _run_collaboration(None)
+        backend = ShardedSocketBackend(shards=3, on_failure="rebalance")
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        strategy = _ShardKillingSync(backend, kill_before_cycle=2,
+                                     straggler_top_k=1)
+        try:
+            history = sim.run(strategy, num_cycles=3)
+            weights = sim.server.get_global_weights()
+            assert strategy.killed
+            # The dead slot was respawned in place: 3 live shards again.
+            assert len(backend._procs) == 3
+            assert all(proc.poll() is None
+                       for proc in backend._procs.values())
+            assert not backend._dead_slots
+        finally:
+            sim.close()
+        _assert_no_orphans(backend)
+        assert history.accuracies() == reference_history.accuracies()
+        assert history.times_s() == reference_history.times_s()
+        assert ([record.mean_train_loss for record in history.records]
+                == [record.mean_train_loss
+                    for record in reference_history.records])
+        for key in reference_weights:
+            np.testing.assert_array_equal(weights[key],
+                                          reference_weights[key])
+
+    def test_sigkill_under_abort_still_fails_fast_with_identity(self):
+        """The flip side of the acceptance criterion: the default abort
+        policy still names the dead shard and tears the fleet down."""
+        backend = ShardedSocketBackend(shards=3)  # abort is the default
+        assert backend.on_failure == "abort"
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        try:
+            sim.train_clients(sim.client_indices())
+            address = backend.shard_address(0)
+            _kill_shard(backend, 0)
+            with pytest.raises(ShardError) as excinfo:
+                sim.train_clients(sim.client_indices())
+            assert excinfo.value.slot == 0
+            assert excinfo.value.address == address
+            _assert_no_orphans(backend)
+        finally:
+            sim.close()
+
+    def test_kill_with_inflight_connection_retries_whole_batch(self):
+        """The killed shard's channel is still open when the batch is
+        dispatched — the failure surfaces mid-collect and the whole
+        batch is retried bit-identically on the repaired fleet."""
+        serial_sim = make_tiny_simulation()
+        serial_sim.train_clients(serial_sim.client_indices())
+        serial_second = serial_sim.train_clients(
+            serial_sim.client_indices())
+
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("sharded", max_workers=2,
+                                  on_shard_failure="rebalance")
+        try:
+            sim.train_clients(sim.client_indices())
+            _kill_shard(backend, 0)
+            second = sim.train_clients(sim.client_indices())
+            assert len(backend._procs) == 2
+            assert all(proc.poll() is None
+                       for proc in backend._procs.values())
+        finally:
+            sim.close()
+        _assert_no_orphans(backend)
+        _assert_updates_equal(serial_second, second)
+
+    def test_external_shard_death_rebalances_onto_survivor(self):
+        """With explicit addresses there is nothing to respawn: the dead
+        shard's slot is declared dead after its reconnect attempt fails
+        and its clients move to the surviving shard."""
+        serial_sim = make_tiny_simulation()
+        serial_sim.train_clients(serial_sim.client_indices())
+        serial_second = serial_sim.train_clients(
+            serial_sim.client_indices())
+
+        victim_proc, victim_addr = _spawn_external_shard()
+        survivor_proc, survivor_addr = _spawn_external_shard()
+        backend = ShardedSocketBackend(
+            shards=[victim_addr, survivor_addr],
+            on_failure="rebalance", connect_timeout=10)
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        try:
+            sim.train_clients(sim.client_indices())
+            victim_proc.kill()
+            victim_proc.wait(timeout=10)
+            second = sim.train_clients(sim.client_indices())
+            assert backend._dead_slots == {0}
+            # Every client now lives on the survivor.
+            assert set(backend._placement.values()) == {1}
+        finally:
+            sim.close()
+            for proc in (victim_proc, survivor_proc):
+                _reap_shard_process(proc, timeout=0.0)
+        _assert_updates_equal(serial_second, second)
+
+    def test_all_shards_dead_aborts_with_shard_error(self):
+        """Rebalance cannot conjure capacity: when every shard is gone
+        and respawn is impossible (external topology), the batch fails
+        with a ShardError and the backend is closed."""
+        shard_proc, shard_addr = _spawn_external_shard()
+        backend = ShardedSocketBackend(
+            shards=[shard_addr], on_failure="rebalance", connect_timeout=5)
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        try:
+            sim.train_clients(sim.client_indices())
+            shard_proc.kill()
+            shard_proc.wait(timeout=10)
+            with pytest.raises(ShardError):
+                sim.train_clients(sim.client_indices())
+            _assert_no_orphans(backend)
+        finally:
+            sim.close()
+            _reap_shard_process(shard_proc, timeout=0.0)
+
+
+class TestHeartbeat:
+    def test_probe_reports_dead_shard(self):
+        backend = ShardedSocketBackend(shards=2)
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        try:
+            sim.train_clients(sim.client_indices())
+            assert backend.check_health() == []
+            _kill_shard(backend, 0)
+            assert backend.check_health(timeout=5) == [0]
+            # The dead slot's channel was discarded; the survivor's is
+            # intact and still serving.
+            assert sorted(backend._channels) == [1]
+        finally:
+            sim.close()
+
+    def test_heartbeat_rebalance_recovers_before_dispatch(self):
+        serial_sim = make_tiny_simulation()
+        serial_sim.train_clients(serial_sim.client_indices())
+        serial_second = serial_sim.train_clients(
+            serial_sim.client_indices())
+
+        backend = ShardedSocketBackend(shards=2, on_failure="rebalance",
+                                       heartbeat_interval=0.0)
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        try:
+            sim.train_clients(sim.client_indices())
+            _kill_shard(backend, 0)
+            second = sim.train_clients(sim.client_indices())
+        finally:
+            sim.close()
+        _assert_no_orphans(backend)
+        _assert_updates_equal(serial_second, second)
+
+    def test_heartbeat_abort_raises_probe_error(self):
+        backend = ShardedSocketBackend(shards=2,
+                                       heartbeat_interval=0.0)
+        sim = make_tiny_simulation()
+        sim.set_backend(backend)
+        try:
+            sim.train_clients(sim.client_indices())
+            _kill_shard(backend, 0)
+            with pytest.raises(ShardError, match="health probe"):
+                sim.train_clients(sim.client_indices())
+            _assert_no_orphans(backend)
+        finally:
+            sim.close()
+
+
+class TestCloseRaces:
+    def test_concurrent_close_from_two_threads(self):
+        backend = ShardedSocketBackend(shards=1)
+        backend.map_ordered(_sleep_return, [0.0])
+        errors = []
+
+        def close_backend():
+            try:
+                backend.close()
+            except BaseException as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close_backend)
+                   for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        assert not errors
+        _assert_no_orphans(backend)
+
+    def test_close_during_inflight_batch_does_not_resurrect_rebalance(self):
+        """Regression: under on_failure='rebalance', close() racing an
+        in-flight batch must not be 'repaired' by the failover — the
+        transports died because the owner shut the backend down, and a
+        retry would respawn shard processes behind their back."""
+        backend = ShardedSocketBackend(shards=1, on_failure="rebalance")
+        backend.map_ordered(_sleep_return, [0.0])  # shard warm
+        outcome = {}
+
+        def run_batch():
+            try:
+                outcome["result"] = backend.map_ordered(
+                    _sleep_return, [2.0])
+            except BaseException as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=run_batch)
+        thread.start()
+        time.sleep(0.4)  # let the batch reach the shard
+        backend.close()
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "in-flight batch hung after close()"
+        if "error" in outcome:
+            assert isinstance(outcome["error"],
+                              (ShardError, RuntimeError))
+        else:  # pragma: no cover - timing-dependent fast path
+            assert outcome["result"] == [2.0]
+        backend.close()
+        # The key assertion: nothing was resurrected after close().
+        _assert_no_orphans(backend)
+
+    def test_close_during_inflight_batch_does_not_hang(self):
+        """close() while another thread waits on a batch must leave the
+        waiter with a loud error (or a completed result, if it won the
+        race) — never a hang — and the backend orphan-free."""
+        backend = ShardedSocketBackend(shards=1)
+        backend.map_ordered(_sleep_return, [0.0])  # shard warm
+        outcome = {}
+
+        def run_batch():
+            try:
+                outcome["result"] = backend.map_ordered(
+                    _sleep_return, [2.0])
+            except BaseException as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=run_batch)
+        thread.start()
+        time.sleep(0.4)  # let the batch reach the shard
+        backend.close()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "in-flight batch hung after close()"
+        if "error" in outcome:
+            assert isinstance(outcome["error"],
+                              (ShardError, RuntimeError))
+        else:
+            assert outcome["result"] == [2.0]
+        backend.close()
+        _assert_no_orphans(backend)

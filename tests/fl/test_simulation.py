@@ -98,6 +98,24 @@ class TestNumericalServices:
         assert index == 3
         assert tiny_simulation.num_clients() == 4
 
+    def test_set_backend_passes_failure_policy_through(self, tiny_simulation):
+        """The fault-tolerance surface reaches the constructed backend."""
+        backend = tiny_simulation.set_backend(
+            "persistent", max_workers=1, on_shard_failure="rebalance")
+        assert backend.on_failure == "rebalance"
+        backend = tiny_simulation.set_backend(
+            "sharded", max_workers=1, on_shard_failure="rebalance",
+            heartbeat_interval=30.0)
+        assert backend.on_failure == "rebalance"
+        assert backend.heartbeat_interval == 30.0
+        tiny_simulation.close()
+
+    def test_set_backend_rejects_policy_on_instance(self, tiny_simulation):
+        from repro.fl import SerialBackend
+        with pytest.raises(ValueError, match="already-constructed"):
+            tiny_simulation.set_backend(SerialBackend(),
+                                        on_shard_failure="rebalance")
+
 
 class TestRunLoop:
     def test_runs_requested_cycles(self, tiny_simulation):

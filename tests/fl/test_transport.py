@@ -4,9 +4,12 @@ The contract: framed messages round-trip losslessly, every category of
 malformed traffic (truncated frames, oversized announcements, garbage
 payloads, version-mismatched hellos) surfaces as an explicit
 :class:`TransportError` subclass instead of a hang or a bare socket
-error, and the shard server survives misbehaving connections.
+error, and the shard server survives misbehaving connections —
+including connections racing each other into the listen backlog and
+reconnects that resume the previous session's resident fleet.
 """
 
+import contextlib
 import pickle
 import socket
 import struct
@@ -29,8 +32,8 @@ def _channel_pair(max_frame_bytes=1 << 20):
             MessageChannel(right, max_frame_bytes))
 
 
-@pytest.fixture
-def shard_server():
+@contextlib.contextmanager
+def _shard_server(**kwargs):
     """A live in-process shard server; yields its (host, port)."""
     ready = threading.Event()
     address = {}
@@ -40,20 +43,31 @@ def shard_server():
         ready.set()
 
     thread = threading.Thread(target=serve_shard,
-                              kwargs={"ready": on_ready}, daemon=True)
+                              kwargs={**kwargs, "ready": on_ready},
+                              daemon=True)
     thread.start()
     assert ready.wait(timeout=10), "shard server did not come up"
-    yield address["host"], address["port"]
-    # Shut the server down so the thread exits (and the port is freed).
     try:
-        channel = connect_to_shard((address["host"], address["port"]),
-                                   timeout=5)
-        channel.send(("shutdown", None))
-        channel.close()
-    except TransportError:
-        pass  # already gone
-    thread.join(timeout=10)
-    assert not thread.is_alive()
+        yield address["host"], address["port"]
+    finally:
+        # Shut the server down so the thread exits (and the port is
+        # freed).
+        try:
+            channel = connect_to_shard((address["host"], address["port"]),
+                                       timeout=5)
+            channel.send(("shutdown", None))
+            channel.close()
+        except TransportError:
+            pass  # already gone
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+@pytest.fixture
+def shard_server():
+    """Default-configured in-process shard server; yields (host, port)."""
+    with _shard_server() as address:
+        yield address
 
 
 class TestAddressParsing:
@@ -294,6 +308,122 @@ class TestShardServerLoop:
         channel.send(("ping", None))
         assert channel.recv()[0] == "pong"
         channel.close()
+
+
+class TestListenBacklog:
+    def test_racing_connections_queue_instead_of_timing_out(
+            self, shard_server):
+        """Regression: ``listen(1)`` dropped the SYNs of connections
+        racing a busy server (a reconnect overlapping a half-closed
+        predecessor, overlapping parents), hanging them until their
+        connect timeout.  A real backlog must absorb them."""
+        host, port = shard_server
+        # Occupy the server: it is inside this connection's serve loop,
+        # so everything below lands in the listen backlog.
+        busy = connect_to_shard(shard_server, timeout=5)
+        racers = []
+        try:
+            for _ in range(6):
+                racers.append(
+                    socket.create_connection((host, port), timeout=5))
+        finally:
+            for racer in racers:
+                racer.close()
+            busy.close()
+        # The server drains the abandoned racers (their handshakes fail
+        # fast) and serves a fresh connection.
+        channel = connect_to_shard(shard_server, timeout=10)
+        channel.send(("ping", None))
+        assert channel.recv()[0] == "pong"
+        channel.close()
+
+
+class TestOversizedFrameHandling:
+    def test_oversized_frame_drops_connection_then_server_recovers(self):
+        """Regression guard for the post-``FrameTooLargeError`` path:
+        the announced payload was never read, so the stream is
+        desynchronized and the server must close the connection rather
+        than return to ``recv`` — and then accept the next client."""
+        with _shard_server(max_frame_bytes=4096) as address:
+            channel = connect_to_shard(address, timeout=5)
+            channel.send_bytes(b"x" * 8192)  # above the server's limit
+            channel.settimeout(10)
+            with pytest.raises((ConnectionClosedError,
+                                TruncatedFrameError)):
+                channel.recv()  # server hangs up instead of replying
+            channel.close()
+            again = connect_to_shard(address, timeout=5)
+            again.send(("ping", None))
+            assert again.recv()[0] == "pong"
+            again.close()
+
+
+class TestSessionResume:
+    def _train_one_resident(self, address, session):
+        """Connect under ``session`` and leave one resident on the shard."""
+        from repro.fl.executor import _WireBatch, _WireGroup, _WireJob
+
+        from ..conftest import (make_device, make_tiny_dataset,
+                                make_tiny_model)
+        from repro.fl.client import ClientConfig, ClientSpec
+
+        spec = ClientSpec(client_id=0, dataset=make_tiny_dataset(20),
+                          device=make_device(), model_factory=make_tiny_model,
+                          config=ClientConfig(batch_size=10))
+        weights = make_tiny_model().get_weights()
+        batch = _WireBatch(
+            weights_table=[weights],
+            groups=[_WireGroup(
+                index=0, spec=spec,
+                rng_state=spec.initial_rng().bit_generator.state,
+                jobs=[_WireJob(weights_ref=0, mask=None, local_epochs=None,
+                               base_cycle=0)])])
+        channel = connect_to_shard(address, timeout=5, session=session)
+        channel.send(("run", batch))
+        kind, results = channel.recv()
+        assert kind == "results"
+        assert results[0][1] == "ok"
+        return channel
+
+    def _residents(self, address, session):
+        """Reconnect under ``session``; returns (resumed, residents)."""
+        channel = connect_to_shard(address, timeout=5, session=session)
+        channel.send(("ping", None))
+        kind, payload = channel.recv()
+        assert kind == "pong"
+        resumed = channel.resumed
+        channel.close()
+        return resumed, payload["residents"]
+
+    def test_same_session_resumes_residents_after_abrupt_drop(self):
+        with _shard_server() as address:
+            first = self._train_one_resident(address, "session-a")
+            assert first.resumed is False
+            first.close()  # abrupt: no polite bye
+            assert self._residents(address, "session-a") == (True, 1)
+
+    def test_different_session_starts_clean(self):
+        with _shard_server() as address:
+            self._train_one_resident(address, "session-a").close()
+            assert self._residents(address, "session-b") == (False, 0)
+            # ... and session-b's connection wiped session-a's fleet.
+            assert self._residents(address, "session-a") == (False, 0)
+
+    def test_no_session_token_never_resumes(self):
+        with _shard_server() as address:
+            channel = self._train_one_resident(address, None)
+            assert channel.resumed is False
+            channel.close()
+            assert self._residents(address, None) == (False, 0)
+
+    def test_polite_bye_clears_fleet_and_token(self):
+        """After a ``bye`` the run is over: a same-token reconnect must
+        start clean instead of resuming an emptied fleet."""
+        with _shard_server() as address:
+            channel = self._train_one_resident(address, "session-a")
+            channel.send(("bye", None))
+            channel.close()
+            assert self._residents(address, "session-a") == (False, 0)
 
 
 def _triple(value):

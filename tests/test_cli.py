@@ -44,6 +44,25 @@ class TestParser:
         assert args.backend == "sharded"
         assert args.shards == "node-a:7600,node-b:7600"
 
+    def test_run_accepts_failure_policy_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig6", "--backend", "sharded", "--workers", "3",
+             "--on-shard-failure", "rebalance",
+             "--heartbeat-interval", "10"])
+        assert args.on_shard_failure == "rebalance"
+        assert args.heartbeat_interval == 10.0
+
+    def test_failure_policy_defaults_off(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.on_shard_failure is None
+        assert args.heartbeat_interval is None
+
+    def test_invalid_failure_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "fig6", "--backend", "sharded",
+                 "--on-shard-failure", "retry-forever"])
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -98,8 +117,31 @@ class TestMain:
                      "--shards", "localhost:7600"]) == 2
         assert "--backend sharded" in capsys.readouterr().err
 
+    def test_on_shard_failure_requires_resident_backend(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--on-shard-failure", "rebalance"]) == 2
+        assert "--on-shard-failure" in capsys.readouterr().err
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "thread",
+                     "--on-shard-failure", "rebalance"]) == 2
+        assert "--on-shard-failure" in capsys.readouterr().err
+
+    def test_heartbeat_interval_requires_sharded_backend(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "persistent", "--workers", "2",
+                     "--heartbeat-interval", "5"]) == 2
+        assert "--heartbeat-interval" in capsys.readouterr().err
+
     def test_run_fig6_sharded_smoke(self, capsys):
         """CLI-level wiring: fig6 on two auto-spawned localhost shards."""
         assert main(["run", "fig6", "--scale", "smoke",
                      "--backend", "sharded", "--workers", "2"]) == 0
+        assert "cycle" in capsys.readouterr().out.lower()
+
+    def test_run_fig6_sharded_rebalance_smoke(self, capsys):
+        """CLI-level wiring of the fault-tolerance flags end to end."""
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "sharded", "--workers", "2",
+                     "--on-shard-failure", "rebalance",
+                     "--heartbeat-interval", "30"]) == 0
         assert "cycle" in capsys.readouterr().out.lower()
