@@ -68,6 +68,102 @@ def test_bench_partial_aggregation(benchmark):
     benchmark(lambda: aggregate_partial(global_weights, updates, structure))
 
 
+def _reference_aggregate_partial(global_weights, updates, structure,
+                                 client_weights=None):
+    """The pre-vectorization per-update loop, kept as the timing/equality
+    reference for :func:`test_partial_aggregation_vectorization_guard`."""
+    from repro.fl.aggregation import (_neuron_weight_vector,
+                                      normalize_weights,
+                                      sample_count_weights)
+
+    if client_weights is None:
+        weights = sample_count_weights(updates)
+    else:
+        weights = normalize_weights(client_weights)
+    aggregated = {}
+    for name, global_value in global_weights.items():
+        info = structure[name] if name in structure else None
+        global_value = np.asarray(global_value)
+        if info is None or info.layer_name is None or info.neuron_axis is None:
+            stacked = np.stack([update.weights[name] for update in updates])
+            aggregated[name] = np.tensordot(weights, stacked, axes=1)
+            continue
+        axis = info.neuron_axis
+        num_neurons = global_value.shape[axis]
+        numerator = np.zeros_like(global_value, dtype=np.float64)
+        denominator = np.zeros(num_neurons, dtype=np.float64)
+        for weight, update in zip(weights, updates):
+            layer_mask = None
+            if update.mask is not None and info.layer_name in update.mask:
+                layer_mask = update.mask[info.layer_name]
+            neuron_weights = _neuron_weight_vector(layer_mask, num_neurons,
+                                                   float(weight))
+            denominator += neuron_weights
+            broadcast_shape = [1] * global_value.ndim
+            broadcast_shape[axis] = num_neurons
+            numerator += (neuron_weights.reshape(broadcast_shape)
+                          * np.asarray(update.weights[name]))
+        covered = denominator > 0
+        safe_denominator = np.where(covered, denominator, 1.0)
+        broadcast_shape = [1] * global_value.ndim
+        broadcast_shape[axis] = num_neurons
+        blended = numerator / safe_denominator.reshape(broadcast_shape)
+        keep_mask = (~covered).reshape(broadcast_shape)
+        aggregated[name] = np.where(keep_mask, global_value, blended)
+    return aggregated
+
+
+def _many_masked_updates(num_updates=32):
+    """A wide masked-update batch that makes the per-update loop hurt."""
+    model = _lenet()
+    structure = ModelStructure.from_model(model)
+    global_weights = model.get_weights()
+    rng = np.random.default_rng(7)
+    updates = []
+    for client_id in range(num_updates):
+        mask = ModelMask.random(
+            model, {layer.name: 0.5 for layer in model.neuron_layers()},
+            rng)
+        weights = {name: value + rng.normal(0, 0.01, value.shape)
+                   for name, value in global_weights.items()}
+        updates.append(ClientUpdate(client_id=client_id,
+                                    client_name=f"c{client_id}",
+                                    weights=weights, num_samples=100,
+                                    train_loss=0.0, mask=mask))
+    return global_weights, updates, structure
+
+
+def test_partial_aggregation_vectorization_guard():
+    """The einsum-vectorized aggregate_partial must match the reference
+    per-update loop numerically and must not be slower than it."""
+    global_weights, updates, structure = _many_masked_updates()
+    expected = _reference_aggregate_partial(global_weights, updates,
+                                            structure)
+    actual = aggregate_partial(global_weights, updates, structure)
+    assert expected.keys() == actual.keys()
+    for name in expected:
+        np.testing.assert_allclose(actual[name], expected[name],
+                                   rtol=1e-12, atol=1e-12)
+    # Timing guard: best-of-3 each, generous 1.5x margin so the
+    # assertion stays robust on loaded CI machines while still catching
+    # a regression back to per-update Python looping.
+    reference_s = min(_timeit(lambda: _reference_aggregate_partial(
+        global_weights, updates, structure)) for _ in range(3))
+    vectorized_s = min(_timeit(lambda: aggregate_partial(
+        global_weights, updates, structure)) for _ in range(3))
+    print(f"\naggregate_partial ({len(updates)} masked updates): "
+          f"reference loop {reference_s * 1000:.1f} ms, vectorized "
+          f"{vectorized_s * 1000:.1f} ms "
+          f"({reference_s / vectorized_s:.2f}x)")
+    assert vectorized_s <= reference_s * 1.5
+
+
+def _timeit(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
 def test_bench_soft_training_selection(benchmark):
     model = _lenet()
     fractions = {layer.name: 0.25 for layer in model.neuron_layers()}
@@ -181,12 +277,13 @@ def test_bench_cycle_sharded_backend(benchmark):
     _bench_backend_cycle(benchmark, "sharded")
 
 
-def _timed_cycle(backend_name):
+def _timed_cycle(backend_name, **backend_kwargs):
     """Seconds of one warm full-fleet cycle on the latency-bound fleet."""
     sim = _latency_fleet()
     if backend_name != "serial":
         sim.set_backend(make_backend(
-            backend_name, max_workers=_NUM_LATENCY_CLIENTS))
+            backend_name, max_workers=_NUM_LATENCY_CLIENTS,
+            **backend_kwargs))
     indices = sim.client_indices()
     try:
         sim.train_clients(indices)  # pool warm-up outside the timing
@@ -254,19 +351,32 @@ def _payload_fleet(samples_per_client):
     return FederatedSimulation(clients, server, input_shape=(1, 8, 8))
 
 
-def _dispatch_payloads(samples_per_client):
+#: Wire-codec configurations the dispatch accounting sweeps.  ``full``
+#: is the pickle-full-snapshot baseline (delta off, raw segments) —
+#: byte-wise what the pre-codec wire format shipped per cycle.
+_CODEC_CONFIGS = {
+    "full": {"delta_shipping": False, "wire_compression": "none"},
+    "delta": {"delta_shipping": True, "wire_compression": "none"},
+    "delta_zlib": {"delta_shipping": True, "wire_compression": "zlib"},
+}
+
+
+def _dispatch_payloads(samples_per_client, codec_name,
+                       include_sharded=True):
     """Warm per-cycle dispatch bytes of the distributed-capable backends.
 
-    Measures the ``persistent`` pipe backend, a 2-shard ``sharded``
-    socket fleet (the wire bytes a multi-host deployment would put on
-    the network each cycle) and the whole-client-pickling ``process``
-    baseline.
+    Measures the ``persistent`` pipe backend under one codec
+    configuration, optionally a 2-shard ``sharded`` socket fleet (the
+    wire bytes a multi-host deployment would put on the network each
+    cycle — byte-identical to the pipe payload by design) and the
+    whole-client-pickling ``process`` baseline.
     """
     from repro.fl import ProcessPoolBackend
     from repro.fl.executor import TrainingJob
 
+    config = _CODEC_CONFIGS[codec_name]
     sim = _payload_fleet(samples_per_client)
-    sim.set_backend("persistent", max_workers=2)
+    sim.set_backend("persistent", max_workers=2, **config)
     weights = sim.server.get_global_weights()
     jobs = [TrainingJob(index=index, weights=weights)
             for index in sim.client_indices()]
@@ -278,9 +388,13 @@ def _dispatch_payloads(samples_per_client):
                                                               jobs)
     finally:
         sim.close()
+    payloads = {"persistent_cold": cold, "persistent_warm": warm,
+                "process": process}
+    if not include_sharded:
+        return payloads
 
     sharded_sim = _payload_fleet(samples_per_client)
-    sharded_sim.set_backend("sharded", max_workers=2)
+    sharded_sim.set_backend("sharded", max_workers=2, **config)
     sharded_weights = sharded_sim.server.get_global_weights()
     sharded_jobs = [TrainingJob(index=index, weights=sharded_weights)
                     for index in sharded_sim.client_indices()]
@@ -292,50 +406,111 @@ def _dispatch_payloads(samples_per_client):
             sharded_sim.clients, sharded_jobs)
     finally:
         sharded_sim.close()
-    return {"persistent_cold": cold, "persistent_warm": warm,
-            "sharded_cold": sharded_cold, "sharded_warm": sharded_warm,
-            "process": process}
+    payloads.update({"sharded_cold": sharded_cold,
+                     "sharded_warm": sharded_warm})
+    return payloads
+
+
+def _evolving_cycle_bytes(codec_name):
+    """Dispatch bytes of a warm cycle whose global weights *moved*.
+
+    The identical-resend path (``skip`` deltas) is the best case; this
+    measures the realistic one — every cycle the aggregated global
+    snapshot differs from the shard's base, so changed parameters ship
+    as XOR deltas (optionally compressed).
+    """
+    from repro.fl.aggregation import aggregate_full
+    from repro.fl.executor import TrainingJob
+
+    sim = _payload_fleet(samples_per_client=20)
+    sim.set_backend("persistent", max_workers=2,
+                    **_CODEC_CONFIGS[codec_name])
+    weights = sim.server.get_global_weights()
+    jobs = [TrainingJob(index=index, weights=weights)
+            for index in sim.client_indices()]
+    try:
+        updates = sim.run_jobs(jobs)  # cycle 1: specs + full snapshot
+        evolved = aggregate_full(updates)
+        next_jobs = [TrainingJob(index=index, weights=evolved)
+                     for index in sim.client_indices()]
+        return sim.backend.dispatch_payload_bytes(sim.clients, next_jobs)
+    finally:
+        sim.close()
 
 
 def test_substrate_report_json(results_dir):
-    """Write BENCH_substrate.json and assert the dispatch-scaling claim."""
+    """Write BENCH_substrate.json and assert the dispatch-scaling and
+    delta-shipping claims."""
     cycle_seconds = {name: _timed_cycle(name)
                      for name in ("serial", "thread", "process",
                                   "persistent", "sharded")}
-    payloads = {"small": _dispatch_payloads(samples_per_client=20),
-                "large": _dispatch_payloads(samples_per_client=200)}
+    # Warm-cycle latency with the full codec enabled (delta + zlib), so
+    # codec overhead regressions show up next to the plain numbers.
+    cycle_seconds["persistent_delta_zlib"] = _timed_cycle(
+        "persistent", **_CODEC_CONFIGS["delta_zlib"])
+    cycle_seconds["sharded_delta_zlib"] = _timed_cycle(
+        "sharded", **_CODEC_CONFIGS["delta_zlib"])
+    codec_payloads = {
+        name: {"small": _dispatch_payloads(20, name),
+               "large": _dispatch_payloads(200, name,
+                                           include_sharded=False)}
+        for name in _CODEC_CONFIGS
+    }
+    evolving = {name: _evolving_cycle_bytes(name) for name in _CODEC_CONFIGS}
+    payloads = codec_payloads["delta"]  # the default configuration
     report = {
         "num_clients": _NUM_LATENCY_CLIENTS,
         "num_shards": 2,
         "client_latency_s": _CLIENT_LATENCY_S,
         "cycle_seconds": cycle_seconds,
         "dispatch_payload_bytes": payloads,
+        "codec": {
+            "configs": _CODEC_CONFIGS,
+            "dispatch_payload_bytes": codec_payloads,
+            "evolving_cycle_bytes": evolving,
+            "warm_reduction_vs_full": {
+                name: (codec_payloads["full"]["small"]["persistent_warm"]
+                       / codec_payloads[name]["small"]["persistent_warm"])
+                for name in _CODEC_CONFIGS
+            },
+        },
     }
     path = os.path.join(results_dir, "BENCH_substrate.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
-    print(f"\nwritten {path}: "
-          f"warm persistent dispatch {payloads['small']['persistent_warm']}B "
-          f"(small) / {payloads['large']['persistent_warm']}B (large), "
-          f"warm sharded {payloads['small']['sharded_warm']}B / "
-          f"{payloads['large']['sharded_warm']}B vs. "
-          f"process {payloads['small']['process']}B / "
-          f"{payloads['large']['process']}B")
-    # Warm resident dispatch ships weights + RNG digests only: the
-    # payload must not grow with the dataset (the digests' integer
-    # values pickle to ±a few bytes, hence the 1 % tolerance on a 10x
-    # dataset-size increase) — for the pipe workers *and* the 2-shard
-    # socket fleet, whose wire format is identical …
-    for warm in ("persistent_warm", "sharded_warm"):
-        assert (abs(payloads["large"][warm] - payloads["small"][warm])
-                <= 0.01 * payloads["small"][warm])
-    assert (payloads["small"]["sharded_warm"]
-            == payloads["small"]["persistent_warm"])
-    # … while the process backend re-pickles whole clients, datasets
-    # included, and must be strictly larger at every size.
-    assert payloads["large"]["process"] > payloads["small"]["process"]
-    for size in ("small", "large"):
-        assert (payloads[size]["persistent_warm"]
-                < payloads[size]["process"])
-        assert (payloads[size]["sharded_warm"]
-                < payloads[size]["process"])
+    full_warm = codec_payloads["full"]["small"]["persistent_warm"]
+    delta_warm = codec_payloads["delta"]["small"]["persistent_warm"]
+    print(f"\nwritten {path}: warm dispatch full {full_warm}B, "
+          f"delta {delta_warm}B ({full_warm / delta_warm:.1f}x), "
+          f"evolving cycle full {evolving['full']}B / delta+zlib "
+          f"{evolving['delta_zlib']}B "
+          f"({evolving['full'] / evolving['delta_zlib']:.2f}x), "
+          f"process baseline {payloads['small']['process']}B")
+    for name, sizes in codec_payloads.items():
+        # Warm resident dispatch ships weights/deltas + RNG digests
+        # only: the payload must not grow with the dataset (the digest
+        # values encode to ±a few bytes, hence the 1 % tolerance on a
+        # 10x dataset-size increase) …
+        assert (abs(sizes["large"]["persistent_warm"]
+                    - sizes["small"]["persistent_warm"])
+                <= 0.01 * sizes["small"]["persistent_warm"])
+        # … the 2-shard socket fleet's wire format is byte-identical to
+        # the pipe workers' …
+        assert (sizes["small"]["sharded_warm"]
+                == sizes["small"]["persistent_warm"])
+        # … and the process backend re-pickles whole clients, datasets
+        # included: strictly larger at every size.
+        assert sizes["large"]["process"] > sizes["small"]["process"]
+        for size in ("small", "large"):
+            assert (sizes[size]["persistent_warm"]
+                    < sizes[size]["process"])
+    # The tentpole claim: delta shipping cuts the warm-cycle dispatch of
+    # the resident backends at least 5x vs. the full-snapshot baseline
+    # (identical-resend path — unchanged parameters ship as a bitmap).
+    assert full_warm >= 5 * delta_warm
+    assert (codec_payloads["full"]["small"]["sharded_warm"]
+            >= 5 * codec_payloads["delta"]["small"]["sharded_warm"])
+    # An evolving cycle (every parameter moved) still never costs more
+    # than the full snapshot, and zlib'd XOR deltas must actually win.
+    assert evolving["delta"] <= evolving["full"] * 1.01
+    assert evolving["delta_zlib"] < evolving["full"]

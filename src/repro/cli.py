@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from .experiments import (SCALES, available_experiments, get_experiment,
                           run_experiment)
+from .fl.codec import COMPRESSIONS as WIRE_COMPRESSIONS
 from .fl.executor import (FAILURE_POLICIES, SHARD_ANNOUNCE_PREFIX,
                           available_backends, make_backend)
 
@@ -85,6 +86,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  "between batches at most this often "
                                  "(requires --backend sharded; probe "
                                  "failures follow --on-shard-failure)")
+    run_parser.add_argument("--wire-compression", default=None,
+                            choices=WIRE_COMPRESSIONS,
+                            help="per-segment compression of the worker-"
+                                 "resident backends' wire codec (requires "
+                                 "--backend sharded or persistent; "
+                                 "default: none)")
+    run_parser.add_argument("--no-delta-shipping", action="store_true",
+                            help="ship full weight snapshots every cycle "
+                                 "instead of per-parameter deltas against "
+                                 "each shard's acknowledged base (requires "
+                                 "--backend sharded or persistent; results "
+                                 "are bit-identical either way)")
     run_parser.add_argument("--output", default=None,
                             help="also write the formatted output to a file")
 
@@ -122,7 +135,9 @@ def _run(experiment: str, scale: str, seed: int,
          workers: Optional[int] = None,
          shards: Optional[str] = None,
          on_shard_failure: Optional[str] = None,
-         heartbeat_interval: Optional[float] = None) -> int:
+         heartbeat_interval: Optional[float] = None,
+         wire_compression: Optional[str] = None,
+         delta_shipping: Optional[bool] = None) -> int:
     if shards is not None and backend != "sharded":
         raise ValueError("--shards requires --backend sharded")
     if on_shard_failure is not None and backend not in ("sharded",
@@ -131,6 +146,14 @@ def _run(experiment: str, scale: str, seed: int,
                          "sharded or --backend persistent")
     if heartbeat_interval is not None and backend != "sharded":
         raise ValueError("--heartbeat-interval requires --backend sharded")
+    if wire_compression is not None and backend not in ("sharded",
+                                                        "persistent"):
+        raise ValueError("--wire-compression requires --backend "
+                         "sharded or --backend persistent")
+    if delta_shipping is not None and backend not in ("sharded",
+                                                      "persistent"):
+        raise ValueError("--no-delta-shipping requires --backend "
+                         "sharded or --backend persistent")
     kwargs = {"scale": scale}
     entry = get_experiment(experiment)
     # Profiling-only experiments take neither a seed nor a training
@@ -142,7 +165,8 @@ def _run(experiment: str, scale: str, seed: int,
     if backend != "serial" and "backend" not in accepts:
         print(f"warning: experiment {experiment!r} runs no client "
               f"trainings; ignoring --backend/--workers/--shards/"
-              f"--on-shard-failure/--heartbeat-interval",
+              f"--on-shard-failure/--heartbeat-interval/"
+              f"--wire-compression/--no-delta-shipping",
               file=sys.stderr)
     elif backend == "serial" and workers is not None:
         print("warning: --workers has no effect with the serial backend",
@@ -151,7 +175,9 @@ def _run(experiment: str, scale: str, seed: int,
         shared_backend = make_backend(backend, max_workers=workers,
                                       shards=shards,
                                       on_shard_failure=on_shard_failure,
-                                      heartbeat_interval=heartbeat_interval)
+                                      heartbeat_interval=heartbeat_interval,
+                                      wire_compression=wire_compression,
+                                      delta_shipping=delta_shipping)
         kwargs["backend"] = shared_backend
     try:
         _, text = run_experiment(experiment, **kwargs)
@@ -182,7 +208,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         backend=args.backend, workers=args.workers,
                         shards=args.shards,
                         on_shard_failure=args.on_shard_failure,
-                        heartbeat_interval=args.heartbeat_interval)
+                        heartbeat_interval=args.heartbeat_interval,
+                        wire_compression=args.wire_compression,
+                        delta_shipping=(False if args.no_delta_shipping
+                                        else None))
         except (KeyError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

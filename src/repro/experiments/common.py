@@ -215,7 +215,9 @@ def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
                    max_workers: Optional[int] = None,
                    shards=None,
                    on_shard_failure: Optional[str] = None,
-                   heartbeat_interval: Optional[float] = None
+                   heartbeat_interval: Optional[float] = None,
+                   wire_compression: Optional[str] = None,
+                   delta_shipping: Optional[bool] = None
                    ) -> Dict[str, TrainingHistory]:
     """Run every strategy on its own fresh copy of the simulation.
 
@@ -228,13 +230,16 @@ def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
     ``host:port`` addresses of running ``repro shard-worker`` servers or
     an integer count of auto-spawned localhost shards.
     ``on_shard_failure`` and ``heartbeat_interval`` select the
-    worker-resident backends' fault-tolerance policy — see
+    worker-resident backends' fault-tolerance policy, and
+    ``wire_compression``/``delta_shipping`` their wire codec — see
     :func:`~repro.fl.executor.make_backend`.
     """
     shared_backend = (make_backend(backend, max_workers=max_workers,
                                    shards=shards,
                                    on_shard_failure=on_shard_failure,
-                                   heartbeat_interval=heartbeat_interval)
+                                   heartbeat_interval=heartbeat_interval,
+                                   wire_compression=wire_compression,
+                                   delta_shipping=delta_shipping)
                       if backend is not None else None)
     owns_backend = (shared_backend is not None
                     and not isinstance(backend, ExecutionBackend))

@@ -121,12 +121,36 @@ def aggregate_full(updates: Sequence[ClientUpdate],
     return aggregated
 
 
+#: Updates contracted per einsum call in :func:`aggregate_partial` —
+#: bounds the transient stacked tensor at chunk x largest-parameter.
+_AGGREGATION_CHUNK = 16
+
+
 def _neuron_weight_vector(mask: Optional[np.ndarray], size: int,
                           weight: float) -> np.ndarray:
     """Per-neuron contribution weight of one client for one layer."""
     if mask is None:
         return np.full(size, weight)
     return np.where(mask, weight, 0.0)
+
+
+def _neuron_weight_matrix(updates: Sequence[ClientUpdate],
+                          weights: np.ndarray, layer_name: str,
+                          num_neurons: int) -> np.ndarray:
+    """``(num_updates, num_neurons)`` contribution-weight matrix.
+
+    Row ``u`` is update ``u``'s per-neuron aggregation weight for one
+    layer: its scalar weight where its mask covers the neuron, zero
+    where it does not (no mask covers everything).
+    """
+    matrix = np.empty((len(updates), num_neurons), dtype=np.float64)
+    for row, (weight, update) in enumerate(zip(weights, updates)):
+        layer_mask = None
+        if update.mask is not None and layer_name in update.mask:
+            layer_mask = update.mask[layer_name]
+        matrix[row] = _neuron_weight_vector(layer_mask, num_neurons,
+                                            float(weight))
+    return matrix
 
 
 def aggregate_partial(global_weights: Mapping[str, np.ndarray],
@@ -170,19 +194,32 @@ def aggregate_partial(global_weights: Mapping[str, np.ndarray],
             continue
         axis = info.neuron_axis
         num_neurons = global_value.shape[axis]
-        numerator = np.zeros_like(global_value, dtype=np.float64)
-        denominator = np.zeros(num_neurons, dtype=np.float64)
-        for weight, update in zip(weights, updates):
-            layer_mask = None
-            if update.mask is not None and info.layer_name in update.mask:
-                layer_mask = update.mask[info.layer_name]
-            neuron_weights = _neuron_weight_vector(layer_mask, num_neurons,
-                                                   float(weight))
-            denominator += neuron_weights
-            broadcast_shape = [1] * global_value.ndim
-            broadcast_shape[axis] = num_neurons
-            weight_tensor = neuron_weights.reshape(broadcast_shape)
-            numerator += weight_tensor * np.asarray(update.weights[name])
+        # Vectorized across updates: one (U, n) weight matrix and an
+        # einsum contraction over the update axis — no per-update
+        # Python loop over O(parameters) work.  The contraction runs in
+        # chunks of the update axis so peak transient memory stays
+        # O(chunk x parameter), not O(num_updates x parameter) — wide
+        # aggregation rounds (hundreds of clients) must not multiply
+        # the largest layer's footprint by the fleet size.
+        weight_matrix = _neuron_weight_matrix(updates, weights,
+                                              info.layer_name, num_neurons)
+        denominator = weight_matrix.sum(axis=0)
+        moved_shape = ((num_neurons,)
+                       + tuple(np.delete(global_value.shape, axis)))
+        numerator_moved = np.zeros(moved_shape, dtype=np.float64)
+        for start in range(0, len(updates), _AGGREGATION_CHUNK):
+            chunk = updates[start:start + _AGGREGATION_CHUNK]
+            stacked = np.stack([np.asarray(update.weights[name],
+                                           dtype=np.float64)
+                                for update in chunk])
+            # Move the neuron axis next to the update axis so one
+            # einsum signature covers every parameter shape.
+            stacked_moved = np.moveaxis(stacked, axis + 1, 1)
+            numerator_moved += np.einsum(
+                "un,un...->n...",
+                weight_matrix[start:start + _AGGREGATION_CHUNK],
+                stacked_moved)
+        numerator = np.moveaxis(numerator_moved, 0, axis)
         covered = denominator > 0
         safe_denominator = np.where(covered, denominator, 1.0)
         broadcast_shape = [1] * global_value.ndim

@@ -34,7 +34,12 @@ The two resident backends share all determinism-critical machinery
 (sticky placement, spec-version residency, weight-snapshot dedup,
 ordered reply collection) through :class:`_ResidentFleetBackend`; they
 differ only in the transport underneath (duplex pipes vs. framed
-sockets).
+sockets).  Both ship their per-cycle payloads through the wire codec of
+:mod:`repro.fl.codec`: zero-copy out-of-band ndarray framing, optional
+per-segment compression (``wire_compression="zlib"``), and delta
+shipping of weight tables against each slot's acknowledged base
+(``delta_shipping``, on by default) — all bit-exact, so none of it can
+perturb the determinism guarantees below.
 
 Determinism
 -----------
@@ -88,7 +93,9 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
 import numpy as np
 
 from ..nn.masking import ModelMask
+from . import codec as wire_codec
 from .client import ClientSpec, ClientUpdate, FLClient
+from .codec import DeltaDecoderState, DeltaEncoderState
 from .transport import (DEFAULT_MAX_FRAME_BYTES, ProtocolError,
                         TransportError, _picklable_exception,
                         connect_to_shard, format_address, parse_address)
@@ -110,9 +117,15 @@ __all__ = [
 #: Pickle protocol used for worker traffic (payload accounting included).
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
-#: Transport failures that mean "the worker/shard is gone", as opposed to
-#: an exception the remote training itself raised.
-_TRANSPORT_FAILURES = (EOFError, OSError, TransportError)
+#: Transport failures that mean "the worker/shard is gone" (or its reply
+#: stream is unusable), as opposed to an exception the remote training
+#: itself raised.  Codec decode failures count: a garbled reply leaves
+#: the request/reply stream in an unknowable state, exactly like a
+#: truncated frame.  (The recoverable ``DeltaBaseMismatchError`` never
+#: surfaces as a decode failure — it arrives as an explicit ``error``
+#: reply and is retried with a full snapshot.)
+_TRANSPORT_FAILURES = (EOFError, OSError, TransportError,
+                       wire_codec.CodecError)
 
 #: Control messages, pickled once at import time so that closing a
 #: backend never needs to pickle anything — ``close()`` stays safe even
@@ -487,41 +500,64 @@ def _handle_resident_request(kind: str, payload: Any,
     return ("error", ProtocolError(f"unknown message kind {kind!r}"))
 
 
-def _pickle_reply(reply: Tuple[str, Any]) -> bytes:
-    """Pickle a reply, degrading to an error reply if the result won't.
+def _encode_reply(reply: Tuple[str, Any], compression: str) -> bytes:
+    """Codec-encode a reply, degrading to an error reply if it won't.
 
     The parent is blocked waiting for exactly one reply per request, so
-    an unpicklable result must answer *something* rather than kill the
+    an unencodable result must answer *something* rather than kill the
     worker and tear the whole fleet down.
     """
     try:
-        return pickle.dumps(reply, _PICKLE_PROTOCOL)
+        return wire_codec.encode_message(reply,
+                                         compression=compression).tobytes()
     except Exception as exc:
-        return pickle.dumps(
-            ("error", RuntimeError(f"worker reply does not pickle: "
-                                   f"{exc!r}")), _PICKLE_PROTOCOL)
+        return wire_codec.encode_message(
+            ("error", RuntimeError(f"worker reply does not encode: "
+                                   f"{exc!r}"))).tobytes()
 
 
-def _persistent_worker_main(conn) -> None:
+def _persistent_worker_main(conn, wire_compression: str = "none") -> None:
     """Loop of one persistent worker: build clients once, train forever.
 
-    Protocol (length-prefixed pickles over a duplex pipe): the parent
-    sends ``(kind, payload)`` messages — ``"run"`` with a
-    :class:`_WireBatch`, ``"map"`` with ``(fn, [(position, item), …])`` or
-    ``"close"`` — and every ``run``/``map`` gets exactly one reply.
+    Protocol (length-prefixed codec frames or plain pickles over a
+    duplex pipe — see :mod:`repro.fl.codec`): the parent sends ``(kind,
+    payload)`` messages — ``"run"`` with a :class:`_WireBatch` (its
+    weights table usually delta-encoded against this worker's decoder
+    state), ``"map"`` with ``(fn, [(position, item), …])`` or ``"close"``
+    — and every ``run``/``map`` gets exactly one reply, encoded with the
+    ``wire_compression`` the parent configured.
     """
     residents: Dict[int, FLClient] = {}
+    codec_state = DeltaDecoderState()
     try:
         while True:
             try:
                 blob = conn.recv_bytes()
             except (EOFError, OSError):
                 break
-            kind, payload = pickle.loads(blob)
+            try:
+                # Writable copy for the same reason as in
+                # _PersistentWorker.recv: resident datasets and weights
+                # decoded as views must be writable like the socket
+                # shards' (and the old in-band pickles').
+                kind, payload = wire_codec.decode_message(
+                    memoryview(bytearray(blob)), delta_state=codec_state)
+            except wire_codec.DeltaBaseMismatchError as exc:
+                # The parent's delta assumed a base this worker does not
+                # hold; report it so the parent re-sends a full snapshot.
+                conn.send_bytes(_encode_reply(("error", exc),
+                                              wire_compression))
+                continue
+            except wire_codec.CodecError as exc:
+                # Framing intact but the payload was garbage: degrade to
+                # an error reply like the socket shard server does.
+                conn.send_bytes(_encode_reply(("error", exc),
+                                              wire_compression))
+                continue
             if kind == "close":
                 break
             reply = _handle_resident_request(kind, payload, residents)
-            conn.send_bytes(_pickle_reply(reply))
+            conn.send_bytes(_encode_reply(reply, wire_compression))
     finally:
         conn.close()
 
@@ -568,19 +604,27 @@ def _run_wire_batch(residents: Dict[int, FLClient],
 class _PersistentWorker:
     """Parent-side handle of one resident worker process."""
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, wire_compression: str = "none") -> None:
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.process = ctx.Process(target=_persistent_worker_main,
-                                   args=(child_conn,),
+                                   args=(child_conn, wire_compression),
                                    name="fl-resident-worker", daemon=True)
         self.process.start()
         child_conn.close()
 
-    def send(self, blob: bytes) -> None:
-        self.conn.send_bytes(blob)
+    def send_frame(self, frame: "wire_codec.EncodedFrame") -> None:
+        # A pipe message is one buffer, so the frame is assembled here —
+        # the price of the pipe transport; the socket transport writes
+        # the segments vectored instead (MessageChannel.send_frame).
+        self.conn.send_bytes(frame.tobytes())
 
     def recv(self):
-        return pickle.loads(self.conn.recv_bytes())
+        # The pipe hands back immutable ``bytes``; decode from a
+        # writable copy so the zero-copy array views in the reply are
+        # writable, matching the socket transport (which receives into
+        # a bytearray) and what plain pickling used to produce.
+        return wire_codec.decode_message(
+            memoryview(bytearray(self.conn.recv_bytes())))
 
     def stop(self) -> None:
         # Every step is individually guarded: stop() is called from
@@ -661,12 +705,28 @@ class _ResidentFleetBackend(ExecutionBackend):
     #: :data:`FAILURE_POLICIES`).
     on_failure = "abort"
 
-    def __init__(self, on_failure: str = "abort") -> None:
+    def __init__(self, on_failure: str = "abort",
+                 wire_compression: str = "none",
+                 delta_shipping: bool = True) -> None:
         if on_failure not in FAILURE_POLICIES:
             raise ValueError(
                 f"unknown failure policy {on_failure!r}; "
                 f"available: {FAILURE_POLICIES}")
+        if wire_compression not in wire_codec.COMPRESSIONS:
+            raise ValueError(
+                f"unknown wire compression {wire_compression!r}; "
+                f"available: {wire_codec.COMPRESSIONS}")
         self.on_failure = on_failure
+        #: Per-segment compression of the wire codec (``"none"``/
+        #: ``"zlib"``) — applied to dispatches and, via negotiation or
+        #: worker configuration, to the slots' replies.
+        self.wire_compression = wire_compression
+        #: Whether weight tables are delta-encoded against each slot's
+        #: acknowledged base (bit-exact; off ships full snapshots).
+        self.delta_shipping = delta_shipping
+        #: Per-slot delta encoder states (lazily created; reset to
+        #: full-snapshot mode on any transport failure or close).
+        self._tx_states: Dict[int, DeltaEncoderState] = {}
         self._placement: Dict[int, int] = {}
         #: index → spec_version of the replica resident in its slot; a
         #: client whose current spec_version differs (any identity
@@ -697,8 +757,9 @@ class _ResidentFleetBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     # transport interface implemented by subclasses
     # ------------------------------------------------------------------ #
-    def _slot_send(self, slot: int, blob: bytes) -> None:
-        """Ship one pre-pickled message to a slot (creating it lazily)."""
+    def _slot_send(self, slot: int, frame: "wire_codec.EncodedFrame"
+                   ) -> None:
+        """Ship one encoded frame to a slot (creating it lazily)."""
         raise NotImplementedError
 
     def _slot_recv(self, slot: int) -> Tuple[str, Any]:
@@ -785,6 +846,58 @@ class _ResidentFleetBackend(ExecutionBackend):
         """
         return False
 
+    # ------------------------------------------------------------------ #
+    # wire codec
+    # ------------------------------------------------------------------ #
+    def _slot_compression(self, slot: int) -> str:
+        """Compression used for one slot's frames (negotiable per slot)."""
+        return self.wire_compression
+
+    def _encode_run(self, slot: int, batch: "_WireBatch",
+                    force_full: bool = False,
+                    delta_cache: Optional[Dict] = None
+                    ) -> "wire_codec.EncodedFrame":
+        """Encode one slot's batch: delta weights table + zero-copy frame.
+
+        Pure with respect to the slot's delta state — the new base is
+        only adopted by :meth:`_commit_tx` once the slot's reply proves
+        the frame was decoded.  ``force_full`` bypasses the base (the
+        recovery resend after a ``DeltaBaseMismatchError`` reply);
+        ``delta_cache`` (one dict per batch) dedups the per-array delta
+        work when several slots encode the same shared snapshot.
+        """
+        state = None
+        if self.delta_shipping:
+            state = self._tx_states.setdefault(slot, DeltaEncoderState())
+        return wire_codec.encode_message(
+            ("run", batch), compression=self._slot_compression(slot),
+            delta_state=state, force_full=force_full,
+            delta_cache=delta_cache)
+
+    def _commit_tx(self, slot: int, frame: "wire_codec.EncodedFrame",
+                   array_cache: Optional[Dict] = None) -> None:
+        """Adopt a frame's delta base after the slot answered it.
+
+        ``array_cache`` (one dict per batch) lets the slots committing
+        the same shared snapshot share one frozen copy per array.
+        """
+        state = self._tx_states.get(slot)
+        if state is not None:
+            state.commit(frame.pending_base, frame.pending_seq,
+                         array_cache=array_cache)
+
+    def _reset_tx_states(self) -> None:
+        """Force every slot's next weights table back to a full snapshot.
+
+        Called on any batch failure and on close: a slot whose reply was
+        lost (or drained and discarded) may or may not have advanced its
+        decoder base, so the only safe delta base is none at all.  The
+        sequence counters survive the reset — they stay monotonic for
+        the mismatch check.
+        """
+        for state in self._tx_states.values():
+            state.reset()
+
     def _recover_or_raise(self, failure: _SlotFailed,
                           attempts: int) -> None:
         """Fail over after a slot death, or abort the batch loudly."""
@@ -818,6 +931,10 @@ class _ResidentFleetBackend(ExecutionBackend):
                                              failure.context)
                     self.close()
                     raise error from failure.cause
+                # Any slot's delta base may now be out of step with its
+                # peer (a decoded-but-unanswered batch advances only one
+                # side), so the retry ships full snapshots everywhere.
+                self._reset_tx_states()
                 attempts += 1
                 self._recover_or_raise(failure, attempts)
                 continue
@@ -825,10 +942,10 @@ class _ResidentFleetBackend(ExecutionBackend):
             return result
 
     # ------------------------------------------------------------------ #
-    def _dispatch(self, slot: int, blob: bytes, context: str,
-                  pending: Sequence[int] = ()) -> None:
+    def _dispatch(self, slot: int, frame: "wire_codec.EncodedFrame",
+                  context: str, pending: Sequence[int] = ()) -> None:
         try:
-            self._slot_send(slot, blob)
+            self._slot_send(slot, frame)
         except ShardError:
             # Spawn/announce failures already carry the shard identity
             # and mean the host cannot even start a worker — that is not
@@ -924,24 +1041,59 @@ class _ResidentFleetBackend(ExecutionBackend):
         if stale:
             batches, order = self._build_payloads(clients, jobs,
                                                   commit=True)
-        blobs = {slot: pickle.dumps(("run", batch), _PICKLE_PROTOCOL)
-                 for slot, batch in batches.items()}
-        self.last_dispatch_bytes = sum(len(blob) for blob in blobs.values())
-        slots = sorted(blobs)
+        # Both caches live for exactly one batch: they share the
+        # O(weights) delta/copy work across slots encoding (and later
+        # committing) the same global snapshot.
+        delta_cache: Dict = {}
+        commit_cache: Dict = {}
+        frames = {slot: self._encode_run(slot, batch,
+                                         delta_cache=delta_cache)
+                  for slot, batch in batches.items()}
+        self.last_dispatch_bytes = sum(frame.total_bytes
+                                       for frame in frames.values())
+        slots = sorted(frames)
         dispatched: List[int] = []
         for slot in slots:
-            self._dispatch(slot, blobs[slot], "dispatching a batch",
+            self._dispatch(slot, frames[slot], "dispatching a batch",
                            pending=dispatched)
             dispatched.append(slot)
         outcomes: Dict[int, Tuple] = {}
         for position, slot in enumerate(slots):
             kind, results = self._collect_reply(slot, "running a batch",
                                                 pending=slots[position + 1:])
+            mismatch_state = (
+                self._tx_states.get(slot)
+                if (kind == "error"
+                    and isinstance(results,
+                                   wire_codec.DeltaBaseMismatchError))
+                else None)
+            if mismatch_state is not None:
+                # The slot does not hold the delta base this batch was
+                # encoded against (it restarted, or a reply of its was
+                # lost after it advanced) — the codec's designed-for
+                # fallback: re-send this slot's batch as a full
+                # snapshot.  The slot already answered, so its
+                # request/reply stream is idle and a fresh dispatch is
+                # safe.  (A mismatch reply without any delta state —
+                # delta shipping off, or a confused peer — falls
+                # through to the generic bad-reply abort below.)
+                mismatch_state.reset()
+                full = self._encode_run(slot, batches[slot],
+                                        force_full=True)
+                self.last_dispatch_bytes += full.total_bytes
+                frames[slot] = full
+                self._dispatch(slot, full, "re-sending a full snapshot",
+                               pending=slots[position + 1:])
+                kind, results = self._collect_reply(
+                    slot, "running a batch", pending=slots[position + 1:])
             if kind != "results":
                 self.close()
                 if isinstance(results, BaseException):
                     raise results
                 raise RuntimeError(f"unexpected batch reply {kind!r}")
+            # The reply proves the slot decoded this frame's weights
+            # table: its base is now ours to delta against.
+            self._commit_tx(slot, frames[slot], commit_cache)
             for outcome in results:
                 outcomes[outcome[0]] = outcome
         # Residency first, for *every* outcome: workers drop a replica
@@ -992,15 +1144,18 @@ class _ResidentFleetBackend(ExecutionBackend):
             chunks.setdefault(active[position % len(active)], []).append(
                 (position, item))
         slots = sorted(chunks)
-        # Pickle every message before sending any: a pickling failure on
-        # a later chunk must not leave earlier workers with undrained
+        for slot in slots:
+            self._prepare_slot(slot)
+        # Encode every message before sending any: an encoding failure
+        # on a later chunk must not leave earlier workers with undrained
         # replies (that would desynchronize the request/reply protocol).
-        blobs = {slot: pickle.dumps(("map", (fn, chunks[slot])),
-                                    _PICKLE_PROTOCOL)
-                 for slot in slots}
+        frames = {slot: wire_codec.encode_message(
+                      ("map", (fn, chunks[slot])),
+                      compression=self._slot_compression(slot))
+                  for slot in slots}
         dispatched: List[int] = []
         for slot in slots:
-            self._dispatch(slot, blobs[slot], "dispatching map_ordered",
+            self._dispatch(slot, frames[slot], "dispatching map_ordered",
                            pending=dispatched)
             dispatched.append(slot)
         results: List[Any] = [None] * len(items)
@@ -1033,9 +1188,17 @@ class _ResidentFleetBackend(ExecutionBackend):
 
     def dispatch_payload_bytes(self, clients: Sequence[FLClient],
                                jobs: Sequence[TrainingJob]) -> int:
+        """Wire bytes :meth:`run_jobs` would dispatch for ``jobs`` now.
+
+        Encodes through the real codec path (delta states included, but
+        never committed), so the number matches what the next batch
+        actually puts on the wire.
+        """
         batches, _ = self._build_payloads(clients, jobs, commit=False)
-        return sum(len(pickle.dumps(("run", batch), _PICKLE_PROTOCOL))
-                   for batch in batches.values())
+        delta_cache: Dict = {}
+        return sum(self._encode_run(slot, batch,
+                                    delta_cache=delta_cache).total_bytes
+                   for slot, batch in batches.items())
 
     def close(self) -> None:
         """Stop every slot; the backend re-creates them lazily if reused.
@@ -1057,6 +1220,7 @@ class _ResidentFleetBackend(ExecutionBackend):
             self._resident.clear()
             self._dead_slots.clear()
             self._slot_failures.clear()
+            self._reset_tx_states()
             self._next_slot = 0
 
 
@@ -1085,8 +1249,12 @@ class PersistentProcessBackend(_ResidentFleetBackend):
     name = "persistent"
 
     def __init__(self, max_workers: Optional[int] = None,
-                 on_failure: str = "abort") -> None:
-        super().__init__(on_failure=on_failure)
+                 on_failure: str = "abort",
+                 wire_compression: str = "none",
+                 delta_shipping: bool = True) -> None:
+        super().__init__(on_failure=on_failure,
+                         wire_compression=wire_compression,
+                         delta_shipping=delta_shipping)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
@@ -1101,12 +1269,13 @@ class PersistentProcessBackend(_ResidentFleetBackend):
     def _worker(self, slot: int) -> _PersistentWorker:
         worker = self._workers.get(slot)
         if worker is None:
-            worker = _PersistentWorker(self._ctx)
+            worker = _PersistentWorker(self._ctx, self.wire_compression)
             self._workers[slot] = worker
         return worker
 
-    def _slot_send(self, slot: int, blob: bytes) -> None:
-        self._worker(slot).send(blob)
+    def _slot_send(self, slot: int, frame: "wire_codec.EncodedFrame"
+                   ) -> None:
+        self._worker(slot).send_frame(frame)
 
     def _slot_recv(self, slot: int) -> Tuple[str, Any]:
         return self._workers[slot].recv()
@@ -1120,8 +1289,12 @@ class PersistentProcessBackend(_ResidentFleetBackend):
         worker = self._workers.pop(slot, None)
         if worker is not None:
             worker.stop()
-        # A fresh pipe worker starts with no residents, so every client
-        # placed on this slot must ship its spec again.
+        # A fresh pipe worker starts with no residents and no delta
+        # base, so every client placed on this slot must ship its spec
+        # again and the next weights table must be a full snapshot.
+        state = self._tx_states.get(slot)
+        if state is not None:
+            state.reset()
         for index, placed in self._placement.items():
             if placed == slot:
                 self._resident.pop(index, None)
@@ -1132,7 +1305,9 @@ class PersistentProcessBackend(_ResidentFleetBackend):
             return
         try:
             if worker.conn.poll(self.DRAIN_TIMEOUT_S):
-                worker.recv()
+                # Consumed and discarded — no need to decode a reply
+                # nobody will look at.
+                worker.conn.recv_bytes()
             else:
                 self._discard_slot_transport(slot)
         except Exception:
@@ -1315,8 +1490,12 @@ class ShardedSocketBackend(_ResidentFleetBackend):
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                  on_failure: str = "abort",
                  heartbeat_interval: Optional[float] = None,
-                 heartbeat_timeout: float = 5.0) -> None:
-        super().__init__(on_failure=on_failure)
+                 heartbeat_timeout: float = 5.0,
+                 wire_compression: str = "none",
+                 delta_shipping: bool = True) -> None:
+        super().__init__(on_failure=on_failure,
+                         wire_compression=wire_compression,
+                         delta_shipping=delta_shipping)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if heartbeat_interval is not None and heartbeat_interval < 0:
@@ -1422,15 +1601,32 @@ class ShardedSocketBackend(_ResidentFleetBackend):
             channel = connect_to_shard(
                 address, timeout=self.connect_timeout,
                 max_frame_bytes=self.max_frame_bytes,
-                session=self._session)
+                session=self._session,
+                codec={"version": wire_codec.CODEC_VERSION,
+                       "compression": self.wire_compression})
+            if channel.codec_compression is None:
+                # This backend only speaks codec frames; a peer that
+                # passed the protocol-version check but did not
+                # acknowledge the codec would misparse every batch —
+                # fail the handshake loudly instead.
+                channel.close()
+                raise ProtocolError(
+                    f"shard {format_address(parse_address(address))} "
+                    f"did not acknowledge the wire codec in its "
+                    f"hello-ack")
             self._channels[slot] = channel
             self._live_addresses[slot] = parse_address(address)
             # A connection that did not resume our session must never
             # trust residency: the shard serves a clean fleet, so every
-            # client placed there gets its spec re-shipped.  (A resumed
-            # connection keeps the shard-side residents — that is the
+            # client placed there gets its spec re-shipped and the next
+            # weights table must be a full snapshot (the shard's delta
+            # decoder started clean too).  (A resumed connection keeps
+            # the shard-side residents *and* delta base — that is the
             # point of the session handshake.)
             if not channel.resumed:
+                state = self._tx_states.get(slot)
+                if state is not None:
+                    state.reset()
                 for index, placed in self._placement.items():
                     if placed == slot:
                         self._resident.pop(index, None)
@@ -1454,6 +1650,12 @@ class ShardedSocketBackend(_ResidentFleetBackend):
         channel = self._channels.pop(slot, None)
         if channel is not None:
             channel.close()
+        # The next connection starts from a full weights snapshot: even
+        # a resumed session may have advanced its delta base past what
+        # we committed (a decoded batch whose reply we never saw).
+        state = self._tx_states.get(slot)
+        if state is not None:
+            state.reset()
         # Residency is purged when the slot reconnects without resuming
         # our session (see _channel); a resumed reconnect keeps it.
 
@@ -1463,7 +1665,9 @@ class ShardedSocketBackend(_ResidentFleetBackend):
             return
         try:
             channel.settimeout(self.DRAIN_TIMEOUT_S)
-            channel.recv()
+            # Consumed and discarded without decoding (the reply may be
+            # a codec frame; nobody will look at it either way).
+            channel.recv_bytes()
             channel.settimeout(None)
         except Exception:
             self._discard_slot_transport(slot)
@@ -1522,7 +1726,7 @@ class ShardedSocketBackend(_ResidentFleetBackend):
             try:
                 channel.settimeout(probe_timeout)
                 channel.send_bytes(_PING_BLOB)
-                kind, _ = channel.recv()
+                kind, _ = wire_codec.decode_message(channel.recv_bytes())
                 if kind != "pong":
                     raise ProtocolError(
                         f"shard answered a ping with {kind!r}")
@@ -1530,6 +1734,9 @@ class ShardedSocketBackend(_ResidentFleetBackend):
             except _TRANSPORT_FAILURES:
                 self._channels.pop(slot, None)
                 channel.close()
+                state = self._tx_states.get(slot)
+                if state is not None:
+                    state.reset()
                 dead.append(slot)
         return dead
 
@@ -1549,11 +1756,19 @@ class ShardedSocketBackend(_ResidentFleetBackend):
             # on the next attempt, or by the next probe.
             raise _SlotFailed(dead[0], "answering a health probe")
 
-    def _slot_send(self, slot: int, blob: bytes) -> None:
-        self._channel(slot).send_bytes(blob)
+    def _slot_compression(self, slot: int) -> str:
+        channel = self._channels.get(slot)
+        if channel is not None and channel.codec_compression is not None:
+            return channel.codec_compression
+        return self.wire_compression
+
+    def _slot_send(self, slot: int, frame: "wire_codec.EncodedFrame"
+                   ) -> None:
+        self._channel(slot).send_frame(frame)
 
     def _slot_recv(self, slot: int) -> Tuple[str, Any]:
-        return self._channels[slot].recv()
+        return wire_codec.decode_message(
+            self._channels[slot].recv_bytes())
 
     def _slot_error(self, slot: int, context: str) -> ShardError:
         address = self.shard_address(slot)
@@ -1608,7 +1823,9 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                  max_workers: Optional[int] = None,
                  shards: Union[None, int, str, Sequence[Any]] = None,
                  on_shard_failure: Optional[str] = None,
-                 heartbeat_interval: Optional[float] = None
+                 heartbeat_interval: Optional[float] = None,
+                 wire_compression: Optional[str] = None,
+                 delta_shipping: Optional[bool] = None
                  ) -> ExecutionBackend:
     """Resolve a backend specification into an :class:`ExecutionBackend`.
 
@@ -1642,6 +1859,14 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         Seconds between pre-batch ``ping`` probes of every connected
         shard (``"sharded"`` only; ``None`` = no probing).  A probe
         failure is handled under ``on_shard_failure``.
+    wire_compression:
+        Per-segment compression of the worker-resident backends' wire
+        codec (``"none"``, default, or ``"zlib"``) — see
+        :mod:`repro.fl.codec`.
+    delta_shipping:
+        Whether the worker-resident backends delta-encode weight tables
+        against each slot's acknowledged base (default on; bit-exact
+        either way).
     """
     if isinstance(spec, ExecutionBackend):
         if max_workers is not None:
@@ -1659,6 +1884,12 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 f"to an already-constructed backend instance {spec!r}; "
                 f"construct the backend with the desired failure policy "
                 f"instead")
+        if wire_compression is not None or delta_shipping is not None:
+            raise ValueError(
+                f"wire_compression/delta_shipping cannot be applied to "
+                f"an already-constructed backend instance {spec!r}; "
+                f"construct the backend with the desired wire codec "
+                f"instead")
         return spec
     if shards is not None and spec != ShardedSocketBackend.name:
         raise ValueError(
@@ -1672,6 +1903,12 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         raise ValueError(
             f"heartbeat_interval only applies to the 'sharded' backend, "
             f"not {spec!r}")
+    if (wire_compression is not None or delta_shipping is not None) and \
+            spec not in (ShardedSocketBackend.name,
+                         PersistentProcessBackend.name):
+        raise ValueError(
+            f"wire_compression/delta_shipping only apply to the worker-"
+            f"resident backends ('sharded', 'persistent'), not {spec!r}")
     if spec is None:
         if max_workers is not None:
             # Mirrors the instance rejection above: a defaulted (serial)
@@ -1698,10 +1935,16 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
             return ShardedSocketBackend(
                 shards=shards, max_workers=max_workers,
                 on_failure=on_shard_failure or "abort",
-                heartbeat_interval=heartbeat_interval)
+                heartbeat_interval=heartbeat_interval,
+                wire_compression=wire_compression or "none",
+                delta_shipping=(delta_shipping
+                                if delta_shipping is not None else True))
         if factory is PersistentProcessBackend:
             return PersistentProcessBackend(
                 max_workers=max_workers,
-                on_failure=on_shard_failure or "abort")
+                on_failure=on_shard_failure or "abort",
+                wire_compression=wire_compression or "none",
+                delta_shipping=(delta_shipping
+                                if delta_shipping is not None else True))
         return factory(max_workers=max_workers)
     raise TypeError(f"cannot build an execution backend from {spec!r}")

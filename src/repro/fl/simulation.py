@@ -133,7 +133,9 @@ class FederatedSimulation:
                     max_workers: Optional[int] = None,
                     shards=None,
                     on_shard_failure: Optional[str] = None,
-                    heartbeat_interval: Optional[float] = None
+                    heartbeat_interval: Optional[float] = None,
+                    wire_compression: Optional[str] = None,
+                    delta_shipping: Optional[bool] = None
                     ) -> ExecutionBackend:
         """Swap the execution backend, closing the previous pooled one.
 
@@ -153,13 +155,18 @@ class FederatedSimulation:
         ``on_shard_failure`` (``"abort"``/``"rebalance"``, worker-
         resident backends only) selects what a dead worker or shard does
         to a running collaboration, and ``heartbeat_interval`` enables
-        between-batch liveness probing of connected shards — see
+        between-batch liveness probing of connected shards.
+        ``wire_compression`` (``"none"``/``"zlib"``) and
+        ``delta_shipping`` configure the worker-resident backends' wire
+        codec (see :mod:`repro.fl.codec`) — see
         :func:`~repro.fl.executor.make_backend`.
         """
         new_backend = make_backend(backend, max_workers=max_workers,
                                    shards=shards,
                                    on_shard_failure=on_shard_failure,
-                                   heartbeat_interval=heartbeat_interval)
+                                   heartbeat_interval=heartbeat_interval,
+                                   wire_compression=wire_compression,
+                                   delta_shipping=delta_shipping)
         if new_backend is self.backend:
             return new_backend
         old_backend = self.backend

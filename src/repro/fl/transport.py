@@ -8,10 +8,21 @@ worker-resident clients behind the ``repro shard-worker`` CLI.
 Framing
 -------
 Every frame is a 4-byte big-endian unsigned length followed by exactly
-that many payload bytes.  Payloads are pickles of ``(kind, payload)``
-tuples — the same message shape the pipe-based persistent backend uses,
-so the sharded backend reuses the persistent wire format
-(:class:`~repro.fl.executor._WireBatch` and friends) unchanged.
+that many payload bytes.  Payloads come in two formats that coexist on
+one connection, told apart by their first byte:
+
+* **codec frames** (:mod:`repro.fl.codec`, magic ``0xEC``) — the
+  message skeleton as a protocol-5 pickle plus raw out-of-band ndarray
+  segments, optionally per-segment compressed and delta-encoded against
+  the peer's acknowledged base.  This is what the resident backends
+  ship per cycle; :meth:`MessageChannel.send_frame` writes the segments
+  with one vectored ``sendmsg`` so encoding stays copy-free end to end.
+* **plain pickles** of ``(kind, payload)`` tuples — control messages
+  (hello, ping, bye, shutdown) and legacy peers.
+
+Both directions carry the same message shapes the pipe-based persistent
+backend uses (:class:`~repro.fl.executor._WireBatch` and friends), so
+the sharded backend reuses the persistent wire format unchanged.
 
 Malformed traffic never hangs and never surfaces as a bare socket error:
 
@@ -30,11 +41,16 @@ Malformed traffic never hangs and never surfaces as a bare socket error:
 Handshake
 ---------
 The connecting side opens every connection with ``("hello",
-{"protocol": PROTOCOL_VERSION, "session": ...})``; the shard replies
-``("hello-ack", {"protocol": ..., "resumed": ...})`` or ``("error",
-ProtocolVersionError(...))`` and closes.  Both sides run the handshake
-under a timeout, so a version-mismatched or silent peer fails fast
-instead of blocking a fleet start-up forever.
+{"protocol": PROTOCOL_VERSION, "session": ..., "codec": {"version": ...,
+"compression": ...}})``; the shard replies ``("hello-ack", {"protocol":
+..., "resumed": ..., "codec": ...})`` or ``("error",
+ProtocolVersionError(...))`` and closes.  The ``codec`` entry negotiates
+the wire codec: the shard echoes the compression it will actually use
+for its replies (downgrading an unsupported algorithm to ``"none"``
+rather than failing), and a hello without a codec entry keeps the whole
+connection on plain pickles.  Both sides run the handshake under a
+timeout, so a version-mismatched or silent peer fails fast instead of
+blocking a fleet start-up forever.
 
 Reconnects and resident state
 -----------------------------
@@ -71,7 +87,9 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from . import codec as wire_codec
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -92,7 +110,9 @@ __all__ = [
 ]
 
 #: Version of the shard wire protocol; bumped on incompatible changes.
-PROTOCOL_VERSION = 1
+#: Version 2 introduced the codec frame format (zero-copy ndarray
+#: segments, delta-encoded weight tables — see :mod:`repro.fl.codec`).
+PROTOCOL_VERSION = 2
 
 #: Default cap on one frame's payload (weights tables of large fleets fit
 #: comfortably; a corrupt header claiming gigabytes is rejected instead).
@@ -216,6 +236,10 @@ class MessageChannel:
         #: Whether the hello handshake resumed a previous session's
         #: resident state on the shard (set by :func:`connect_to_shard`).
         self.resumed = False
+        #: Wire-codec compression the hello handshake negotiated, or
+        #: ``None`` when the connection speaks plain pickles only (set
+        #: by :func:`connect_to_shard`).
+        self.codec_compression: Optional[str] = None
 
     @property
     def closed(self) -> bool:
@@ -240,29 +264,71 @@ class MessageChannel:
         sock.sendall(_HEADER.pack(len(blob)))
         sock.sendall(blob)
 
+    def send_frame(self, frame: "wire_codec.EncodedFrame") -> None:
+        """Send one encoded codec frame without assembling its payload.
+
+        The frame's header and segments are written with vectored
+        ``sendmsg`` calls (one syscall for the common case), so the
+        ndarray segments the codec collected as memoryviews reach the
+        kernel without ever being concatenated — the zero-copy half of
+        the codec's contract.  An oversized frame is rejected locally
+        with the message kind and a skeleton-vs-ndarray size breakdown.
+        """
+        total = frame.total_bytes
+        if total > self.max_frame_bytes:
+            raise FrameTooLargeError(
+                f"refusing to send a {frame.kind!r} frame of {total} bytes "
+                f"(max_frame_bytes={self.max_frame_bytes}; "
+                f"{frame.describe()})")
+        sock = self._socket()
+        buffers: List[Any] = [_HEADER.pack(total)]
+        buffers.extend(frame.buffers())
+        if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX
+            for buffer in buffers:
+                sock.sendall(buffer)
+            return
+        views = [memoryview(buffer).cast("B") for buffer in buffers]
+        while views:
+            # Cap the iovec count per call: sendmsg rejects vectors
+            # longer than IOV_MAX (1024 on Linux) with EMSGSIZE.
+            sent = sock.sendmsg(views[:512])
+            while views and sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            if sent and views:
+                views[0] = views[0][sent:]
+
     def send(self, message: Tuple[str, Any]) -> None:
         """Pickle and send one ``(kind, payload)`` message."""
         self.send_bytes(pickle.dumps(message, _PICKLE_PROTOCOL))
 
-    def _recv_exact(self, num_bytes: int, *, mid_frame: bool) -> bytes:
+    def _recv_exact(self, num_bytes: int, *, mid_frame: bool) -> memoryview:
+        """Read exactly ``num_bytes`` into a fresh writable buffer.
+
+        Receiving into one pre-sized ``bytearray`` (instead of joining
+        ``recv`` chunks) skips the reassembly copy, and — because the
+        codec reconstructs ndarrays as views into this buffer — makes
+        the decoded arrays writable, matching what plain pickling would
+        have produced.
+        """
         sock = self._socket()
-        chunks = []
-        remaining = num_bytes
-        while remaining:
-            chunk = sock.recv(min(remaining, 1 << 20))
+        buffer = bytearray(num_bytes)
+        view = memoryview(buffer)
+        received = 0
+        while received < num_bytes:
+            chunk = sock.recv_into(view[received:], num_bytes - received)
             if not chunk:
-                if mid_frame or chunks:
+                if mid_frame or received:
                     raise TruncatedFrameError(
-                        f"connection closed {num_bytes - remaining} bytes "
-                        f"into a {num_bytes}-byte read")
+                        f"connection closed {received} bytes into a "
+                        f"{num_bytes}-byte read")
                 raise ConnectionClosedError(
                     "connection closed at a frame boundary")
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+            received += chunk
+        return view
 
-    def recv_bytes(self) -> bytes:
-        """Receive one frame's payload bytes.
+    def recv_bytes(self) -> memoryview:
+        """Receive one frame's payload as a writable memoryview.
 
         Raises :class:`ConnectionClosedError` on a clean close between
         frames, :class:`TruncatedFrameError` on a mid-frame close, and
@@ -308,7 +374,9 @@ def connect_to_shard(address: Any, *,
                      timeout: float = _HANDSHAKE_TIMEOUT_S,
                      max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                      protocol: int = PROTOCOL_VERSION,
-                     session: Optional[str] = None) -> MessageChannel:
+                     session: Optional[str] = None,
+                     codec: Optional[Dict[str, Any]] = None
+                     ) -> MessageChannel:
     """Connect to a shard server and run the hello handshake.
 
     Returns a ready :class:`MessageChannel` with no operation timeout
@@ -322,14 +390,25 @@ def connect_to_shard(address: Any, *,
     returned channel's :attr:`~MessageChannel.resumed` says whether the
     shard actually kept them.  Without a token every connection starts
     from a clean resident fleet.
+
+    ``codec`` (e.g. ``{"version": 1, "compression": "zlib"}``) opts the
+    connection into the wire codec of :mod:`repro.fl.codec`; the shard
+    echoes the compression it will actually use and the returned
+    channel's :attr:`~MessageChannel.codec_compression` carries it.
+    ``codec_compression`` left at ``None`` means the shard did not
+    acknowledge the codec — the caller must then either stick to plain
+    pickles on this channel or treat the peer as incompatible (the
+    sharded backend does the latter: it only sends codec frames).
     """
     host, port = parse_address(address)
     sock = socket.create_connection((host, port), timeout=timeout)
     channel = MessageChannel(sock, max_frame_bytes)
     try:
-        hello = {"protocol": protocol}
+        hello: Dict[str, Any] = {"protocol": protocol}
         if session is not None:
             hello["session"] = session
+        if codec is not None:
+            hello["codec"] = dict(codec)
         channel.send(("hello", hello))
         kind, payload = channel.recv()
     except (OSError, socket.timeout) as exc:
@@ -348,6 +427,11 @@ def connect_to_shard(address: Any, *,
             f"shard {host}:{port} answered the hello with {kind!r}")
     channel.resumed = bool(isinstance(payload, dict)
                            and payload.get("resumed"))
+    if codec is not None and isinstance(payload, dict):
+        ack_codec = payload.get("codec")
+        if isinstance(ack_codec, dict):
+            channel.codec_compression = wire_codec.negotiate_compression(
+                ack_codec.get("compression"))
     channel.settimeout(None)
     return channel
 
@@ -357,11 +441,12 @@ def _server_handshake(channel: MessageChannel,
     """Validate a fresh connection's hello and resolve its residents.
 
     ``session`` is the server's cross-connection store (``token`` +
-    ``residents``).  A hello carrying the stored token *resumes* the
-    previous connection's residents; any other hello (different token,
-    or none) replaces them with a clean fleet.  Returns the residents
-    dict the connection must serve against, or ``None`` if the
-    handshake failed and the connection must be dropped.
+    ``residents`` + codec negotiation/state).  A hello carrying the
+    stored token *resumes* the previous connection's residents (and the
+    codec's delta-decoder state, which tracks them); any other hello
+    (different token, or none) replaces them with a clean fleet.
+    Returns the residents dict the connection must serve against, or
+    ``None`` if the handshake failed and the connection must be dropped.
     """
     try:
         kind, payload = channel.recv()
@@ -381,9 +466,21 @@ def _server_handshake(channel: MessageChannel,
     resumed = token is not None and token == session.get("token")
     if not resumed:
         session["residents"] = {}
+        session["codec_state"] = wire_codec.DeltaDecoderState()
+    session.setdefault("codec_state", wire_codec.DeltaDecoderState())
     session["token"] = token
+    requested_codec = payload.get("codec")
+    if isinstance(requested_codec, dict):
+        session["codec"] = {
+            "version": wire_codec.CODEC_VERSION,
+            "compression": wire_codec.negotiate_compression(
+                requested_codec.get("compression")),
+        }
+    else:
+        session["codec"] = None
     ack = {"protocol": PROTOCOL_VERSION, "resumed": resumed,
-           "residents": len(session["residents"])}
+           "residents": len(session["residents"]),
+           "codec": session["codec"]}
     if not _try_send(channel, ("hello-ack", ack)):
         return None
     return session["residents"]
@@ -397,26 +494,47 @@ def _try_send(channel: MessageChannel, message: Tuple[str, Any]) -> bool:
         return False
 
 
-def _send_reply(channel: MessageChannel, reply: Tuple[str, Any]) -> bool:
+def _send_reply(channel: MessageChannel, reply: Tuple[str, Any],
+                compression: Optional[str] = None) -> bool:
     """Send a request's reply, degrading to an error reply if needed.
 
     The parent is blocked waiting for exactly one reply, so a reply that
     cannot be pickled or exceeds the frame limit must not be silently
     dropped (that would hang the fleet) nor crash the server: it is
-    replaced by a small ``("error", ...)`` explaining the failure.
-    ``False`` means the connection itself is gone.
+    replaced by a small ``("error", ...)`` explaining the failure —
+    naming the reply kind and its skeleton-vs-ndarray size breakdown
+    when it was the frame limit that bit.  ``compression`` selects the
+    negotiated codec framing (``None`` = plain pickle, for connections
+    that did not negotiate the codec).  ``False`` means the connection
+    itself is gone.
     """
+    if compression is None:
+        try:
+            blob = pickle.dumps(reply, _PICKLE_PROTOCOL)
+        except Exception as exc:
+            return _try_send(channel, ("error", RuntimeError(
+                f"shard reply does not pickle: {exc!r}")))
+        if len(blob) > channel.max_frame_bytes:
+            return _try_send(channel, ("error", FrameTooLargeError(
+                f"shard reply is {len(blob)} bytes "
+                f"(max_frame_bytes={channel.max_frame_bytes})")))
+        try:
+            channel.send_bytes(blob)
+            return True
+        except (TransportError, OSError):
+            return False
     try:
-        blob = pickle.dumps(reply, _PICKLE_PROTOCOL)
+        frame = wire_codec.encode_message(reply, compression=compression)
     except Exception as exc:
         return _try_send(channel, ("error", RuntimeError(
-            f"shard reply does not pickle: {exc!r}")))
-    if len(blob) > channel.max_frame_bytes:
+            f"shard reply does not encode: {exc!r}")))
+    if frame.total_bytes > channel.max_frame_bytes:
         return _try_send(channel, ("error", FrameTooLargeError(
-            f"shard reply is {len(blob)} bytes "
-            f"(max_frame_bytes={channel.max_frame_bytes})")))
+            f"shard reply is an oversized {frame.kind!r} frame "
+            f"(max_frame_bytes={channel.max_frame_bytes}; "
+            f"{frame.describe()})")))
     try:
-        channel.send_bytes(blob)
+        channel.send_frame(frame)
         return True
     except (TransportError, OSError):
         return False
@@ -505,6 +623,10 @@ def _serve_connection(channel: MessageChannel, handle_request: Callable,
     if session is None:
         session = {"token": None, "residents": {}}
     residents = session["residents"]
+    codec_config = session.get("codec")
+    compression = (codec_config or {}).get("compression")
+    codec_state = session.setdefault("codec_state",
+                                     wire_codec.DeltaDecoderState())
     while True:
         try:
             blob = channel.recv_bytes()
@@ -513,16 +635,30 @@ def _serve_connection(channel: MessageChannel, handle_request: Callable,
             # stream is over either way — back to accept().
             return False
         try:
-            kind, payload = _load_message(blob)
-        except MalformedMessageError as exc:
+            if wire_codec.is_codec_frame(blob):
+                kind, payload = wire_codec.decode_message(
+                    blob, delta_state=codec_state)
+            else:
+                kind, payload = _load_message(blob)
+        except wire_codec.DeltaBaseMismatchError as exc:
+            # The parent's delta referenced a base this shard does not
+            # hold (e.g. a reply it never saw committed it on our side):
+            # report it so the parent re-sends a full snapshot.
+            if not _send_reply(channel, ("error", exc), compression):
+                return False
+            continue
+        except (MalformedMessageError, wire_codec.CodecError) as exc:
             # Framing is intact, only this payload was garbage: report it
             # and keep serving.
+            if not isinstance(exc, MalformedMessageError):
+                exc = MalformedMessageError(str(exc))
             if not _try_send(channel, ("error", exc)):
                 return False
             continue
         if kind == "bye":
             residents.clear()
             session["token"] = None
+            session["codec_state"] = wire_codec.DeltaDecoderState()
             return False
         if kind == "shutdown":
             return True
@@ -530,5 +666,5 @@ def _serve_connection(channel: MessageChannel, handle_request: Callable,
             reply: Tuple[str, Any] = ("pong", {"residents": len(residents)})
         else:
             reply = handle_request(kind, payload, residents)
-        if not _send_reply(channel, reply):
+        if not _send_reply(channel, reply, compression):
             return False

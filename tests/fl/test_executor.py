@@ -732,3 +732,140 @@ class TestPersistentResidency:
                                                   actual.weights[key])
         finally:
             backend.close()
+
+
+class TestWireCodecOnPipes:
+    """Delta shipping + compression on the persistent pipe backend."""
+
+    @pytest.mark.parametrize("codec_kwargs", [
+        {"wire_compression": "zlib"},
+        {"delta_shipping": False},
+        {"wire_compression": "zlib", "delta_shipping": False},
+    ], ids=["zlib", "no-delta", "zlib-no-delta"])
+    def test_codec_variants_bit_identical_to_serial(self, codec_kwargs):
+        reference = make_tiny_simulation()
+        expected = reference.train_clients(reference.client_indices())
+        reference.close()
+
+        sim = make_tiny_simulation()
+        sim.set_backend("persistent", max_workers=2, **codec_kwargs)
+        try:
+            actual = sim.train_clients(sim.client_indices())
+        finally:
+            sim.close()
+        for want, got in zip(expected, actual):
+            assert want.train_loss == got.train_loss
+            for key in want.weights:
+                np.testing.assert_array_equal(want.weights[key],
+                                              got.weights[key])
+
+    def test_warm_delta_dispatch_shrinks_at_least_5x(self):
+        def warm_bytes(**codec_kwargs):
+            sim = make_tiny_simulation()
+            sim.set_backend("persistent", max_workers=2, **codec_kwargs)
+            weights = sim.server.get_global_weights()
+            jobs = [TrainingJob(index=index, weights=weights)
+                    for index in sim.client_indices()]
+            try:
+                sim.run_jobs(jobs)
+                return sim.backend.dispatch_payload_bytes(sim.clients,
+                                                          jobs)
+            finally:
+                sim.close()
+
+        full = warm_bytes(delta_shipping=False)
+        delta = warm_bytes()
+        assert full >= 5 * delta
+
+    def test_zlib_compresses_cold_dispatch(self):
+        """Specs (datasets are float arrays) compress: the cold payload
+        under zlib must be smaller than raw."""
+        def cold_bytes(**codec_kwargs):
+            sim = make_tiny_simulation()
+            sim.set_backend("persistent", max_workers=2, **codec_kwargs)
+            weights = sim.server.get_global_weights()
+            jobs = [TrainingJob(index=index, weights=weights)
+                    for index in sim.client_indices()]
+            try:
+                return sim.backend.dispatch_payload_bytes(sim.clients,
+                                                          jobs)
+            finally:
+                sim.close()
+
+        raw = cold_bytes()
+        packed = cold_bytes(wire_compression="zlib")
+        assert packed < raw
+
+    def test_worker_restart_falls_back_to_full_snapshot(self):
+        """A respawned pipe worker (fresh decoder state) must be served
+        a full snapshot, and training stays bit-identical."""
+        reference = make_tiny_simulation()
+        expected_1 = reference.train_clients(reference.client_indices())
+        expected_2 = reference.train_clients(reference.client_indices())
+        reference.close()
+
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("persistent", max_workers=2,
+                                  on_shard_failure="rebalance")
+        try:
+            actual_1 = sim.train_clients(sim.client_indices())
+            # Kill one worker between batches: the delta channel to that
+            # slot is warm and dies with it.
+            victim = backend._workers[0]
+            victim.process.kill()
+            victim.process.join(timeout=10)
+            actual_2 = sim.train_clients(sim.client_indices())
+        finally:
+            sim.close()
+        for want, got in zip(expected_1 + expected_2, actual_1 + actual_2):
+            assert want.train_loss == got.train_loss
+            for key in want.weights:
+                np.testing.assert_array_equal(want.weights[key],
+                                              got.weights[key])
+
+    def test_codec_options_rejected_for_non_resident_backends(self):
+        with pytest.raises(ValueError, match="wire_compression"):
+            make_backend("thread", wire_compression="zlib")
+        with pytest.raises(ValueError, match="delta_shipping"):
+            make_backend("process", delta_shipping=False)
+        with pytest.raises(ValueError, match="wire codec"):
+            make_backend(PersistentProcessBackend(max_workers=1),
+                         wire_compression="zlib")
+        with pytest.raises(ValueError, match="compression"):
+            PersistentProcessBackend(wire_compression="lz9")
+
+    def test_oversized_batch_error_names_kind_and_breakdown(self):
+        """Satellite regression: a batch exceeding max_frame_bytes fails
+        with the shard identity, and the underlying FrameTooLargeError
+        names the message kind and the weights-vs-skeleton breakdown."""
+        from repro.fl import ShardError
+        from repro.fl.transport import FrameTooLargeError
+
+        sim = make_tiny_simulation()
+        backend = ShardedSocketBackend(shards=1, max_frame_bytes=4096)
+        sim.set_backend(backend)
+        try:
+            with pytest.raises(ShardError) as excinfo:
+                sim.train_clients(sim.client_indices())
+            cause = excinfo.value.__cause__
+            assert isinstance(cause, FrameTooLargeError)
+            message = str(cause)
+            assert "'run'" in message
+            assert "skeleton" in message
+            assert "ndarray payload" in message
+        finally:
+            sim.close()
+
+    def test_reply_weight_arrays_are_writable(self):
+        """Regression: zero-copy decoded reply arrays must be writable
+        on the pipe backend too (parity with every other backend)."""
+        sim = make_tiny_simulation()
+        sim.set_backend("persistent", max_workers=2)
+        try:
+            updates = sim.train_clients(sim.client_indices())
+        finally:
+            sim.close()
+        for update in updates:
+            for value in update.weights.values():
+                assert value.flags.writeable
+                value[...] = value  # in-place write must not raise

@@ -426,6 +426,147 @@ class TestSessionResume:
             assert self._residents(address, "session-a") == (False, 0)
 
 
+class TestCodecNegotiation:
+    def test_hello_without_codec_stays_on_pickles(self, shard_server):
+        channel = connect_to_shard(shard_server, timeout=5)
+        assert channel.codec_compression is None
+        channel.send(("ping", None))
+        assert channel.recv()[0] == "pong"  # plain-pickled reply
+        channel.close()
+
+    @pytest.mark.parametrize("requested,granted", [
+        ("none", "none"), ("zlib", "zlib"), ("snappy", "none")])
+    def test_hello_negotiates_compression(self, shard_server, requested,
+                                          granted):
+        channel = connect_to_shard(shard_server, timeout=5,
+                                   codec={"version": 1,
+                                          "compression": requested})
+        assert channel.codec_compression == granted
+        channel.close()
+
+    def test_codec_connection_gets_codec_replies(self, shard_server):
+        from repro.fl import codec
+
+        channel = connect_to_shard(shard_server, timeout=5,
+                                   codec={"version": 1,
+                                          "compression": "none"})
+        channel.send_bytes(pickle.dumps(("ping", None)))
+        blob = channel.recv_bytes()
+        assert codec.is_codec_frame(blob)
+        kind, payload = codec.decode_message(blob)
+        assert kind == "pong"
+        assert payload == {"residents": 0}
+        channel.close()
+
+    def test_codec_framed_run_round_trips(self, shard_server):
+        """A codec-framed, delta-stateful run request trains a resident
+        on a real shard server and the reply decodes."""
+        from repro.fl import codec
+        from repro.fl.executor import _WireBatch, _WireGroup, _WireJob
+
+        from ..conftest import (make_device, make_tiny_dataset,
+                                make_tiny_model)
+        from repro.fl.client import ClientConfig, ClientSpec
+
+        spec = ClientSpec(client_id=0, dataset=make_tiny_dataset(20),
+                          device=make_device(),
+                          model_factory=make_tiny_model,
+                          config=ClientConfig(batch_size=10))
+        weights = make_tiny_model().get_weights()
+        batch = _WireBatch(
+            weights_table=[weights],
+            groups=[_WireGroup(
+                index=0, spec=spec,
+                rng_state=spec.initial_rng().bit_generator.state,
+                jobs=[_WireJob(weights_ref=0, mask=None, local_epochs=None,
+                               base_cycle=0)])])
+        channel = connect_to_shard(shard_server, timeout=5,
+                                   codec={"version": 1,
+                                          "compression": "zlib"})
+        encoder = codec.DeltaEncoderState()
+        frame = codec.encode_message(("run", batch), compression="zlib",
+                                     delta_state=encoder)
+        channel.send_frame(frame)
+        kind, results = codec.decode_message(channel.recv_bytes())
+        assert kind == "results"
+        assert results[0][1] == "ok"
+        channel.close()
+
+    def test_structurally_bad_codec_frames_do_not_kill_the_server(
+            self, shard_server):
+        """Regression: a codec frame whose skeleton unpickles but is
+        structurally broken (a skip-delta without base_seq against an
+        empty decoder, a delta attached to a payload without a
+        weights_table slot) must degrade to an error reply — never an
+        unhandled AttributeError that takes the shard down."""
+        from repro.fl import codec
+        from repro.fl.codec import _MODE_SKIP, _DeltaTable
+
+        channel = connect_to_shard(shard_server, timeout=5,
+                                   codec={"version": 1,
+                                          "compression": "none"})
+        # Case 1: skip entry, base_seq None, decoder holds no base.
+        skeleton = pickle.dumps(
+            ("run", None,
+             _DeltaTable(None, 1, [[("w", _MODE_SKIP, None)]])), 5)
+        header = codec._HEADER.pack(codec.CODEC_MAGIC,
+                                    codec.CODEC_VERSION, 0, 0, 1)
+        frame = (header + codec._SEGMENT_ENTRY.pack(len(skeleton), 0)
+                 + skeleton)
+        channel.send_bytes(frame)
+        kind, payload = codec.decode_message(channel.recv_bytes())
+        assert kind == "error"
+        assert isinstance(payload, BaseException)
+        # Case 2: delta table attached to a payload that has no
+        # weights_table attribute (None).
+        batch = codec.encode_message(
+            ("run", None),
+            delta_state=codec.DeltaEncoderState())  # payload is None
+        # ... the encoder refuses to delta a table-less payload, so
+        # craft the skeleton by hand:
+        skeleton = pickle.dumps(
+            ("run", 42, _DeltaTable(None, 1, [])), 5)
+        frame = (header + codec._SEGMENT_ENTRY.pack(len(skeleton), 0)
+                 + skeleton)
+        channel.send_bytes(frame)
+        kind, payload = codec.decode_message(channel.recv_bytes())
+        assert kind == "error"
+        # The server survives both and keeps serving.
+        channel.send_bytes(pickle.dumps(("ping", None)))
+        assert codec.decode_message(channel.recv_bytes())[0] == "pong"
+        channel.close()
+
+    def test_delta_mismatch_reported_not_fatal(self, shard_server):
+        """A delta frame against a base the shard lacks gets an explicit
+        DeltaBaseMismatchError reply, and the connection keeps serving."""
+        from repro.fl import codec
+        from repro.fl.executor import _WireBatch
+
+        channel = connect_to_shard(shard_server, timeout=5,
+                                   codec={"version": 1,
+                                          "compression": "none"})
+        encoder = codec.DeltaEncoderState()
+        batch = _WireBatch(weights_table=[{"w": np.arange(10.0)}],
+                           groups=[])
+        first = codec.encode_message(("run", batch), delta_state=encoder)
+        # Pretend a previous frame was acknowledged: commit without ever
+        # sending it, so our base is ahead of the shard's.
+        encoder.commit(first.pending_base, first.pending_seq)
+        stale = codec.encode_message(("run", batch), delta_state=encoder)
+        channel.send_frame(stale)
+        kind, payload = codec.decode_message(channel.recv_bytes())
+        assert kind == "error"
+        assert isinstance(payload, codec.DeltaBaseMismatchError)
+        # The connection survives; a full resend is accepted.
+        encoder.reset()
+        full = codec.encode_message(("run", batch), delta_state=encoder,
+                                    force_full=True)
+        channel.send_frame(full)
+        kind, _ = codec.decode_message(channel.recv_bytes())
+        assert kind == "results"
+        channel.close()
+
+
 def _triple(value):
     """Module-level map function (picklable for shard traffic)."""
     return value * 3

@@ -21,7 +21,23 @@ from ..conftest import (FAST_DEVICE, make_tiny_dataset, make_tiny_model,
                         make_tiny_simulation)
 
 FUZZ_SEEDS = (0, 1, 2)
-BACKENDS_UNDER_TEST = ("thread", "process", "persistent", "sharded")
+#: Backend configurations replayed against the serial reference: every
+#: non-serial backend, plus the worker-resident backends under each wire
+#: codec variant (delta + zlib compression, and delta disabled) — the
+#: codec must be invisible in the numerics whatever its knobs.
+BACKENDS_UNDER_TEST = (
+    ("thread", {}),
+    ("process", {}),
+    ("persistent", {}),
+    ("sharded", {}),
+    ("persistent", {"wire_compression": "zlib"}),
+    ("sharded", {"wire_compression": "zlib"}),
+    ("persistent", {"delta_shipping": False}),
+)
+
+BACKEND_IDS = [name if not kwargs else
+               f"{name}-{'-'.join(f'{k}={v}' for k, v in kwargs.items())}"
+               for name, kwargs in BACKENDS_UNDER_TEST]
 
 #: Serial reference fingerprints, computed once per seed.
 _SERIAL_CACHE = {}
@@ -58,11 +74,12 @@ def generate_script(seed, num_ops=8):
     return ops
 
 
-def replay(ops, backend_name):
+def replay(ops, backend_name, backend_kwargs=None):
     """Run one script on one backend; return its full fingerprint."""
     sim = make_tiny_simulation()
     if backend_name != "serial":
-        sim.set_backend(backend_name, max_workers=2)
+        sim.set_backend(backend_name, max_workers=2,
+                        **(backend_kwargs or {}))
     losses = []
     try:
         for op in ops:
@@ -100,12 +117,14 @@ def _serial_fingerprint(seed):
     return _SERIAL_CACHE[seed]
 
 
-@pytest.mark.parametrize("backend_name", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("backend_config", BACKENDS_UNDER_TEST,
+                         ids=BACKEND_IDS)
 @pytest.mark.parametrize("seed", FUZZ_SEEDS)
-def test_random_interleavings_bit_identical_to_serial(seed, backend_name):
+def test_random_interleavings_bit_identical_to_serial(seed, backend_config):
+    backend_name, backend_kwargs = backend_config
     ops = generate_script(seed)
     reference = _serial_fingerprint(seed)
-    actual = replay(ops, backend_name)
+    actual = replay(ops, backend_name, backend_kwargs)
     assert actual["losses"] == reference["losses"]
     assert actual["rng_states"] == reference["rng_states"]
     assert len(actual["weights"]) == len(reference["weights"])

@@ -145,3 +145,42 @@ class TestMain:
                      "--on-shard-failure", "rebalance",
                      "--heartbeat-interval", "30"]) == 0
         assert "cycle" in capsys.readouterr().out.lower()
+
+
+class TestWireCodecFlags:
+    def test_run_accepts_wire_codec_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig6", "--backend", "sharded", "--workers", "2",
+             "--wire-compression", "zlib", "--no-delta-shipping"])
+        assert args.wire_compression == "zlib"
+        assert args.no_delta_shipping is True
+
+    def test_wire_codec_flags_default_off(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.wire_compression is None
+        assert args.no_delta_shipping is False
+
+    def test_invalid_wire_compression_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "fig6", "--backend", "sharded",
+                 "--wire-compression", "snappy"])
+
+    def test_wire_compression_requires_resident_backend(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "thread",
+                     "--wire-compression", "zlib"]) == 2
+        assert "--wire-compression" in capsys.readouterr().err
+
+    def test_no_delta_shipping_requires_resident_backend(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "serial",
+                     "--no-delta-shipping"]) == 2
+        assert "--no-delta-shipping" in capsys.readouterr().err
+
+    def test_run_fig6_persistent_zlib_smoke(self, capsys):
+        """CLI-level wiring of the wire codec flags end to end."""
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "persistent", "--workers", "2",
+                     "--wire-compression", "zlib"]) == 0
+        assert "cycle" in capsys.readouterr().out.lower()
