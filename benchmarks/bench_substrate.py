@@ -12,7 +12,10 @@ writes a machine-readable ``benchmarks/results/BENCH_substrate.json``
 with per-backend cycle times and dispatch payload bytes, and asserts the
 persistent backend's core scaling property: warm dispatch is O(weights),
 independent of dataset size, and strictly smaller than the process
-backend's whole-client pickling.
+backend's whole-client pickling.  Its ``virtual_fleets`` section sweeps
+logical fleet sizes through ``run_virtual_cycle`` on a 2-shard fleet and
+asserts the hierarchical-aggregation claim: upstream bytes independent
+of the fleet size and >=10x below flat at 10^3 clients/shard.
 """
 
 import json
@@ -22,9 +25,10 @@ import time
 import numpy as np
 
 from repro.core import SoftTrainingSelector
-from repro.data.synthetic import SyntheticImageSpec, make_classification_images
+from repro.data.synthetic import (SyntheticImageSpec, VirtualClientDatasets,
+                                  make_classification_images)
 from repro.fl import (ClientConfig, ClientUpdate, FLClient, FLServer,
-                      FederatedSimulation, make_backend)
+                      FederatedSimulation, VirtualFleet, make_backend)
 from repro.fl.aggregation import ModelStructure, aggregate_partial
 from repro.hardware import DeviceProfile, JETSON_NANO_CPU, TrainingCostModel
 from repro.nn import SGD, ModelMask, SoftmaxCrossEntropy
@@ -70,8 +74,13 @@ def test_bench_partial_aggregation(benchmark):
 
 def _reference_aggregate_partial(global_weights, updates, structure,
                                  client_weights=None):
-    """The pre-vectorization per-update loop, kept as the timing/equality
-    reference for :func:`test_partial_aggregation_vectorization_guard`."""
+    """The pre-exact-summation per-update loop, kept as the numerical
+    reference for :func:`test_partial_aggregation_vectorization_guard`.
+
+    Since the hierarchical-aggregation work, ``aggregate_partial`` sums
+    on the error-free pre-rounding grids (order/partition independent);
+    this loop uses plain float sums, so it agrees only to ~1e-12, not
+    bit for bit."""
     from repro.fl.aggregation import (_neuron_weight_vector,
                                       normalize_weights,
                                       sample_count_weights)
@@ -133,26 +142,47 @@ def _many_masked_updates(num_updates=32):
     return global_weights, updates, structure
 
 
+def _per_update_exact_aggregate_partial(global_weights, updates, structure):
+    """Per-update Python loop over the *same* exact-summation algorithm:
+    fold every update alone and merge the partials.  Level sums add
+    exactly, so this is bit-identical to the chunk-vectorized
+    ``aggregate_partial`` — it is the one-client-per-shard degenerate
+    topology, and the timing baseline the vectorized fold must beat."""
+    from repro.fl.aggregation import (finalize_partials, fold_updates,
+                                      sample_count_weights)
+
+    weights = sample_count_weights(updates)
+    partials = [fold_updates([update], [weight], structure, partial=True)
+                for update, weight in zip(updates, weights)]
+    return finalize_partials(global_weights, partials, structure=structure)
+
+
 def test_partial_aggregation_vectorization_guard():
-    """The einsum-vectorized aggregate_partial must match the reference
-    per-update loop numerically and must not be slower than it."""
+    """The chunk-vectorized aggregate_partial must match the per-update
+    exact fold bit for bit (partition invariance), agree with the plain
+    float-sum loop numerically, and must not be slower than per-update
+    Python looping of the same algorithm."""
     global_weights, updates, structure = _many_masked_updates()
-    expected = _reference_aggregate_partial(global_weights, updates,
-                                            structure)
+    plain = _reference_aggregate_partial(global_weights, updates,
+                                         structure)
+    looped = _per_update_exact_aggregate_partial(global_weights, updates,
+                                                 structure)
     actual = aggregate_partial(global_weights, updates, structure)
-    assert expected.keys() == actual.keys()
-    for name in expected:
-        np.testing.assert_allclose(actual[name], expected[name],
+    assert plain.keys() == actual.keys()
+    for name in plain:
+        np.testing.assert_allclose(actual[name], plain[name],
                                    rtol=1e-12, atol=1e-12)
+        np.testing.assert_array_equal(actual[name], looped[name],
+                                      err_msg=name)
     # Timing guard: best-of-3 each, generous 1.5x margin so the
     # assertion stays robust on loaded CI machines while still catching
     # a regression back to per-update Python looping.
-    reference_s = min(_timeit(lambda: _reference_aggregate_partial(
+    reference_s = min(_timeit(lambda: _per_update_exact_aggregate_partial(
         global_weights, updates, structure)) for _ in range(3))
     vectorized_s = min(_timeit(lambda: aggregate_partial(
         global_weights, updates, structure)) for _ in range(3))
     print(f"\naggregate_partial ({len(updates)} masked updates): "
-          f"reference loop {reference_s * 1000:.1f} ms, vectorized "
+          f"per-update exact loop {reference_s * 1000:.1f} ms, vectorized "
           f"{vectorized_s * 1000:.1f} ms "
           f"({reference_s / vectorized_s:.2f}x)")
     assert vectorized_s <= reference_s * 1.5
@@ -438,6 +468,88 @@ def _evolving_cycle_bytes(codec_name):
         sim.close()
 
 
+# --------------------------------------------------------------------- #
+# virtual fleets: upstream bytes vs. logical fleet size
+# --------------------------------------------------------------------- #
+
+#: Virtual-client counts per aggregation mode of the scale sweep.  The
+#: flat topology ships every update upstream, so its largest point stays
+#: at 10^3 clients/shard (= 2000 on the 2-shard fleet — the acceptance
+#: point for the >=10x reduction claim); hierarchical folds in-shard and
+#: is measured one decade further to demonstrate byte-flatness.  Beyond
+#: that the bytes are provably constant, so the report carries a
+#: projection instead of an hour-long 10^6 measurement.
+_VIRTUAL_SWEEP = {
+    "flat": (200, 2000),
+    "hierarchical": (2000, 10_000),
+}
+_PROJECTED_FLEET = 1_000_000
+
+
+def _virtual_fleet(num_clients):
+    device = DeviceProfile(name="bench-node", compute_gflops=50.0,
+                           memory_bandwidth_gbps=10.0,
+                           network_bandwidth_mbps=100.0,
+                           memory_capacity_mb=1024.0)
+    return VirtualFleet(
+        num_clients=num_clients,
+        dataset_factory=VirtualClientDatasets(_BENCH_SPEC,
+                                              samples_per_client=8, seed=5),
+        device=device, model_factory=_bench_model,
+        config=ClientConfig(batch_size=8, local_epochs=1, learning_rate=0.1),
+        seed=9)
+
+
+def _virtual_cycle_stats(aggregation, num_clients):
+    """Upstream bytes + wall-clock of one warm virtual cycle (2 shards)."""
+    sim = _payload_fleet(samples_per_client=8)
+    sim.set_backend("sharded", max_workers=2, aggregation=aggregation)
+    try:
+        sim.run_virtual_cycle(_virtual_fleet(4))  # spawn shards outside
+        start = time.perf_counter()
+        loss, count = sim.run_virtual_cycle(_virtual_fleet(num_clients))
+        elapsed = time.perf_counter() - start
+        upstream = sim.backend.last_reply_bytes
+    finally:
+        sim.close()
+    assert count == num_clients and np.isfinite(loss)
+    return {"upstream_bytes": upstream, "cycle_seconds": elapsed}
+
+
+def _virtual_sweep_report():
+    """Measure and assert the hierarchical-aggregation claim:
+    shard->parent bytes are independent of the logical fleet size,
+    >=10x below flat at 10^3 clients/shard, while flat grows linearly."""
+    sweep = {mode: {str(n): _virtual_cycle_stats(mode, n) for n in sizes}
+             for mode, sizes in _VIRTUAL_SWEEP.items()}
+    flat_small, flat_large = (sweep["flat"][str(n)]["upstream_bytes"]
+                              for n in _VIRTUAL_SWEEP["flat"])
+    hier_small, hier_large = (
+        sweep["hierarchical"][str(n)]["upstream_bytes"]
+        for n in _VIRTUAL_SWEEP["hierarchical"])
+    print(f"\nvirtual fleets (2 shards): flat upstream {flat_small}B@200 "
+          f"-> {flat_large}B@2000, hierarchical {hier_small}B@2000 = "
+          f"{hier_large}B@10000 "
+          f"({flat_large / hier_small:.1f}x reduction at 10^3/shard)")
+    # Hierarchical upstream bytes are exactly fleet-size independent …
+    assert hier_small == hier_large
+    # … flat grows ~linearly with the fleet (10x clients, >5x bytes) …
+    assert flat_large > 5 * flat_small
+    # … and at the acceptance point (10^3 clients/shard) hierarchical
+    # ships at least 10x fewer bytes upstream than flat.
+    assert flat_large >= 10 * hier_small
+    return {
+        "num_shards": 2,
+        "samples_per_client": 8,
+        "sweep": sweep,
+        "upstream_reduction_at_1e3_per_shard": flat_large / hier_small,
+        "hierarchical_bytes_independent_of_fleet_size": True,
+        "projected_hierarchical_upstream_bytes": {
+            str(_PROJECTED_FLEET): hier_large,
+        },
+    }
+
+
 def test_substrate_report_json(results_dir):
     """Write BENCH_substrate.json and assert the dispatch-scaling and
     delta-shipping claims."""
@@ -464,6 +576,7 @@ def test_substrate_report_json(results_dir):
         "client_latency_s": _CLIENT_LATENCY_S,
         "cycle_seconds": cycle_seconds,
         "dispatch_payload_bytes": payloads,
+        "virtual_fleets": _virtual_sweep_report(),
         "codec": {
             "configs": _CODEC_CONFIGS,
             "dispatch_payload_bytes": codec_payloads,

@@ -13,7 +13,7 @@ from typing import List
 
 import numpy as np
 
-from ..fl.client import ClientUpdate
+from ..fl.client import TrainingSummary
 from ..fl.simulation import FederatedSimulation
 from ..fl.strategy import CycleOutcome
 from .common import StragglerAwareStrategy
@@ -29,15 +29,18 @@ class SynchronousFLStrategy(StragglerAwareStrategy):
     def execute_cycle(self, cycle: int,
                       sim: FederatedSimulation) -> CycleOutcome:
         indices = sim.client_indices()
-        updates: List[ClientUpdate] = sim.train_clients(indices,
-                                                        base_cycle=cycle)
+        # Train + aggregate through the topology-aware path: under
+        # hierarchical aggregation the updates fold inside the shards
+        # and only their weight-free summaries come back.
+        summaries: List[TrainingSummary] = sim.train_and_aggregate(
+            indices, base_cycle=cycle, partial=False)
         durations: List[float] = [sim.client_cycle_seconds(index)
                                   for index in indices]
-        sim.server.aggregate(updates, partial=False)
-        mean_loss = float(np.mean([update.train_loss for update in updates]))
+        mean_loss = float(np.mean([summary.train_loss
+                                   for summary in summaries]))
         return CycleOutcome(
             duration_s=float(max(durations)),
-            participating_clients=len(updates),
+            participating_clients=len(summaries),
             mean_train_loss=mean_loss,
             straggler_fraction_trained=1.0,
         )

@@ -8,6 +8,8 @@ Usage::
     python -m repro run fig6 --backend sharded --shards host1:7600,host2:7600
     python -m repro run fig6 --backend sharded --workers 3 \
         --on-shard-failure rebalance --heartbeat-interval 10
+    python -m repro run fig6 --backend sharded --workers 2 \
+        --aggregation hierarchical
     python -m repro shard-worker --host 0.0.0.0 --port 7600
     python -m repro scales
 
@@ -28,8 +30,9 @@ from typing import List, Optional
 from .experiments import (SCALES, available_experiments, get_experiment,
                           run_experiment)
 from .fl.codec import COMPRESSIONS as WIRE_COMPRESSIONS
-from .fl.executor import (FAILURE_POLICIES, SHARD_ANNOUNCE_PREFIX,
-                          available_backends, make_backend)
+from .fl.executor import (AGGREGATION_MODES, FAILURE_POLICIES,
+                          SHARD_ANNOUNCE_PREFIX, available_backends,
+                          make_backend)
 
 __all__ = ["build_parser", "main"]
 
@@ -98,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "each shard's acknowledged base (requires "
                                  "--backend sharded or persistent; results "
                                  "are bit-identical either way)")
+    run_parser.add_argument("--aggregation", default=None,
+                            choices=AGGREGATION_MODES,
+                            help="aggregation topology: 'flat' ships every "
+                                 "client update upstream (default), "
+                                 "'hierarchical' folds updates inside each "
+                                 "worker/shard and ships one partial "
+                                 "aggregate per batch — O(weights x slots) "
+                                 "upstream bytes instead of O(weights x "
+                                 "clients); results are bit-identical "
+                                 "either way")
     run_parser.add_argument("--output", default=None,
                             help="also write the formatted output to a file")
 
@@ -130,6 +143,17 @@ def _print_scales() -> None:
               f"width={scale.width_multiplier}")
 
 
+def _validate_shards(shards: str) -> None:
+    """Fail fast on malformed ``--shards`` entries (before any connect)."""
+    for entry in shards.split(","):
+        entry = entry.strip()
+        host, sep, port = entry.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ValueError(
+                f"--shards entry {entry!r} is not host:port (every shard "
+                f"address needs an explicit port)")
+
+
 def _run(experiment: str, scale: str, seed: int,
          output: Optional[str], backend: str = "serial",
          workers: Optional[int] = None,
@@ -137,9 +161,17 @@ def _run(experiment: str, scale: str, seed: int,
          on_shard_failure: Optional[str] = None,
          heartbeat_interval: Optional[float] = None,
          wire_compression: Optional[str] = None,
-         delta_shipping: Optional[bool] = None) -> int:
+         delta_shipping: Optional[bool] = None,
+         aggregation: Optional[str] = None) -> int:
+    if workers is not None and workers <= 0:
+        raise ValueError(f"--workers must be positive (got {workers})")
+    if heartbeat_interval is not None and heartbeat_interval <= 0:
+        raise ValueError(f"--heartbeat-interval must be positive "
+                         f"(got {heartbeat_interval:g})")
     if shards is not None and backend != "sharded":
         raise ValueError("--shards requires --backend sharded")
+    if shards is not None:
+        _validate_shards(shards)
     if on_shard_failure is not None and backend not in ("sharded",
                                                         "persistent"):
         raise ValueError("--on-shard-failure requires --backend "
@@ -162,22 +194,25 @@ def _run(experiment: str, scale: str, seed: int,
     if "seed" in accepts:
         kwargs["seed"] = seed
     shared_backend = None
-    if backend != "serial" and "backend" not in accepts:
+    if ((backend != "serial" or aggregation is not None)
+            and "backend" not in accepts):
         print(f"warning: experiment {experiment!r} runs no client "
               f"trainings; ignoring --backend/--workers/--shards/"
               f"--on-shard-failure/--heartbeat-interval/"
-              f"--wire-compression/--no-delta-shipping",
+              f"--wire-compression/--no-delta-shipping/--aggregation",
               file=sys.stderr)
     elif backend == "serial" and workers is not None:
         print("warning: --workers has no effect with the serial backend",
               file=sys.stderr)
-    elif "backend" in accepts and backend != "serial":
+    if "backend" in accepts and (backend != "serial"
+                                 or aggregation is not None):
         shared_backend = make_backend(backend, max_workers=workers,
                                       shards=shards,
                                       on_shard_failure=on_shard_failure,
                                       heartbeat_interval=heartbeat_interval,
                                       wire_compression=wire_compression,
-                                      delta_shipping=delta_shipping)
+                                      delta_shipping=delta_shipping,
+                                      aggregation=aggregation)
         kwargs["backend"] = shared_backend
     try:
         _, text = run_experiment(experiment, **kwargs)
@@ -211,7 +246,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         heartbeat_interval=args.heartbeat_interval,
                         wire_compression=args.wire_compression,
                         delta_shipping=(False if args.no_delta_shipping
-                                        else None))
+                                        else None),
+                        aggregation=args.aggregation)
         except (KeyError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

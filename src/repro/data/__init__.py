@@ -3,13 +3,15 @@
 from .dataset import Dataset
 from .partition import (partition_dataset, partition_dirichlet, partition_iid,
                         partition_shards)
-from .synthetic import (DATASET_SPECS, SyntheticImageSpec, available_datasets,
+from .synthetic import (DATASET_SPECS, SyntheticImageSpec,
+                        VirtualClientDatasets, available_datasets,
                         load_synthetic_dataset, make_classification_images)
 
 __all__ = [
     "Dataset",
     "SyntheticImageSpec",
     "DATASET_SPECS",
+    "VirtualClientDatasets",
     "available_datasets",
     "load_synthetic_dataset",
     "make_classification_images",

@@ -30,6 +30,7 @@ from .dataset import Dataset
 __all__ = [
     "SyntheticImageSpec",
     "DATASET_SPECS",
+    "VirtualClientDatasets",
     "make_classification_images",
     "load_synthetic_dataset",
     "available_datasets",
@@ -191,3 +192,26 @@ def load_synthetic_dataset(name: str, num_train: int = 2000,
     test = full.subset(np.arange(num_train, num_train + num_test),
                        name=f"{spec.name}-test")
     return train, test
+
+
+@dataclass(frozen=True)
+class VirtualClientDatasets:
+    """Picklable per-client dataset factory for virtualized fleets.
+
+    ``factory(client_id)`` deterministically generates one logical
+    client's local dataset from the fleet-wide spec and a per-client
+    seed, so a :class:`~repro.fl.simulation.VirtualFleet` can describe
+    millions of clients without the parent (or any shard) ever holding
+    more than one client's samples at a time.  Being a frozen dataclass
+    of a library module, it pickles by reference and unpickles inside
+    worker processes and external shard servers alike.
+    """
+
+    spec: SyntheticImageSpec
+    samples_per_client: int
+    seed: int = 0
+
+    def __call__(self, client_id: int) -> Dataset:
+        rng = np.random.default_rng(self.seed + client_id)
+        return make_classification_images(self.samples_per_client,
+                                          self.spec, rng)

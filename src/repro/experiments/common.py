@@ -217,7 +217,8 @@ def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
                    on_shard_failure: Optional[str] = None,
                    heartbeat_interval: Optional[float] = None,
                    wire_compression: Optional[str] = None,
-                   delta_shipping: Optional[bool] = None
+                   delta_shipping: Optional[bool] = None,
+                   aggregation: Optional[str] = None
                    ) -> Dict[str, TrainingHistory]:
     """Run every strategy on its own fresh copy of the simulation.
 
@@ -230,16 +231,22 @@ def run_strategies(simulation_factory: Callable[[], FederatedSimulation],
     ``host:port`` addresses of running ``repro shard-worker`` servers or
     an integer count of auto-spawned localhost shards.
     ``on_shard_failure`` and ``heartbeat_interval`` select the
-    worker-resident backends' fault-tolerance policy, and
-    ``wire_compression``/``delta_shipping`` their wire codec — see
-    :func:`~repro.fl.executor.make_backend`.
+    worker-resident backends' fault-tolerance policy,
+    ``wire_compression``/``delta_shipping`` their wire codec, and
+    ``aggregation`` (``"flat"``/``"hierarchical"``) the aggregation
+    topology strategies see through
+    :meth:`~repro.fl.simulation.FederatedSimulation.train_and_aggregate`
+    — see :func:`~repro.fl.executor.make_backend`.
     """
+    if aggregation is not None and backend is None:
+        backend = "serial"
     shared_backend = (make_backend(backend, max_workers=max_workers,
                                    shards=shards,
                                    on_shard_failure=on_shard_failure,
                                    heartbeat_interval=heartbeat_interval,
                                    wire_compression=wire_compression,
-                                   delta_shipping=delta_shipping)
+                                   delta_shipping=delta_shipping,
+                                   aggregation=aggregation)
                       if backend is not None else None)
     owns_backend = (shared_backend is not None
                     and not isinstance(backend, ExecutionBackend))

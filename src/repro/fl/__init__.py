@@ -1,10 +1,12 @@
 """Federated-learning substrate: clients, server, aggregation, simulation."""
 
-from .aggregation import (ModelStructure, aggregate_full, aggregate_partial,
-                          normalize_weights, sample_count_weights)
+from .aggregation import (ModelStructure, PartialAggregate, aggregate_full,
+                          aggregate_partial, finalize_partials, fold_updates,
+                          merge_partials, normalize_weights,
+                          sample_count_weights)
 from .client import (ClientConfig, ClientSpec, ClientState, ClientUpdate,
-                     FLClient)
-from .executor import (FAILURE_POLICIES, ExecutionBackend,
+                     FLClient, TrainingSummary)
+from .executor import (AGGREGATION_MODES, FAILURE_POLICIES, ExecutionBackend,
                        PersistentProcessBackend, ProcessPoolBackend,
                        SerialBackend, ShardError, ShardedSocketBackend,
                        ThreadPoolBackend, TrainingJob, available_backends,
@@ -13,7 +15,7 @@ from .history import CycleRecord, TrainingHistory
 from .sampling import (ClientSampler, FullParticipation, RandomSampling,
                        ResourceAwareSampling)
 from .server import FLServer
-from .simulation import (FederatedSimulation, build_simulation,
+from .simulation import (FederatedSimulation, VirtualFleet, build_simulation,
                          make_client_specs)
 from .strategy import CycleOutcome, FederatedStrategy
 
@@ -23,10 +25,15 @@ __all__ = [
     "ClientSpec",
     "ClientState",
     "ClientUpdate",
+    "TrainingSummary",
     "FLServer",
     "ModelStructure",
+    "PartialAggregate",
     "aggregate_full",
     "aggregate_partial",
+    "fold_updates",
+    "merge_partials",
+    "finalize_partials",
     "sample_count_weights",
     "normalize_weights",
     "TrainingHistory",
@@ -34,6 +41,7 @@ __all__ = [
     "FederatedStrategy",
     "CycleOutcome",
     "FederatedSimulation",
+    "VirtualFleet",
     "build_simulation",
     "make_client_specs",
     "ExecutionBackend",
@@ -43,6 +51,7 @@ __all__ = [
     "PersistentProcessBackend",
     "ShardedSocketBackend",
     "ShardError",
+    "AGGREGATION_MODES",
     "FAILURE_POLICIES",
     "TrainingJob",
     "available_backends",

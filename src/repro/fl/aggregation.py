@@ -10,6 +10,43 @@ Two aggregation modes are provided:
   trained it this cycle; untouched neurons keep their previous global
   value.  Per-device aggregation weights are where Helios' heterogeneity
   adjustment ``α_n = r_n / Σ r_n`` plugs in.
+
+Hierarchical folding
+--------------------
+Both modes are built on one partition-independent reduction so that the
+same set of updates aggregates to the **bit-identical** result whether it
+is reduced in one flat pass or folded shard-by-shard and combined later
+(see :meth:`FederatedSimulation.train_and_aggregate` and the ``"fold"``
+wire path in :mod:`repro.fl.executor`):
+
+* :func:`fold_updates` reduces any subset of a cycle's updates into a
+  :class:`PartialAggregate` — per-parameter weighted sums plus the
+  per-neuron contribution-weight table, each kept as *exact* per-level
+  sums (below);
+* :func:`merge_partials` losslessly merges partial aggregates (shard →
+  parent combine);
+* :func:`finalize_partials` turns merged partials into new global
+  weights, keeping the previous global value for any neuron no update
+  covered.
+
+Reproducible summation
+----------------------
+Floating-point addition is not associative, so a shard-local fold could
+never bit-match a flat reduction under arbitrary client→shard
+partitions.  The cross-update reductions here therefore pre-round every
+addend onto three fixed power-of-two grids (Rump/Demmel–Nguyen style
+error-free extraction: ``hi = (a + anchor) - anchor`` splits ``a`` into a
+grid multiple and an exact remainder).  Sums of grid multiples whose
+magnitudes fit the grid's exactness range are **exact** in float64 and
+hence independent of summation order and partitioning; the three per-level
+sums travel separately and are collapsed in one fixed final step.
+
+Domain (asserted where cheap, documented here): addends — aggregation
+weight x parameter value, weights normalized to sum to 1 — must stay
+below ``2^13`` in magnitude, and one reduction may span at most ``2^24``
+addends.  The discarded residual after the third grid is below
+``2^-72`` absolute, far inside every numerical tolerance used in this
+repository.
 """
 
 from __future__ import annotations
@@ -22,8 +59,10 @@ import numpy as np
 from ..nn.model import Sequential
 from .client import ClientUpdate
 
-__all__ = ["ModelStructure", "aggregate_full", "aggregate_partial",
-           "sample_count_weights", "normalize_weights"]
+__all__ = ["ModelStructure", "PartialAggregate", "aggregate_full",
+           "aggregate_partial", "collapse_levels", "finalize_partials",
+           "fold_updates", "level_sums", "merge_partials",
+           "normalize_weights", "sample_count_weights"]
 
 
 @dataclass(frozen=True)
@@ -90,10 +129,12 @@ def sample_count_weights(updates: Sequence[ClientUpdate]) -> np.ndarray:
 
 
 def normalize_weights(weights: Sequence[float]) -> np.ndarray:
-    """Normalize non-negative weights to sum to one."""
+    """Normalize non-negative finite weights to sum to one."""
     values = np.asarray(weights, dtype=np.float64)
     if values.ndim != 1:
         raise ValueError("weights must be a 1-D sequence")
+    if not np.all(np.isfinite(values)):
+        raise ValueError("weights must be finite (no NaN/Inf)")
     if np.any(values < 0):
         raise ValueError("weights must be non-negative")
     total = values.sum()
@@ -102,27 +143,95 @@ def normalize_weights(weights: Sequence[float]) -> np.ndarray:
     return values / total
 
 
-def aggregate_full(updates: Sequence[ClientUpdate],
-                   client_weights: Optional[Sequence[float]] = None
-                   ) -> Dict[str, np.ndarray]:
-    """Weighted average of complete model updates (FedAvg)."""
-    if not updates:
-        raise ValueError("need at least one update to aggregate")
-    if client_weights is None:
-        weights = sample_count_weights(updates)
-    else:
-        if len(client_weights) != len(updates):
-            raise ValueError("client_weights length must match updates")
-        weights = normalize_weights(client_weights)
-    aggregated: Dict[str, np.ndarray] = {}
-    for name in updates[0].weights:
-        stacked = np.stack([update.weights[name] for update in updates])
-        aggregated[name] = np.tensordot(weights, stacked, axes=1)
-    return aggregated
+# --------------------------------------------------------------------- #
+# reproducible (partition-independent) summation
+# --------------------------------------------------------------------- #
+
+#: Exponents of the three pre-rounding grids.  Chosen so that, for
+#: addends below ``2^13`` and at most ``2^24`` of them, every per-level
+#: sum stays inside its grid's float64 exactness range (see module docs).
+_LEVEL_EXPONENTS = (-37, -66, -95)
+NUM_LEVELS = len(_LEVEL_EXPONENTS)
+
+#: Largest addend magnitude the grids support (weights are normalized to
+#: sum to 1, so this effectively bounds the model-parameter magnitude).
+_MAX_ADDEND = float(2.0 ** 13)
 
 
-#: Updates contracted per einsum call in :func:`aggregate_partial` —
-#: bounds the transient stacked tensor at chunk x largest-parameter.
+def _split_levels(values: np.ndarray) -> List[np.ndarray]:
+    """Error-free split of ``values`` onto the three fixed grids.
+
+    Each returned component is an exact multiple of its grid; their sum
+    reconstructs ``values`` up to a ``< 2^-96`` per-element residual that
+    is discarded.  The split is elementwise and deterministic, so it is
+    identical wherever (parent or shard) it runs.
+    """
+    if values.size:
+        peak = float(np.max(np.abs(values)))
+        if not np.isfinite(peak) or peak >= _MAX_ADDEND:
+            raise ValueError(
+                f"aggregation addend magnitude {peak!r} outside the "
+                f"reproducible-summation domain (|addend| < {_MAX_ADDEND}); "
+                f"weighted parameter values must stay below 2^13")
+    parts: List[np.ndarray] = []
+    residual = np.asarray(values, dtype=np.float64)
+    for exponent in _LEVEL_EXPONENTS:
+        anchor = np.ldexp(1.5, 52 + exponent)
+        hi = (residual + anchor) - anchor
+        parts.append(hi)
+        residual = residual - hi
+    return parts
+
+
+def level_sums(values: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Per-level exact sums of ``values`` along ``axis``.
+
+    Returns an array with a new leading axis of size :data:`NUM_LEVELS`;
+    each level is exact (hence independent of summation order and of how
+    the addends were partitioned before summing).  Accumulating several
+    calls' results with ``+`` stays exact, which is what makes shard-side
+    incremental folds combine losslessly.
+    """
+    parts = _split_levels(np.asarray(values, dtype=np.float64))
+    return np.stack([part.sum(axis=axis) for part in parts])
+
+
+def collapse_levels(levels: np.ndarray) -> np.ndarray:
+    """Collapse per-level sums into a scalar/tensor total.
+
+    One fixed left-to-right three-term addition — the only inexact step
+    of the reduction, performed exactly once on exact operands, so the
+    result is a pure function of the addend *set*.
+    """
+    return (levels[0] + levels[1]) + levels[2]
+
+
+# --------------------------------------------------------------------- #
+# partial (hierarchical) aggregation
+# --------------------------------------------------------------------- #
+
+@dataclass
+class PartialAggregate:
+    """Order-independent fold of a subset of one cycle's updates.
+
+    ``weighted_sums[name]`` holds the per-level sums (leading axis
+    :data:`NUM_LEVELS`) of ``weight x update`` over the folded updates;
+    ``weight_tables[name]`` the per-level sums of the contribution
+    weights — per neuron (``(levels, num_neurons)``) for neuron-structured
+    parameters, scalar (``(levels,)``) otherwise.  Two partial aggregates
+    of disjoint update subsets merge losslessly with
+    :func:`merge_partials`; this is the unit a shard ships upstream
+    instead of its residents' full updates — O(weights), independent of
+    how many clients the shard hosts.
+    """
+
+    num_updates: int
+    weighted_sums: Dict[str, np.ndarray]
+    weight_tables: Dict[str, np.ndarray]
+
+
+#: Updates contracted per chunk in :func:`fold_updates` — bounds the
+#: transient stacked tensor at chunk x largest-parameter.
 _AGGREGATION_CHUNK = 16
 
 
@@ -153,6 +262,214 @@ def _neuron_weight_matrix(updates: Sequence[ClientUpdate],
     return matrix
 
 
+def _is_neuron_param(name: str, structure: Optional[ModelStructure]
+                     ) -> bool:
+    if structure is None or name not in structure:
+        return False
+    info = structure[name]
+    return info.layer_name is not None and info.neuron_axis is not None
+
+
+def fold_updates(updates: Sequence[ClientUpdate],
+                 weight_factors: Sequence[float],
+                 structure: Optional[ModelStructure] = None,
+                 partial: bool = True) -> PartialAggregate:
+    """Fold updates into a :class:`PartialAggregate`.
+
+    Parameters
+    ----------
+    updates:
+        The updates to fold (any subset of one cycle's updates).
+    weight_factors:
+        Each update's **globally normalized** aggregation weight — over
+        the *whole* cycle, not just this subset; the caller (parent)
+        normalizes once and ships each shard its updates' factors, so
+        every shard folds with the exact same per-update floats a flat
+        reduction would use.
+    structure:
+        Parameter→layer mapping; ``None`` treats every parameter as
+        shared (plain weighted mean).
+    partial:
+        Honor per-update neuron masks (neuron-granular weight matrix).
+        ``False`` reproduces FedAvg semantics: masks are ignored and
+        every update contributes everywhere.
+    """
+    if not updates:
+        raise ValueError("need at least one update to fold")
+    factors = np.asarray(weight_factors, dtype=np.float64)
+    if factors.shape != (len(updates),):
+        raise ValueError("need exactly one weight factor per update")
+    if not np.all(np.isfinite(factors)) or np.any(factors < 0):
+        raise ValueError("weight factors must be finite and non-negative")
+
+    weighted_sums: Dict[str, np.ndarray] = {}
+    weight_tables: Dict[str, np.ndarray] = {}
+    for name in updates[0].weights:
+        sample = np.asarray(updates[0].weights[name])
+        if partial and _is_neuron_param(name, structure):
+            info = structure[name]
+            axis = info.neuron_axis
+            num_neurons = sample.shape[axis]
+            moved_shape = ((num_neurons,)
+                           + tuple(np.delete(sample.shape, axis)))
+            sums = np.zeros((NUM_LEVELS,) + moved_shape, dtype=np.float64)
+            table = np.zeros((NUM_LEVELS, num_neurons), dtype=np.float64)
+            for start in range(0, len(updates), _AGGREGATION_CHUNK):
+                chunk = updates[start:start + _AGGREGATION_CHUNK]
+                matrix = _neuron_weight_matrix(
+                    chunk, factors[start:start + _AGGREGATION_CHUNK],
+                    info.layer_name, num_neurons)
+                stacked = np.stack([np.asarray(update.weights[name],
+                                               dtype=np.float64)
+                                    for update in chunk])
+                # Move the neuron axis next to the update axis so one
+                # broadcast shape covers every parameter layout; peak
+                # transient memory stays O(chunk x parameter).
+                stacked_moved = np.moveaxis(stacked, axis + 1, 1)
+                shaped = matrix.reshape(matrix.shape
+                                        + (1,) * (stacked_moved.ndim - 2))
+                sums += level_sums(shaped * stacked_moved, axis=0)
+                table += level_sums(matrix, axis=0)
+            weighted_sums[name] = sums
+            weight_tables[name] = table
+        else:
+            shape = sample.shape
+            sums = np.zeros((NUM_LEVELS,) + shape, dtype=np.float64)
+            for start in range(0, len(updates), _AGGREGATION_CHUNK):
+                chunk = updates[start:start + _AGGREGATION_CHUNK]
+                stacked = np.stack([np.asarray(update.weights[name],
+                                               dtype=np.float64)
+                                    for update in chunk])
+                shaped = factors[start:start + len(chunk)].reshape(
+                    (len(chunk),) + (1,) * len(shape))
+                sums += level_sums(shaped * stacked, axis=0)
+            weighted_sums[name] = sums
+            weight_tables[name] = level_sums(factors)
+    return PartialAggregate(num_updates=len(updates),
+                            weighted_sums=weighted_sums,
+                            weight_tables=weight_tables)
+
+
+def merge_partials(partials: Sequence[PartialAggregate]
+                   ) -> PartialAggregate:
+    """Losslessly merge partial aggregates of disjoint update subsets.
+
+    Per-level sums add exactly, so the merge is associative, commutative
+    and independent of how the updates were partitioned — the property
+    the hierarchical (in-shard) aggregation path rests on.
+    """
+    if not partials:
+        raise ValueError("need at least one partial aggregate to merge")
+    first = partials[0]
+    merged_sums = {name: array.copy()
+                   for name, array in first.weighted_sums.items()}
+    merged_tables = {name: array.copy()
+                     for name, array in first.weight_tables.items()}
+    total = first.num_updates
+    for other in partials[1:]:
+        if other.weighted_sums.keys() != merged_sums.keys():
+            raise ValueError("partial aggregates cover different "
+                             "parameter sets")
+        for name in merged_sums:
+            merged_sums[name] += other.weighted_sums[name]
+            merged_tables[name] += other.weight_tables[name]
+        total += other.num_updates
+    return PartialAggregate(num_updates=total, weighted_sums=merged_sums,
+                            weight_tables=merged_tables)
+
+
+def finalize_partials(global_weights: Optional[Mapping[str, np.ndarray]],
+                      partials: Sequence[PartialAggregate],
+                      structure: Optional[ModelStructure] = None
+                      ) -> Dict[str, np.ndarray]:
+    """Merge partial aggregates and normalize them into new weights.
+
+    Every neuron (or shared tensor) is divided by its summed contribution
+    weight; a neuron covered by **zero** updates — every mask excluded it,
+    or all its contributors had zero weight — keeps its previous global
+    value instead of dividing by zero.  ``global_weights`` may be ``None``
+    only when full coverage is guaranteed (plain FedAvg); partial
+    coverage without a fallback raises.
+    """
+    merged = merge_partials(partials)
+    names = (list(global_weights) if global_weights is not None
+             else list(merged.weighted_sums))
+    aggregated: Dict[str, np.ndarray] = {}
+    for name in names:
+        levels = merged.weighted_sums[name]
+        table = merged.weight_tables[name]
+        denominator = collapse_levels(table)
+        if table.ndim == 1:  # shared parameter: scalar denominator
+            if denominator > 0:
+                numerator = collapse_levels(levels)
+                aggregated[name] = numerator / denominator
+            elif global_weights is not None:
+                aggregated[name] = np.array(global_weights[name],
+                                            dtype=np.float64, copy=True)
+            else:
+                raise ValueError(
+                    f"parameter {name!r} received zero total weight and "
+                    f"no global fallback weights were provided")
+            continue
+        if not _is_neuron_param(name, structure):
+            raise ValueError(
+                f"parameter {name!r} was folded with a per-neuron weight "
+                f"table but the structure does not mark it "
+                f"neuron-structured")
+        axis = structure[name].neuron_axis
+        num_neurons = table.shape[1]
+        numerator_moved = collapse_levels(levels)
+        covered = denominator > 0
+        if global_weights is None and not np.all(covered):
+            raise ValueError(
+                f"parameter {name!r} has neurons covered by zero updates "
+                f"and no global fallback weights were provided")
+        safe_denominator = np.where(covered, denominator, 1.0)
+        broadcast_shape = (num_neurons,) + (1,) * (numerator_moved.ndim - 1)
+        blended_moved = numerator_moved / safe_denominator.reshape(
+            broadcast_shape)
+        blended = np.moveaxis(blended_moved, 0, axis)
+        if np.all(covered):
+            aggregated[name] = blended
+            continue
+        global_value = np.asarray(global_weights[name])
+        keep_shape = [1] * global_value.ndim
+        keep_shape[axis] = num_neurons
+        keep_mask = (~covered).reshape(keep_shape)
+        aggregated[name] = np.where(keep_mask, global_value, blended)
+    return aggregated
+
+
+# --------------------------------------------------------------------- #
+# flat entry points (one-shot folds of a whole cycle)
+# --------------------------------------------------------------------- #
+
+def _resolve_weights(updates: Sequence[ClientUpdate],
+                     client_weights: Optional[Sequence[float]]
+                     ) -> np.ndarray:
+    if client_weights is None:
+        return sample_count_weights(updates)
+    if len(client_weights) != len(updates):
+        raise ValueError("client_weights length must match updates")
+    return normalize_weights(client_weights)
+
+
+def aggregate_full(updates: Sequence[ClientUpdate],
+                   client_weights: Optional[Sequence[float]] = None
+                   ) -> Dict[str, np.ndarray]:
+    """Weighted average of complete model updates (FedAvg).
+
+    Implemented as a one-partial hierarchical fold, so a shard-wise fold
+    of the same updates (:func:`fold_updates` with ``partial=False`` +
+    :func:`finalize_partials`) is bit-identical by construction.
+    """
+    if not updates:
+        raise ValueError("need at least one update to aggregate")
+    weights = _resolve_weights(updates, client_weights)
+    folded = fold_updates(updates, weights, structure=None, partial=False)
+    return finalize_partials(None, [folded])
+
+
 def aggregate_partial(global_weights: Mapping[str, np.ndarray],
                       updates: Sequence[ClientUpdate],
                       structure: ModelStructure,
@@ -173,58 +490,14 @@ def aggregate_partial(global_weights: Mapping[str, np.ndarray],
     client_weights:
         Per-update aggregation weight (defaults to sample counts).  Helios
         passes FedAvg sample weights multiplied by ``α_n``.
+
+    Like :func:`aggregate_full` this is a one-partial fold: folding the
+    same updates shard-by-shard with the same normalized weights and
+    finalizing the merged partials yields the bit-identical result.
     """
     if not updates:
         raise ValueError("need at least one update to aggregate")
-    if client_weights is None:
-        weights = sample_count_weights(updates)
-    else:
-        if len(client_weights) != len(updates):
-            raise ValueError("client_weights length must match updates")
-        weights = normalize_weights(client_weights)
-
-    aggregated: Dict[str, np.ndarray] = {}
-    for name, global_value in global_weights.items():
-        info = structure[name] if name in structure else None
-        global_value = np.asarray(global_value)
-        if info is None or info.layer_name is None or info.neuron_axis is None:
-            # Shared (non-neuron-structured) parameter: plain weighted mean.
-            stacked = np.stack([update.weights[name] for update in updates])
-            aggregated[name] = np.tensordot(weights, stacked, axes=1)
-            continue
-        axis = info.neuron_axis
-        num_neurons = global_value.shape[axis]
-        # Vectorized across updates: one (U, n) weight matrix and an
-        # einsum contraction over the update axis — no per-update
-        # Python loop over O(parameters) work.  The contraction runs in
-        # chunks of the update axis so peak transient memory stays
-        # O(chunk x parameter), not O(num_updates x parameter) — wide
-        # aggregation rounds (hundreds of clients) must not multiply
-        # the largest layer's footprint by the fleet size.
-        weight_matrix = _neuron_weight_matrix(updates, weights,
-                                              info.layer_name, num_neurons)
-        denominator = weight_matrix.sum(axis=0)
-        moved_shape = ((num_neurons,)
-                       + tuple(np.delete(global_value.shape, axis)))
-        numerator_moved = np.zeros(moved_shape, dtype=np.float64)
-        for start in range(0, len(updates), _AGGREGATION_CHUNK):
-            chunk = updates[start:start + _AGGREGATION_CHUNK]
-            stacked = np.stack([np.asarray(update.weights[name],
-                                           dtype=np.float64)
-                                for update in chunk])
-            # Move the neuron axis next to the update axis so one
-            # einsum signature covers every parameter shape.
-            stacked_moved = np.moveaxis(stacked, axis + 1, 1)
-            numerator_moved += np.einsum(
-                "un,un...->n...",
-                weight_matrix[start:start + _AGGREGATION_CHUNK],
-                stacked_moved)
-        numerator = np.moveaxis(numerator_moved, 0, axis)
-        covered = denominator > 0
-        safe_denominator = np.where(covered, denominator, 1.0)
-        broadcast_shape = [1] * global_value.ndim
-        broadcast_shape[axis] = num_neurons
-        blended = numerator / safe_denominator.reshape(broadcast_shape)
-        keep_mask = (~covered).reshape(broadcast_shape)
-        aggregated[name] = np.where(keep_mask, global_value, blended)
-    return aggregated
+    weights = _resolve_weights(updates, client_weights)
+    folded = fold_updates(updates, weights, structure=structure,
+                          partial=True)
+    return finalize_partials(global_weights, [folded], structure=structure)

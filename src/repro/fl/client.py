@@ -53,7 +53,7 @@ from ..nn.model import Sequential
 from ..nn.optimizers import SGD, Optimizer
 
 __all__ = ["ClientConfig", "ClientSpec", "ClientState", "ClientUpdate",
-           "FLClient"]
+           "FLClient", "TrainingSummary"]
 
 
 @dataclass(frozen=True)
@@ -157,6 +157,23 @@ class ClientUpdate:
     def neuron_fraction(self) -> float:
         """Fraction of neurons this update actually trained."""
         return self.mask.active_fraction() if self.mask is not None else 1.0
+
+
+@dataclass(frozen=True)
+class TrainingSummary:
+    """The weight-free residue of one training: what strategies consume.
+
+    Under hierarchical aggregation a client's trained weights are folded
+    into the shard-local partial aggregate and never travel upstream;
+    this is the O(1)-per-client remainder
+    (:meth:`~repro.fl.simulation.FederatedSimulation.train_and_aggregate`
+    returns one per trained client, whatever the aggregation topology).
+    """
+
+    client_id: int
+    client_name: str
+    num_samples: int
+    train_loss: float
 
 
 class FLClient:

@@ -483,7 +483,7 @@ def encode_message(message: Tuple[str, Any], *,
     table_wire = None
     pending_base: Optional[Dict[str, np.ndarray]] = None
     pending_seq: Optional[int] = None
-    if (delta_state is not None and kind == "run"
+    if (delta_state is not None and kind in ("run", "fold", "vfold")
             and getattr(payload, "weights_table", None) is not None):
         table_wire, pending_base, pending_seq = _encode_table(
             payload.weights_table, delta_state, force_full,

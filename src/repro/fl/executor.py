@@ -94,6 +94,8 @@ import numpy as np
 
 from ..nn.masking import ModelMask
 from . import codec as wire_codec
+from .aggregation import (NUM_LEVELS, ModelStructure, PartialAggregate,
+                          fold_updates, level_sums, merge_partials)
 from .client import ClientSpec, ClientUpdate, FLClient
 from .codec import DeltaDecoderState, DeltaEncoderState
 from .transport import (DEFAULT_MAX_FRAME_BYTES, ProtocolError,
@@ -109,6 +111,7 @@ __all__ = [
     "PersistentProcessBackend",
     "ShardedSocketBackend",
     "ShardError",
+    "AGGREGATION_MODES",
     "FAILURE_POLICIES",
     "available_backends",
     "make_backend",
@@ -141,6 +144,14 @@ _PING_BLOB = pickle.dumps(("ping", None), _PICKLE_PROTOCOL)
 #: (repair the topology and retry the batch — see
 #: :class:`_ResidentFleetBackend`).
 FAILURE_POLICIES = ("abort", "rebalance")
+
+#: Aggregation topologies of :func:`make_backend`: ``flat`` ships every
+#: trained update back to the parent (historical behavior);
+#: ``hierarchical`` folds each slot's updates into one partial aggregate
+#: inside the worker/shard, so upstream bytes are O(weights x slots),
+#: independent of how many clients a slot hosts.  Both topologies
+#: produce bit-identical global models (see :mod:`repro.fl.aggregation`).
+AGGREGATION_MODES = ("flat", "hierarchical")
 
 
 class _SlotFailed(Exception):
@@ -236,10 +247,97 @@ class ExecutionBackend:
     #: Identifier used by :func:`make_backend` and the CLI.
     name: str = "backend"
 
+    #: Aggregation topology this backend was configured with (see
+    #: :data:`AGGREGATION_MODES` and ``make_backend(aggregation=...)``).
+    #: Consumed by :meth:`FederatedSimulation.train_and_aggregate`, which
+    #: routes cycles through :meth:`run_fold` when it is
+    #: ``"hierarchical"``.
+    aggregation: str = "flat"
+
     def run_jobs(self, clients: Sequence[FLClient],
                  jobs: Sequence[TrainingJob]) -> List[ClientUpdate]:
         """Execute a batch of jobs and return updates in job order."""
         raise NotImplementedError
+
+    def run_fold(self, clients: Sequence[FLClient],
+                 jobs: Sequence[TrainingJob],
+                 weight_factors: Sequence[float],
+                 structure: Optional[ModelStructure] = None,
+                 partial: bool = True
+                 ) -> Tuple[List[PartialAggregate],
+                            List[Tuple[int, float]]]:
+        """Train a batch and reduce it into partial aggregates.
+
+        The hierarchical-aggregation entry point: instead of returning
+        every update, the batch is folded into one or more
+        :class:`~repro.fl.aggregation.PartialAggregate` objects that the
+        caller combines via
+        :meth:`~repro.fl.server.FLServer.install_partials`.
+
+        ``weight_factors`` are the **globally normalized** per-job
+        aggregation weights (they must sum to 1 over the whole batch);
+        ``partial`` selects neuron-granular folding (pass the flat
+        path's ``partial and any masks`` predicate so both topologies
+        take the same numerical route).  Because the fold is
+        partition-independent, every backend and slot topology
+        finalizes to the bit-identical global model.
+
+        Returns ``(partials, summaries)`` where ``summaries`` holds one
+        ``(num_samples, train_loss)`` pair per job, in job order.
+
+        The default implementation trains locally via :meth:`run_jobs`
+        and folds in the calling process — the reference the wire
+        backends' in-slot folds are checked against.  Note that the
+        worker-resident overrides mirror only each client's RNG state
+        back into the parent-side replicas (never the trained weights —
+        those stay slot-side by design); trainings always start from
+        the shipped snapshot, so run histories are unaffected.
+        """
+        updates = self.run_jobs(clients, jobs)
+        if not updates:
+            return [], []
+        factors = np.asarray(weight_factors, dtype=np.float64)
+        partials = [fold_updates(updates, factors, structure=structure,
+                                 partial=partial)]
+        summaries = [(update.num_samples, update.train_loss)
+                     for update in updates]
+        return partials, summaries
+
+    def run_virtual_fold(self, template: Any,
+                         weights: Dict[str, np.ndarray],
+                         structure: Optional[ModelStructure] = None,
+                         return_updates: bool = False
+                         ) -> Tuple[List[Any], np.ndarray, int]:
+        """Train one cycle of a virtualized fleet and fold it in-slot.
+
+        ``template`` describes the logical fleet by recipe (see
+        :class:`~repro.fl.simulation.VirtualFleet`): clients are built
+        on demand from ``template.spec_for(client_id)``, trained once on
+        ``weights`` and folded immediately — nothing per-client is ever
+        shipped or kept, which is how two shards can host 10^6 logical
+        clients.  Virtual clients are *stateless*: each cycle rebuilds
+        them from their spec (fresh per-cycle RNG), and every client
+        carries the same uniform aggregation weight
+        ``template.uniform_factor``.
+
+        Returns ``(payload, loss_levels, count)``: with
+        ``return_updates=False`` the payload is a list of
+        :class:`~repro.fl.aggregation.PartialAggregate`; with ``True``
+        (the flat measurement baseline) it is the raw updates in
+        client-id order.  ``loss_levels`` are the exact per-level sums
+        of ``train_loss x uniform_factor`` — collapse them for the
+        cycle's mean loss.
+        """
+        batch = _WireVirtualBatch(
+            weights_table=[weights], template=template, lo=0,
+            hi=template.num_clients, factor=template.uniform_factor,
+            loss_scale=template.uniform_factor,
+            return_updates=return_updates)
+        kind, payload, loss_levels, count = _run_virtual_batch(batch)
+        if kind == "updates":
+            return payload, loss_levels, count
+        return (([payload] if payload is not None else []),
+                loss_levels, count)
 
     def map_ordered(self, fn: Callable[[Any], Any],
                     items: Sequence[Any]) -> List[Any]:
@@ -473,10 +571,54 @@ class _WireBatch:
     groups: List[_WireGroup]
 
 
+@dataclass
+class _WireFoldBatch:
+    """One slot's chunk of a hierarchically aggregated cycle.
+
+    Identical to :class:`_WireBatch` plus what the in-slot fold needs:
+    ``factors`` carries, parallel to ``groups``, each group's jobs'
+    globally normalized aggregation weights; ``partial``/``structure``
+    pin the fold mode so every slot takes the same numerical route the
+    flat reduction would.  The reply ships one partial aggregate plus
+    per-job ``(num_samples, train_loss)`` summaries instead of full
+    updates — O(weights) upstream however many clients trained.
+    """
+
+    weights_table: List[Dict[str, np.ndarray]]
+    groups: List[_WireGroup]
+    factors: List[List[float]]
+    partial: bool
+    structure: Optional[ModelStructure]
+
+
+@dataclass
+class _WireVirtualBatch:
+    """One slot's contiguous id-range of a virtualized fleet cycle.
+
+    Virtual clients are never resident: the slot builds each client from
+    ``template.spec_for(client_id)`` for ``client_id`` in ``[lo, hi)``,
+    trains it on the (single-entry) weights table and folds the update
+    immediately.  ``factor`` is the uniform per-client aggregation
+    weight; ``loss_scale`` (``1/num_clients``) keeps the loss-mean
+    reduction inside the reproducible-summation domain at fleet sizes
+    where a plain loss sum would not be.  ``return_updates`` is the
+    flat measurement baseline: ship every update back instead of the
+    fold (upstream bytes O(clients), for byte-complexity comparisons).
+    """
+
+    weights_table: List[Dict[str, np.ndarray]]
+    template: Any
+    lo: int
+    hi: int
+    factor: float
+    loss_scale: float
+    return_updates: bool
+
+
 def _handle_resident_request(kind: str, payload: Any,
                              residents: Dict[int, "FLClient"]
                              ) -> Tuple[str, Any]:
-    """Serve one ``run``/``map`` request against a resident fleet.
+    """Serve one ``run``/``fold``/``vfold``/``map`` request.
 
     This is the protocol core shared by the pipe workers and the socket
     shard servers (their loops differ only in transport and control
@@ -488,6 +630,16 @@ def _handle_resident_request(kind: str, payload: Any,
     if kind == "run":
         try:
             return ("results", _run_wire_batch(residents, payload))
+        except Exception as exc:
+            return ("error", _picklable_exception(exc))
+    if kind == "fold":
+        try:
+            return ("results", _run_fold_batch(residents, payload))
+        except Exception as exc:
+            return ("error", _picklable_exception(exc))
+    if kind == "vfold":
+        try:
+            return ("results", _run_virtual_batch(payload))
         except Exception as exc:
             return ("error", _picklable_exception(exc))
     if kind == "map":
@@ -562,43 +714,136 @@ def _persistent_worker_main(conn, wire_compression: str = "none") -> None:
         conn.close()
 
 
+def _train_wire_group(residents: Dict[int, FLClient],
+                      weights_table: List[Dict[str, np.ndarray]],
+                      group: _WireGroup) -> Tuple:
+    """Train one group's chained jobs against the resident fleet.
+
+    Returns ``("ok", updates, rng_state)`` or ``("error", exc)``; the
+    error cases drop the resident replica so the parent re-ships a clean
+    spec before the client's next batch.
+    """
+    if group.spec is not None:
+        # A spec that cannot build on this host (import error, missing
+        # file) fails its own group, not the whole worker/shard.
+        try:
+            residents[group.index] = group.spec.build()
+        except Exception as exc:
+            residents.pop(group.index, None)
+            return ("error", _picklable_exception(exc))
+    client = residents.get(group.index)
+    if client is None:  # pragma: no cover - protocol invariant guard
+        return ("error", RuntimeError(
+            f"worker has no resident client {group.index} and "
+            f"received no spec"))
+    client.rng.bit_generator.state = group.rng_state
+    try:
+        updates = [client.local_train(
+            weights_table[job.weights_ref], mask=job.mask,
+            local_epochs=job.local_epochs, base_cycle=job.base_cycle)
+            for job in group.jobs]
+    except Exception as exc:
+        # The replica may be mid-training; drop it so the parent
+        # re-ships a clean spec before the client's next batch.
+        residents.pop(group.index, None)
+        return ("error", _picklable_exception(exc))
+    return ("ok", updates, client.rng.bit_generator.state)
+
+
 def _run_wire_batch(residents: Dict[int, FLClient],
                     batch: _WireBatch) -> List[Tuple]:
     """Train every group of a worker batch against the resident fleet."""
     results: List[Tuple] = []
     for group in batch.groups:
-        if group.spec is not None:
-            # A spec that cannot build on this host (import error, missing
-            # file) fails its own group, not the whole worker/shard.
-            try:
-                residents[group.index] = group.spec.build()
-            except Exception as exc:
-                residents.pop(group.index, None)
-                results.append((group.index, "error",
-                                _picklable_exception(exc)))
-                continue
-        client = residents.get(group.index)
-        if client is None:  # pragma: no cover - protocol invariant guard
-            results.append((group.index, "error", RuntimeError(
-                f"worker has no resident client {group.index} and "
-                f"received no spec")))
-            continue
-        client.rng.bit_generator.state = group.rng_state
-        try:
-            updates = [client.local_train(
-                batch.weights_table[job.weights_ref], mask=job.mask,
-                local_epochs=job.local_epochs, base_cycle=job.base_cycle)
-                for job in group.jobs]
-        except Exception as exc:
-            # The replica may be mid-training; drop it so the parent
-            # re-ships a clean spec before the client's next batch.
-            residents.pop(group.index, None)
-            results.append((group.index, "error",
-                            _picklable_exception(exc)))
-            continue
-        results.append((group.index, "ok", updates,
-                        client.rng.bit_generator.state))
+        outcome = _train_wire_group(residents, batch.weights_table, group)
+        if outcome[0] == "error":
+            results.append((group.index, "error", outcome[1]))
+        else:
+            results.append((group.index, "ok", outcome[1], outcome[2]))
     return results
+
+
+def _run_fold_batch(residents: Dict[int, FLClient],
+                    batch: _WireFoldBatch
+                    ) -> Tuple[List[Tuple], Optional[PartialAggregate]]:
+    """Train a fold batch and reduce it into one partial aggregate.
+
+    Per-group outcomes degrade exactly like the ``run`` path
+    (``(index, "error", exc)`` entries); success entries carry only the
+    post-training RNG digest and per-job ``(num_samples, train_loss)``
+    summaries.  The fold is skipped (``None``) when any group failed —
+    the parent raises the group error anyway, and a partial aggregate
+    over a *subset* of the batch must never look like a finished one.
+    """
+    results: List[Tuple] = []
+    folded_updates: List[ClientUpdate] = []
+    folded_factors: List[float] = []
+    failed = False
+    for group, group_factors in zip(batch.groups, batch.factors):
+        outcome = _train_wire_group(residents, batch.weights_table, group)
+        if outcome[0] == "error":
+            results.append((group.index, "error", outcome[1]))
+            failed = True
+            continue
+        _, updates, rng_state = outcome
+        results.append((group.index, "ok", rng_state,
+                        [(update.num_samples, update.train_loss)
+                         for update in updates]))
+        folded_updates.extend(updates)
+        folded_factors.extend(group_factors)
+    aggregate: Optional[PartialAggregate] = None
+    if not failed and folded_updates:
+        aggregate = fold_updates(
+            folded_updates,
+            np.asarray(folded_factors, dtype=np.float64),
+            structure=batch.structure, partial=batch.partial)
+    return results, aggregate
+
+
+#: Virtual-client updates folded per chunk — bounds slot-side memory at
+#: chunk x model size however many logical clients the range spans.
+_VIRTUAL_FOLD_CHUNK = 64
+
+
+def _run_virtual_batch(batch: _WireVirtualBatch) -> Tuple:
+    """Train one id-range of a virtual fleet, folding incrementally.
+
+    Clients are ephemeral: built from the template, trained once on the
+    shared snapshot, folded (or shipped raw under ``return_updates``)
+    and discarded.  Chunked folds merge exactly, so the chunk size is
+    invisible in the result.  Returns ``(kind, payload, loss_levels,
+    count)`` with ``kind`` in ``("partial", "updates")``.
+    """
+    weights = batch.weights_table[0]
+    loss_levels = np.zeros(NUM_LEVELS, dtype=np.float64)
+    raw_updates: List[ClientUpdate] = []
+    chunk: List[ClientUpdate] = []
+    partials: List[PartialAggregate] = []
+
+    def fold_chunk() -> None:
+        partials.append(fold_updates(
+            chunk, np.full(len(chunk), batch.factor), structure=None,
+            partial=False))
+        chunk.clear()
+
+    for client_id in range(batch.lo, batch.hi):
+        client = batch.template.spec_for(client_id).build()
+        update = client.local_train(weights)
+        loss_levels += level_sums(
+            np.asarray([update.train_loss]) * batch.loss_scale)
+        if batch.return_updates:
+            raw_updates.append(update)
+            continue
+        chunk.append(update)
+        if len(chunk) >= _VIRTUAL_FOLD_CHUNK:
+            fold_chunk()
+    count = batch.hi - batch.lo
+    if batch.return_updates:
+        return ("updates", raw_updates, loss_levels, count)
+    if chunk:
+        fold_chunk()
+    merged = merge_partials(partials) if partials else None
+    return ("partial", merged, loss_levels, count)
 
 
 class _PersistentWorker:
@@ -748,6 +993,10 @@ class _ResidentFleetBackend(ExecutionBackend):
         self._close_epoch = 0
         #: Measured pickled bytes of the most recent dispatched batch.
         self.last_dispatch_bytes = 0
+        #: Measured wire bytes of the most recent batch's replies (all
+        #: slots) — the shard→parent direction the hierarchical fold
+        #: shrinks from O(clients x weights) to O(slots x weights).
+        self.last_reply_bytes = 0
 
     @property
     def num_slots(self) -> int:
@@ -853,16 +1102,18 @@ class _ResidentFleetBackend(ExecutionBackend):
         """Compression used for one slot's frames (negotiable per slot)."""
         return self.wire_compression
 
-    def _encode_run(self, slot: int, batch: "_WireBatch",
+    def _encode_run(self, slot: int, batch: Any,
                     force_full: bool = False,
-                    delta_cache: Optional[Dict] = None
-                    ) -> "wire_codec.EncodedFrame":
+                    delta_cache: Optional[Dict] = None,
+                    kind: str = "run") -> "wire_codec.EncodedFrame":
         """Encode one slot's batch: delta weights table + zero-copy frame.
 
-        Pure with respect to the slot's delta state — the new base is
-        only adopted by :meth:`_commit_tx` once the slot's reply proves
-        the frame was decoded.  ``force_full`` bypasses the base (the
-        recovery resend after a ``DeltaBaseMismatchError`` reply);
+        ``kind`` selects the wire message (``"run"``, ``"fold"`` or
+        ``"vfold"``); all three carry a ``weights_table`` and share the
+        slot's delta state.  Pure with respect to that state — the new
+        base is only adopted by :meth:`_commit_tx` once the slot's reply
+        proves the frame was decoded.  ``force_full`` bypasses the base
+        (the recovery resend after a ``DeltaBaseMismatchError`` reply);
         ``delta_cache`` (one dict per batch) dedups the per-array delta
         work when several slots encode the same shared snapshot.
         """
@@ -870,7 +1121,7 @@ class _ResidentFleetBackend(ExecutionBackend):
         if self.delta_shipping:
             state = self._tx_states.setdefault(slot, DeltaEncoderState())
         return wire_codec.encode_message(
-            ("run", batch), compression=self._slot_compression(slot),
+            (kind, batch), compression=self._slot_compression(slot),
             delta_state=state, force_full=force_full,
             delta_cache=delta_cache)
 
@@ -1021,45 +1272,40 @@ class _ResidentFleetBackend(ExecutionBackend):
         return batches, order
 
     # ------------------------------------------------------------------ #
-    def run_jobs(self, clients: Sequence[FLClient],
-                 jobs: Sequence[TrainingJob]) -> List[ClientUpdate]:
-        return self._with_failover(
-            lambda: self._run_jobs_attempt(clients, jobs))
+    def _exchange(self, batches: Dict[int, Any], wire_kind: str,
+                  context: str) -> Dict[int, Any]:
+        """Run one request/reply round trip with every slot in ``batches``.
 
-    def _run_jobs_attempt(self, clients: Sequence[FLClient],
-                          jobs: Sequence[TrainingJob]
-                          ) -> List[ClientUpdate]:
-        batches, order = self._build_payloads(clients, jobs, commit=True)
-        # Bring every participating slot's transport up *before* the
-        # payloads are trusted: a slot that comes back without its
-        # resident state (fresh worker, non-resumed reconnect) purges
-        # its residency entries, and the payloads must be rebuilt so
-        # those clients' specs travel again.
-        stale = False
-        for slot in sorted(batches):
-            stale = self._prepare_slot(slot) or stale
-        if stale:
-            batches, order = self._build_payloads(clients, jobs,
-                                                  commit=True)
+        Encodes every frame before sending any (sharing one delta cache
+        across slots carrying the same snapshot), dispatches in sorted
+        slot order, then collects each slot's reply — transparently
+        re-sending a full snapshot on a ``DeltaBaseMismatchError`` reply
+        and committing the slot's delta base once its reply proves the
+        frame was decoded.  Returns the ``"results"`` payloads keyed by
+        slot.  Also refreshes :attr:`last_dispatch_bytes` and
+        :attr:`last_reply_bytes` for this round trip.
+        """
         # Both caches live for exactly one batch: they share the
         # O(weights) delta/copy work across slots encoding (and later
         # committing) the same global snapshot.
         delta_cache: Dict = {}
         commit_cache: Dict = {}
         frames = {slot: self._encode_run(slot, batch,
-                                         delta_cache=delta_cache)
+                                         delta_cache=delta_cache,
+                                         kind=wire_kind)
                   for slot, batch in batches.items()}
         self.last_dispatch_bytes = sum(frame.total_bytes
                                        for frame in frames.values())
+        self.last_reply_bytes = 0
         slots = sorted(frames)
         dispatched: List[int] = []
         for slot in slots:
             self._dispatch(slot, frames[slot], "dispatching a batch",
                            pending=dispatched)
             dispatched.append(slot)
-        outcomes: Dict[int, Tuple] = {}
+        replies: Dict[int, Any] = {}
         for position, slot in enumerate(slots):
-            kind, results = self._collect_reply(slot, "running a batch",
+            kind, results = self._collect_reply(slot, context,
                                                 pending=slots[position + 1:])
             mismatch_state = (
                 self._tx_states.get(slot)
@@ -1079,13 +1325,13 @@ class _ResidentFleetBackend(ExecutionBackend):
                 # through to the generic bad-reply abort below.)
                 mismatch_state.reset()
                 full = self._encode_run(slot, batches[slot],
-                                        force_full=True)
+                                        force_full=True, kind=wire_kind)
                 self.last_dispatch_bytes += full.total_bytes
                 frames[slot] = full
                 self._dispatch(slot, full, "re-sending a full snapshot",
                                pending=slots[position + 1:])
                 kind, results = self._collect_reply(
-                    slot, "running a batch", pending=slots[position + 1:])
+                    slot, context, pending=slots[position + 1:])
             if kind != "results":
                 self.close()
                 if isinstance(results, BaseException):
@@ -1094,7 +1340,47 @@ class _ResidentFleetBackend(ExecutionBackend):
             # The reply proves the slot decoded this frame's weights
             # table: its base is now ours to delta against.
             self._commit_tx(slot, frames[slot], commit_cache)
-            for outcome in results:
+            replies[slot] = results
+        return replies
+
+    def _prepare_batches(self, clients: Sequence[FLClient],
+                         jobs: Sequence[TrainingJob]
+                         ) -> Tuple[Dict[int, _WireBatch],
+                                    List[Tuple[int, List[int]]]]:
+        """Build the cycle's wire batches with every slot's transport up.
+
+        Bringing every participating slot's transport up *before* the
+        payloads are trusted matters: a slot that comes back without its
+        resident state (fresh worker, non-resumed reconnect) purges its
+        residency entries, and the payloads must be rebuilt so those
+        clients' specs travel again.
+        """
+        batches, order = self._build_payloads(clients, jobs, commit=True)
+        stale = False
+        for slot in sorted(batches):
+            stale = self._prepare_slot(slot) or stale
+        if stale:
+            batches, order = self._build_payloads(clients, jobs,
+                                                  commit=True)
+        return batches, order
+
+    def run_jobs(self, clients: Sequence[FLClient],
+                 jobs: Sequence[TrainingJob]) -> List[ClientUpdate]:
+        if not jobs:
+            # Short-circuit before any wire activity: an empty cycle must
+            # not open a batch or commit delta bases on any backend.
+            return []
+        return self._with_failover(
+            lambda: self._run_jobs_attempt(clients, jobs))
+
+    def _run_jobs_attempt(self, clients: Sequence[FLClient],
+                          jobs: Sequence[TrainingJob]
+                          ) -> List[ClientUpdate]:
+        batches, order = self._prepare_batches(clients, jobs)
+        replies = self._exchange(batches, "run", "running a batch")
+        outcomes: Dict[int, Tuple] = {}
+        for slot in sorted(replies):
+            for outcome in replies[slot]:
                 outcomes[outcome[0]] = outcome
         # Residency first, for *every* outcome: workers drop a replica
         # whose training raised, so the parent must forget it even when a
@@ -1120,6 +1406,124 @@ class _ResidentFleetBackend(ExecutionBackend):
             for position, update in zip(positions, updates):
                 updates_by_position[position] = update
         return updates_by_position  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # hierarchical aggregation
+    # ------------------------------------------------------------------ #
+    def run_fold(self, clients: Sequence[FLClient],
+                 jobs: Sequence[TrainingJob],
+                 weight_factors: Sequence[float],
+                 structure: Optional[ModelStructure] = None,
+                 partial: bool = True
+                 ) -> Tuple[List[PartialAggregate],
+                            List[Tuple[int, float]]]:
+        if not jobs:
+            return [], []
+        return self._with_failover(
+            lambda: self._run_fold_attempt(clients, jobs, weight_factors,
+                                           structure, partial))
+
+    def _run_fold_attempt(self, clients: Sequence[FLClient],
+                          jobs: Sequence[TrainingJob],
+                          weight_factors: Sequence[float],
+                          structure: Optional[ModelStructure],
+                          partial: bool
+                          ) -> Tuple[List[PartialAggregate],
+                                     List[Tuple[int, float]]]:
+        batches, order = self._prepare_batches(clients, jobs)
+        fold_batches = {
+            slot: _WireFoldBatch(weights_table=batch.weights_table,
+                                 groups=batch.groups, factors=[],
+                                 partial=partial, structure=structure)
+            for slot, batch in batches.items()}
+        # Per-slot factor rows line up with the slot's groups because
+        # both follow the submission order of ``order``.
+        for index, positions in order:
+            fold_batches[self._placement[index]].factors.append(
+                [float(weight_factors[position]) for position in positions])
+        replies = self._exchange(fold_batches, "fold",
+                                 "running a fold batch")
+        partials: List[PartialAggregate] = []
+        outcomes: Dict[int, Tuple] = {}
+        for slot in sorted(replies):
+            results, aggregate = replies[slot]
+            if aggregate is not None:
+                partials.append(aggregate)
+            for outcome in results:
+                outcomes[outcome[0]] = outcome
+        # Residency first, for *every* outcome (see _run_jobs_attempt).
+        for index, _ in order:
+            if outcomes[index][1] == "error":
+                self._resident.pop(index, None)
+            else:
+                self._resident[index] = clients[index].spec_version
+        summaries: List[Optional[Tuple[int, float]]] = [None] * len(jobs)
+        for index, positions in order:
+            outcome = outcomes[index]
+            if outcome[1] == "error":
+                raise outcome[2]
+            _, _, rng_state, group_summaries = outcome
+            # Only the RNG state is mirrored back: the trained weights
+            # stay shard-side (shipping them home would defeat the
+            # upstream-byte win) and every training starts from the
+            # dispatched snapshot anyway, so the parent-side replica's
+            # weights are never consulted.
+            clients[index].rng.bit_generator.state = rng_state
+            for position, summary in zip(positions, group_summaries):
+                summaries[position] = summary
+        return partials, summaries  # type: ignore[return-value]
+
+    def run_virtual_fold(self, template: Any,
+                         weights: Dict[str, np.ndarray],
+                         structure: Optional[ModelStructure] = None,
+                         return_updates: bool = False
+                         ) -> Tuple[List[Any], np.ndarray, int]:
+        if template.num_clients <= 0:
+            return [], np.zeros(NUM_LEVELS), 0
+        return self._with_failover(
+            lambda: self._run_virtual_attempt(template, weights, structure,
+                                              return_updates))
+
+    def _run_virtual_attempt(self, template: Any,
+                             weights: Dict[str, np.ndarray],
+                             structure: Optional[ModelStructure],
+                             return_updates: bool
+                             ) -> Tuple[List[Any], np.ndarray, int]:
+        active = self._active_slots()
+        if not active:
+            raise self._slot_error(
+                next(iter(sorted(self._dead_slots)), 0),
+                "partitioning a virtual fleet (every slot is dead)")
+        # Contiguous id ranges keep the dispatch O(shards): each slot
+        # receives a (lo, hi) recipe, never a client list.
+        base, extra = divmod(template.num_clients, len(active))
+        batches: Dict[int, _WireVirtualBatch] = {}
+        lo = 0
+        for position, slot in enumerate(active):
+            span = base + (1 if position < extra else 0)
+            if span == 0:
+                continue
+            self._prepare_slot(slot)
+            batches[slot] = _WireVirtualBatch(
+                weights_table=[weights], template=template,
+                lo=lo, hi=lo + span, factor=template.uniform_factor,
+                loss_scale=template.uniform_factor,
+                return_updates=return_updates)
+            lo += span
+        replies = self._exchange(batches, "vfold",
+                                 "running a virtual fold")
+        payloads: List[Any] = []
+        loss_levels = np.zeros(NUM_LEVELS)
+        count = 0
+        for slot in sorted(replies):
+            tag, payload, slot_levels, slot_count = replies[slot]
+            loss_levels = loss_levels + slot_levels
+            count += slot_count
+            if tag == "updates":
+                payloads.extend(payload)
+            elif payload is not None:
+                payloads.append(payload)
+        return payloads, loss_levels, count
 
     def map_ordered(self, fn: Callable[[Any], Any],
                     items: Sequence[Any]) -> List[Any]:
@@ -1278,7 +1682,14 @@ class PersistentProcessBackend(_ResidentFleetBackend):
         self._worker(slot).send_frame(frame)
 
     def _slot_recv(self, slot: int) -> Tuple[str, Any]:
-        return self._workers[slot].recv()
+        # The pipe hands back immutable ``bytes``; decode from a
+        # writable copy so the zero-copy array views in the reply are
+        # writable, matching the socket transport (which receives into
+        # a bytearray).  The raw blob length feeds the upstream-byte
+        # accounting before decoding discards it.
+        blob = self._workers[slot].conn.recv_bytes()
+        self.last_reply_bytes += len(blob)
+        return wire_codec.decode_message(memoryview(bytearray(blob)))
 
     def _slot_error(self, slot: int, context: str) -> RuntimeError:
         return RuntimeError(
@@ -1767,8 +2178,9 @@ class ShardedSocketBackend(_ResidentFleetBackend):
         self._channel(slot).send_frame(frame)
 
     def _slot_recv(self, slot: int) -> Tuple[str, Any]:
-        return wire_codec.decode_message(
-            self._channels[slot].recv_bytes())
+        blob = self._channels[slot].recv_bytes()
+        self.last_reply_bytes += len(blob)
+        return wire_codec.decode_message(blob)
 
     def _slot_error(self, slot: int, context: str) -> ShardError:
         address = self.shard_address(slot)
@@ -1825,7 +2237,8 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                  on_shard_failure: Optional[str] = None,
                  heartbeat_interval: Optional[float] = None,
                  wire_compression: Optional[str] = None,
-                 delta_shipping: Optional[bool] = None
+                 delta_shipping: Optional[bool] = None,
+                 aggregation: Optional[str] = None
                  ) -> ExecutionBackend:
     """Resolve a backend specification into an :class:`ExecutionBackend`.
 
@@ -1867,6 +2280,15 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         Whether the worker-resident backends delta-encode weight tables
         against each slot's acknowledged base (default on; bit-exact
         either way).
+    aggregation:
+        Aggregation topology advertised to strategies (``"flat"``,
+        default, or ``"hierarchical"``).  With ``"hierarchical"`` each
+        slot folds its residents' updates locally and ships one partial
+        aggregate per batch, making upstream bytes O(weights × slots)
+        instead of O(weights × clients); histories are bit-identical
+        either way.  Valid for every backend name (the serial fold is
+        the reference implementation); must be ``None`` when ``spec``
+        is an already-constructed instance.
     """
     if isinstance(spec, ExecutionBackend):
         if max_workers is not None:
@@ -1890,7 +2312,16 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 f"an already-constructed backend instance {spec!r}; "
                 f"construct the backend with the desired wire codec "
                 f"instead")
+        if aggregation is not None:
+            raise ValueError(
+                f"aggregation={aggregation!r} cannot be applied to an "
+                f"already-constructed backend instance {spec!r}; set the "
+                f"instance's aggregation attribute instead")
         return spec
+    if aggregation is not None and aggregation not in AGGREGATION_MODES:
+        raise ValueError(
+            f"unknown aggregation mode {aggregation!r}; "
+            f"available: {AGGREGATION_MODES}")
     if shards is not None and spec != ShardedSocketBackend.name:
         raise ValueError(
             f"shards only applies to the 'sharded' backend, not {spec!r}")
@@ -1921,8 +2352,8 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 f"default serial backend; pass a pooled backend name "
                 f"('thread', 'process', 'persistent', 'sharded') or drop "
                 f"the argument")
-        return SerialBackend()
-    if isinstance(spec, str):
+        backend: ExecutionBackend = SerialBackend()
+    elif isinstance(spec, str):
         try:
             factory = _BACKENDS[spec]
         except KeyError:
@@ -1930,21 +2361,26 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 f"unknown execution backend {spec!r}; "
                 f"available: {available_backends()}") from None
         if factory is SerialBackend:
-            return SerialBackend()
-        if factory is ShardedSocketBackend:
-            return ShardedSocketBackend(
+            backend = SerialBackend()
+        elif factory is ShardedSocketBackend:
+            backend = ShardedSocketBackend(
                 shards=shards, max_workers=max_workers,
                 on_failure=on_shard_failure or "abort",
                 heartbeat_interval=heartbeat_interval,
                 wire_compression=wire_compression or "none",
                 delta_shipping=(delta_shipping
                                 if delta_shipping is not None else True))
-        if factory is PersistentProcessBackend:
-            return PersistentProcessBackend(
+        elif factory is PersistentProcessBackend:
+            backend = PersistentProcessBackend(
                 max_workers=max_workers,
                 on_failure=on_shard_failure or "abort",
                 wire_compression=wire_compression or "none",
                 delta_shipping=(delta_shipping
                                 if delta_shipping is not None else True))
-        return factory(max_workers=max_workers)
-    raise TypeError(f"cannot build an execution backend from {spec!r}")
+        else:
+            backend = factory(max_workers=max_workers)
+    else:
+        raise TypeError(f"cannot build an execution backend from {spec!r}")
+    if aggregation is not None:
+        backend.aggregation = aggregation
+    return backend

@@ -8,7 +8,8 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..nn.model import Sequential
-from .aggregation import (ModelStructure, aggregate_full, aggregate_partial)
+from .aggregation import (ModelStructure, PartialAggregate, aggregate_full,
+                          aggregate_partial, finalize_partials)
 from .client import ClientUpdate
 
 __all__ = ["FLServer"]
@@ -74,6 +75,27 @@ class FLServer:
         else:
             new_weights = aggregate_full(updates,
                                          client_weights=client_weights)
+        self.set_global_weights(new_weights)
+        self.current_cycle += 1
+        return new_weights
+
+    def install_partials(self, partials: Sequence[PartialAggregate]
+                         ) -> Dict[str, np.ndarray]:
+        """Combine shard-side partial aggregates into a new global model.
+
+        The parent half of hierarchical aggregation: each shard folds its
+        residents' updates locally (:func:`~repro.fl.aggregation.fold_updates`)
+        and ships one :class:`~repro.fl.aggregation.PartialAggregate`;
+        combining them here is bit-identical to :meth:`aggregate` over the
+        same updates because the fold's per-level sums are exact and hence
+        partition-independent.  Neurons covered by zero updates keep
+        their current global value.
+        """
+        if not partials:
+            raise ValueError("cannot combine an empty set of partial "
+                             "aggregates")
+        new_weights = finalize_partials(self.get_global_weights(), partials,
+                                        structure=self.structure)
         self.set_global_weights(new_weights)
         self.current_cycle += 1
         return new_weights

@@ -18,8 +18,9 @@ testbed, while its cycle *time* comes from the analytical cost model.
 
 from __future__ import annotations
 
-from typing import (Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
-                    Union)
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -29,13 +30,16 @@ from ..hardware.device import DeviceProfile
 from ..hardware.network import CommunicationModel
 from ..nn.masking import ModelMask
 from ..nn.model import Sequential
-from .client import ClientSpec, ClientUpdate, FLClient
+from .aggregation import collapse_levels, fold_updates, normalize_weights
+from .client import (ClientConfig, ClientSpec, ClientUpdate, FLClient,
+                     TrainingSummary)
 from .executor import ExecutionBackend, TrainingJob, make_backend
 from .history import CycleRecord, TrainingHistory
 from .server import FLServer
 from .strategy import CycleOutcome, FederatedStrategy
 
-__all__ = ["FederatedSimulation", "build_simulation", "make_client_specs"]
+__all__ = ["FederatedSimulation", "VirtualFleet", "build_simulation",
+           "make_client_specs"]
 
 #: Cache key of one cycle-duration estimate: client index, mask signature,
 #: epochs, communication toggle (see
@@ -54,6 +58,60 @@ def _mask_signature(mask: Optional[ModelMask]
     if mask is None:
         return None
     return tuple(sorted(mask.layer_fractions().items()))
+
+
+@dataclass(frozen=True)
+class VirtualFleet:
+    """Recipe for a fleet of logical clients materialized on demand.
+
+    Fleet virtualization decouples the number of *logical* clients from
+    the number of resident slots: instead of shipping one
+    :class:`~repro.fl.client.ClientSpec` per client, the parent ships
+    this O(1) recipe plus a contiguous ``[lo, hi)`` id range per slot,
+    and each shard builds, trains and folds its clients one (chunk) at a
+    time — two shards can host 10⁶ logical clients without the parent
+    ever holding per-client state.
+
+    Logical clients are stateless across cycles: client ``i`` is rebuilt
+    each cycle from ``spec_for(i)`` with a fresh deterministic RNG
+    (``seed + 1000 * i``), so results are bit-identical for any shard
+    topology.  ``dataset_factory`` and ``model_factory`` must be
+    picklable (module-level callables or ``functools.partial`` of such)
+    and ``dataset_factory(i)`` must be deterministic in ``i``.
+    """
+
+    num_clients: int
+    dataset_factory: Callable[[int], Dataset]
+    device: DeviceProfile
+    model_factory: Callable[[], Sequential]
+    config: ClientConfig = field(default_factory=ClientConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError("a virtual fleet needs at least one client")
+
+    @property
+    def uniform_factor(self) -> float:
+        """Per-client aggregation weight — uniform across the fleet.
+
+        Per-client sample counts would require the parent to know O(N)
+        state, so virtual cycles weight every client equally; the same
+        factor scales each client's training loss into the fleet's exact
+        mean-loss accumulator.
+        """
+        return 1.0 / float(self.num_clients)
+
+    def spec_for(self, client_id: int) -> ClientSpec:
+        """Materialize one logical client's spec (deterministically)."""
+        if not 0 <= client_id < self.num_clients:
+            raise IndexError(f"no virtual client {client_id} "
+                             f"(fleet size {self.num_clients})")
+        return ClientSpec(client_id=client_id,
+                          dataset=self.dataset_factory(client_id),
+                          device=self.device,
+                          model_factory=self.model_factory,
+                          config=self.config, seed=self.seed)
 
 
 class FederatedSimulation:
@@ -135,7 +193,8 @@ class FederatedSimulation:
                     on_shard_failure: Optional[str] = None,
                     heartbeat_interval: Optional[float] = None,
                     wire_compression: Optional[str] = None,
-                    delta_shipping: Optional[bool] = None
+                    delta_shipping: Optional[bool] = None,
+                    aggregation: Optional[str] = None
                     ) -> ExecutionBackend:
         """Swap the execution backend, closing the previous pooled one.
 
@@ -158,7 +217,10 @@ class FederatedSimulation:
         between-batch liveness probing of connected shards.
         ``wire_compression`` (``"none"``/``"zlib"``) and
         ``delta_shipping`` configure the worker-resident backends' wire
-        codec (see :mod:`repro.fl.codec`) — see
+        codec (see :mod:`repro.fl.codec`), and ``aggregation``
+        (``"flat"``/``"hierarchical"``) selects the aggregation topology
+        used by :meth:`train_and_aggregate` and
+        :meth:`run_virtual_cycle` — see
         :func:`~repro.fl.executor.make_backend`.
         """
         new_backend = make_backend(backend, max_workers=max_workers,
@@ -166,7 +228,8 @@ class FederatedSimulation:
                                    on_shard_failure=on_shard_failure,
                                    heartbeat_interval=heartbeat_interval,
                                    wire_compression=wire_compression,
-                                   delta_shipping=delta_shipping)
+                                   delta_shipping=delta_shipping,
+                                   aggregation=aggregation)
         if new_backend is self.backend:
             return new_backend
         old_backend = self.backend
@@ -344,6 +407,107 @@ class FederatedSimulation:
         return self.run_jobs([TrainingJob(
             index=index, weights=weights, mask=mask,
             local_epochs=local_epochs, base_cycle=base_cycle)])[0]
+
+    def train_and_aggregate(self, indices: Sequence[int],
+                            masks: Optional[Mapping[int, ModelMask]] = None,
+                            local_epochs: Optional[int] = None,
+                            base_cycle: int = 0,
+                            partial: bool = True) -> List[TrainingSummary]:
+        """Train a batch of clients and fold their updates into the server.
+
+        The topology-aware sibling of :meth:`train_clients` +
+        :meth:`FLServer.aggregate <repro.fl.server.FLServer.aggregate>`:
+        with the backend's ``aggregation`` set to ``"flat"`` (default)
+        it is exactly that two-step sequence; with ``"hierarchical"``
+        each slot folds its residents' updates locally and ships one
+        partial aggregate (upstream bytes O(weights × slots) instead of
+        O(weights × clients)), and the parent combines them via
+        :meth:`FLServer.install_partials
+        <repro.fl.server.FLServer.install_partials>`.  The resulting
+        global weights are bit-identical either way: client weights are
+        sample-count proportional in both paths, the fold's per-level
+        sums are exact (partition-independent), and the masked/unmasked
+        decision (``partial and`` any mask present) is made globally
+        before dispatch, mirroring ``FLServer.aggregate``.
+
+        Returns one :class:`~repro.fl.client.TrainingSummary` per
+        trained client, in ``indices`` order — trained *weights* do not
+        come back under hierarchical aggregation (that is the point), so
+        strategies consuming this API observe only the weight-free
+        residue of each training.  Parent-side client replicas keep
+        their RNG streams in sync in both modes; their model weights are
+        only mirrored in flat mode (every training starts from the
+        dispatched global snapshot, so they are never consulted).
+        """
+        if not indices:
+            raise ValueError("cannot aggregate an empty training batch")
+        masks = masks or {}
+        if self.backend.aggregation != "hierarchical":
+            updates = self.train_clients(indices, masks=masks,
+                                         local_epochs=local_epochs,
+                                         base_cycle=base_cycle)
+            self.server.aggregate(updates, partial=partial)
+            return [TrainingSummary(client_id=update.client_id,
+                                    client_name=update.client_name,
+                                    num_samples=update.num_samples,
+                                    train_loss=update.train_loss)
+                    for update in updates]
+        for index in indices:
+            if not 0 <= index < len(self.clients):
+                raise IndexError(f"no client with index {index} "
+                                 f"(fleet size {len(self.clients)})")
+        weights = self.server.get_global_weights()
+        jobs = [TrainingJob(index=index, weights=weights,
+                            mask=masks.get(index),
+                            local_epochs=local_epochs,
+                            base_cycle=base_cycle)
+                for index in indices]
+        # Same floats as ``sample_count_weights`` over the updates: an
+        # update's sample count IS its client's dataset size.
+        factors = normalize_weights(
+            [float(self.clients[index].num_samples) for index in indices])
+        fold_partial = partial and any(
+            masks.get(index) is not None for index in indices)
+        partials, summaries = self.backend.run_fold(
+            self.clients, jobs, factors,
+            structure=self.server.structure, partial=fold_partial)
+        self.server.install_partials(partials)
+        return [TrainingSummary(client_id=self.clients[index].client_id,
+                                client_name=self.clients[index].name,
+                                num_samples=num_samples,
+                                train_loss=train_loss)
+                for index, (num_samples, train_loss)
+                in zip(indices, summaries)]
+
+    def run_virtual_cycle(self, fleet: VirtualFleet) -> Tuple[float, int]:
+        """Train every logical client of ``fleet`` and aggregate uniformly.
+
+        One synchronous FedAvg cycle over a :class:`VirtualFleet`,
+        starting from (and installing back into) the server's global
+        model.  Under ``"hierarchical"`` aggregation each slot ships one
+        partial aggregate for its whole id range; under ``"flat"`` the
+        raw per-client updates travel upstream and are folded here with
+        the same uniform factor — bit-identical results, radically
+        different upstream bytes (the scale benchmark measures exactly
+        this gap).
+
+        Returns ``(mean train loss, clients trained)``; the mean is an
+        exact pre-rounded sum of ``loss_i / num_clients`` terms, so it
+        too is independent of the shard topology.
+        """
+        weights = self.server.get_global_weights()
+        hierarchical = self.backend.aggregation == "hierarchical"
+        payloads, loss_levels, count = self.backend.run_virtual_fold(
+            fleet, weights, structure=self.server.structure,
+            return_updates=not hierarchical)
+        if hierarchical:
+            self.server.install_partials(payloads)
+        else:
+            folded = fold_updates(
+                payloads, np.full(len(payloads), fleet.uniform_factor),
+                partial=False)
+            self.server.install_partials([folded])
+        return float(collapse_levels(loss_levels)), count
 
     def evaluate_global(self) -> float:
         """Accuracy of the current global model on the server's test set."""

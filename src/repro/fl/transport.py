@@ -607,8 +607,9 @@ def _serve_connection(channel: MessageChannel, handle_request: Callable,
     Control messages (``bye``/``shutdown``/``ping``) are handled here;
     everything else goes through ``handle_request`` — the protocol core
     shared with the pipe workers (``run``/``map`` against the resident
-    fleet, degrading failures to ``("error", ...)`` replies so a
-    misbehaving request cannot crash a long-running shard).
+    fleet, ``fold``/``vfold`` for shard-local hierarchical aggregation,
+    degrading failures to ``("error", ...)`` replies so a misbehaving
+    request cannot crash a long-running shard).
 
     ``session`` is the server's cross-connection store; its residents
     are mutated in place so they survive into the next connection of the

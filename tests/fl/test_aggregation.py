@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.fl import (ClientUpdate, ModelStructure, aggregate_full,
-                      aggregate_partial, normalize_weights,
+                      aggregate_partial, finalize_partials, fold_updates,
+                      merge_partials, normalize_weights,
                       sample_count_weights)
 from repro.nn import ModelMask
 
@@ -181,3 +182,129 @@ class TestPartialAggregation:
     def test_empty_updates_raise(self, model, structure):
         with pytest.raises(ValueError):
             aggregate_partial(model.get_weights(), [], structure)
+
+
+class TestZeroCoverageNeurons:
+    """Regression: neurons covered by zero updates must keep the global
+    weights — never divide by a zero contribution sum into NaN/Inf.
+    Shard-local folds make sparse coverage common, so these masks are
+    deliberately adversarial."""
+
+    def _masks(self, rng, exclude_everywhere):
+        """Random masks that all exclude ``exclude_everywhere`` fc1 ids."""
+        masks = []
+        for _ in range(4):
+            fc1 = rng.random(16) < 0.5
+            fc1[list(exclude_everywhere)] = False
+            masks.append(ModelMask({"fc1": fc1,
+                                    "fc2": rng.random(8) < 0.5,
+                                    "output": np.ones(4, dtype=bool)}))
+        # Guarantee fc2 has at least one fully-uncovered neuron too.
+        for mask in masks:
+            mask["fc2"][0] = False
+        return masks
+
+    def test_uncovered_neurons_exact_and_finite(self, model, structure):
+        rng = np.random.default_rng(42)
+        global_weights = model.get_weights()
+        excluded = (2, 5, 11)
+        masks = self._masks(rng, excluded)
+        updates = [
+            make_update(i, {name: value + rng.normal(size=value.shape)
+                            for name, value in global_weights.items()},
+                        num_samples=10 * (i + 1), mask=mask)
+            for i, mask in enumerate(masks)
+        ]
+        result = aggregate_partial(global_weights, updates, structure)
+        for name, value in result.items():
+            assert np.all(np.isfinite(value)), name
+        for neuron in excluded:
+            np.testing.assert_array_equal(
+                result["fc1/weight"][neuron],
+                global_weights["fc1/weight"][neuron])
+            np.testing.assert_array_equal(
+                result["fc1/bias"][neuron],
+                global_weights["fc1/bias"][neuron])
+        # fc2 neuron 0 is excluded by every mask too -> global kept.
+        np.testing.assert_array_equal(
+            result["fc2/weight"][0], global_weights["fc2/weight"][0])
+
+    def test_zero_weight_contributor_counts_as_no_coverage(self, model,
+                                                           structure):
+        global_weights = model.get_weights()
+        only_fc1_zero = ModelMask({"fc1": np.zeros(16, dtype=bool),
+                                   "fc2": np.ones(8, dtype=bool),
+                                   "output": np.ones(4, dtype=bool)})
+        only_fc1_zero["fc1"][3] = True
+        shifted = {name: value + 5.0
+                   for name, value in global_weights.items()}
+        updates = [make_update(0, shifted, mask=only_fc1_zero),
+                   make_update(1, shifted)]
+        # The only update covering fc1 neuron 3's sibling rows carries
+        # zero aggregation weight: its neurons must count as uncovered.
+        result = aggregate_partial(global_weights, updates, structure,
+                                   client_weights=[1.0, 0.0])
+        assert np.all(np.isfinite(result["fc1/weight"]))
+        # Neuron 3: covered by the weighted update -> moves.
+        np.testing.assert_allclose(result["fc1/weight"][3],
+                                   shifted["fc1/weight"][3])
+        # Neuron 4: only the zero-weight update covers it -> global kept.
+        np.testing.assert_array_equal(result["fc1/weight"][4],
+                                      global_weights["fc1/weight"][4])
+
+    def test_every_neuron_uncovered_returns_global_model(self, model,
+                                                         structure):
+        global_weights = model.get_weights()
+        nothing = ModelMask({"fc1": np.zeros(16, dtype=bool),
+                             "fc2": np.zeros(8, dtype=bool),
+                             "output": np.zeros(4, dtype=bool)})
+        shifted = {name: value + 9.0
+                   for name, value in global_weights.items()}
+        result = aggregate_partial(global_weights,
+                                   [make_update(0, shifted, mask=nothing)],
+                                   structure)
+        for name in global_weights:
+            assert np.all(np.isfinite(result[name])), name
+            np.testing.assert_array_equal(result[name],
+                                          global_weights[name])
+
+    def test_partial_coverage_without_fallback_raises(self, model,
+                                                      structure):
+        mask = ModelMask({"fc1": np.zeros(16, dtype=bool),
+                          "fc2": np.ones(8, dtype=bool),
+                          "output": np.ones(4, dtype=bool)})
+        update = make_update(0, model.get_weights(), mask=mask)
+        folded = fold_updates([update], np.array([1.0]),
+                              structure=ModelStructure.from_model(model),
+                              partial=True)
+        with pytest.raises(ValueError):
+            finalize_partials(None, [folded],
+                              structure=ModelStructure.from_model(model))
+
+
+class TestPartialMerging:
+    def test_merge_is_exact_concatenation(self, model, structure):
+        rng = np.random.default_rng(3)
+        global_weights = model.get_weights()
+        updates = [
+            make_update(i, {name: value + rng.normal(size=value.shape)
+                            for name, value in global_weights.items()})
+            for i in range(4)
+        ]
+        factors = sample_count_weights(updates)
+        whole = fold_updates(updates, factors, structure, partial=True)
+        left = fold_updates(updates[:2], factors[:2], structure,
+                            partial=True)
+        right = fold_updates(updates[2:], factors[2:], structure,
+                             partial=True)
+        merged = merge_partials([left, right])
+        assert merged.num_updates == whole.num_updates
+        for name in whole.weighted_sums:
+            np.testing.assert_array_equal(merged.weighted_sums[name],
+                                          whole.weighted_sums[name])
+            np.testing.assert_array_equal(merged.weight_tables[name],
+                                          whole.weight_tables[name])
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_partials([])

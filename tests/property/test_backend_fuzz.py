@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.fl import ClientConfig, FLClient
+from repro.nn import ModelMask
 
 from ..conftest import (FAST_DEVICE, make_tiny_dataset, make_tiny_model,
                         make_tiny_simulation)
@@ -132,6 +133,107 @@ def test_random_interleavings_bit_identical_to_serial(seed, backend_config):
         assert expected.keys() == got.keys()
         for key in expected:
             np.testing.assert_array_equal(expected[key], got[key])
+
+
+#: Aggregation-topology axis: the same scripts replayed through
+#: ``train_and_aggregate`` with in-shard hierarchical folding must match
+#: the flat serial reference bit for bit — losses, client RNG streams and
+#: the *global* model (client replicas stay shard-side under the wire
+#: backends, so they are deliberately not part of this fingerprint).
+AGGREGATION_BACKENDS = (
+    ("serial", {}),
+    ("thread", {}),
+    ("process", {}),
+    ("persistent", {}),
+    ("sharded", {}),
+    ("persistent", {"wire_compression": "zlib"}),
+)
+
+AGGREGATION_IDS = [name if not kwargs else
+                   f"{name}-{'-'.join(f'{k}={v}' for k, v in kwargs.items())}"
+                   for name, kwargs in AGGREGATION_BACKENDS]
+
+_SERIAL_AGGREGATED_CACHE = {}
+
+
+def replay_aggregated(ops, backend_name, aggregation, backend_kwargs=None,
+                      mask_seed=0):
+    """Replay one script through the server-aggregation path.
+
+    Roughly half the cycles aggregate neuron-masked partial updates; the
+    mask stream is seed-deterministic and independent of the backend, so
+    every replay of a script sees identical masks.
+    """
+    sim = make_tiny_simulation()
+    sim.set_backend(backend_name, max_workers=2, aggregation=aggregation,
+                    **(backend_kwargs or {}))
+    mask_rng = np.random.default_rng(mask_seed)
+    losses = []
+    try:
+        for cycle, op in enumerate(ops):
+            if op[0] == "cycle":
+                masks = None
+                if mask_rng.random() < 0.5:
+                    masks = {index: ModelMask.random(
+                                 sim.server.global_model,
+                                 {"fc1": 0.5, "fc2": 0.5}, rng=mask_rng)
+                             for index in op[1]
+                             if mask_rng.random() < 0.7} or None
+                summaries = sim.train_and_aggregate(
+                    op[1], masks=masks, base_cycle=cycle,
+                    partial=masks is not None)
+                losses.extend(summary.train_loss for summary in summaries)
+            elif op[0] == "add":
+                index = sim.num_clients()
+                sim.add_client(FLClient(
+                    client_id=index,
+                    dataset=make_tiny_dataset(40, seed=op[1]),
+                    device=FAST_DEVICE.scaled(name=f"joiner-{index}"),
+                    model_factory=make_tiny_model,
+                    config=ClientConfig(batch_size=20)))
+            elif op[0] == "device":
+                _, index, factor = op
+                sim.set_client_device(index, FAST_DEVICE.scaled(
+                    compute=factor, name=f"swapped-{index}"))
+            elif op[0] == "config":
+                _, index, epochs, batch_size = op
+                sim.client(index).config = ClientConfig(
+                    batch_size=batch_size, local_epochs=epochs,
+                    learning_rate=0.1)
+        rng_states = [client.rng.bit_generator.state["state"]
+                      for client in sim.clients]
+        global_weights = sim.server.get_global_weights()
+    finally:
+        sim.close()
+    return {"losses": losses, "rng_states": rng_states,
+            "global_weights": global_weights}
+
+
+def _serial_aggregated_fingerprint(seed):
+    if seed not in _SERIAL_AGGREGATED_CACHE:
+        _SERIAL_AGGREGATED_CACHE[seed] = replay_aggregated(
+            generate_script(seed), "serial", "flat", mask_seed=seed)
+    return _SERIAL_AGGREGATED_CACHE[seed]
+
+
+@pytest.mark.parametrize("backend_config", AGGREGATION_BACKENDS,
+                         ids=AGGREGATION_IDS)
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_hierarchical_aggregation_bit_identical_to_flat_serial(
+        seed, backend_config):
+    backend_name, backend_kwargs = backend_config
+    ops = generate_script(seed)
+    reference = _serial_aggregated_fingerprint(seed)
+    actual = replay_aggregated(ops, backend_name, "hierarchical",
+                               backend_kwargs, mask_seed=seed)
+    assert actual["losses"] == reference["losses"]
+    assert actual["rng_states"] == reference["rng_states"]
+    expected = reference["global_weights"]
+    assert expected.keys() == actual["global_weights"].keys()
+    for key in expected:
+        np.testing.assert_array_equal(expected[key],
+                                      actual["global_weights"][key],
+                                      err_msg=key)
 
 
 def test_scripts_cover_every_op_kind():

@@ -147,6 +147,84 @@ class TestMain:
         assert "cycle" in capsys.readouterr().out.lower()
 
 
+class TestArgumentValidation:
+    """Malformed values must die with a one-line error, not a traceback
+    deep inside pool construction or a socket connect."""
+
+    def test_zero_workers_rejected(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "persistent", "--workers", "0"]) == 2
+        assert "--workers must be positive" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "thread", "--workers", "-3"]) == 2
+        assert "--workers must be positive" in capsys.readouterr().err
+
+    def test_zero_heartbeat_interval_rejected(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "sharded", "--workers", "2",
+                     "--heartbeat-interval", "0"]) == 2
+        assert ("--heartbeat-interval must be positive"
+                in capsys.readouterr().err)
+
+    def test_negative_heartbeat_interval_rejected(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "sharded", "--workers", "2",
+                     "--heartbeat-interval", "-1.5"]) == 2
+        assert ("--heartbeat-interval must be positive"
+                in capsys.readouterr().err)
+
+    def test_portless_shard_entry_rejected(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "sharded",
+                     "--shards", "node-a:7600,node-b"]) == 2
+        err = capsys.readouterr().err
+        assert "'node-b'" in err and "host:port" in err
+
+    def test_non_numeric_shard_port_rejected(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "sharded",
+                     "--shards", "node-a:http"]) == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_empty_shard_host_rejected(self, capsys):
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "sharded", "--shards", ":7600"]) == 2
+        assert "host:port" in capsys.readouterr().err
+
+
+class TestAggregationFlag:
+    def test_run_accepts_aggregation(self):
+        args = build_parser().parse_args(
+            ["run", "fig6", "--aggregation", "hierarchical"])
+        assert args.aggregation == "hierarchical"
+
+    def test_aggregation_defaults_off(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.aggregation is None
+
+    def test_invalid_aggregation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "fig6", "--aggregation", "tree"])
+
+    def test_aggregation_warns_on_profiling_experiment(self, capsys):
+        """table1 runs no trainings: --aggregation must not vanish
+        silently even with the default serial backend."""
+        assert main(["run", "table1", "--scale", "smoke",
+                     "--aggregation", "hierarchical"]) == 0
+        err = capsys.readouterr().err.lower()
+        assert "warning" in err and "--aggregation" in err
+
+    def test_run_fig6_hierarchical_smoke(self, capsys):
+        """CLI-level wiring of hierarchical aggregation end to end."""
+        assert main(["run", "fig6", "--scale", "smoke",
+                     "--backend", "persistent", "--workers", "2",
+                     "--aggregation", "hierarchical"]) == 0
+        assert "cycle" in capsys.readouterr().out.lower()
+
+
 class TestWireCodecFlags:
     def test_run_accepts_wire_codec_flags(self):
         args = build_parser().parse_args(
