@@ -30,9 +30,9 @@ from typing import List, Optional
 from .experiments import (SCALES, available_experiments, get_experiment,
                           run_experiment)
 from .fl.codec import COMPRESSIONS as WIRE_COMPRESSIONS
-from .fl.executor import (AGGREGATION_MODES, FAILURE_POLICIES,
-                          SHARD_ANNOUNCE_PREFIX, available_backends,
-                          make_backend)
+from .fl.executor import (AGGREGATION_MODES, FAILURE_POLICIES, FUSION_MODES,
+                          SHARD_ANNOUNCE_PREFIX, WEIGHT_ARENA_MODES,
+                          available_backends, make_backend)
 
 __all__ = ["build_parser", "main"]
 
@@ -111,6 +111,24 @@ def build_parser() -> argparse.ArgumentParser:
                                  "upstream bytes instead of O(weights x "
                                  "clients); results are bit-identical "
                                  "either way")
+    run_parser.add_argument("--weight-arena", default=None,
+                            choices=WEIGHT_ARENA_MODES,
+                            help="weight dispatch plane of the persistent "
+                                 "backend: 'off' ships weight bytes over "
+                                 "the worker pipes (default), 'shm' "
+                                 "publishes them once per cycle into a "
+                                 "shared-memory arena and ships only "
+                                 "descriptors (requires --backend "
+                                 "persistent; single-host; results are "
+                                 "bit-identical either way)")
+    run_parser.add_argument("--fusion", default=None,
+                            choices=FUSION_MODES,
+                            help="in-worker training engine: 'off' trains "
+                                 "clients one by one (default), 'stacked' "
+                                 "trains topology-homogeneous clients as "
+                                 "one batched-GEMM pass (requires "
+                                 "--backend sharded or persistent; results "
+                                 "are bit-identical either way)")
     run_parser.add_argument("--output", default=None,
                             help="also write the formatted output to a file")
 
@@ -162,7 +180,9 @@ def _run(experiment: str, scale: str, seed: int,
          heartbeat_interval: Optional[float] = None,
          wire_compression: Optional[str] = None,
          delta_shipping: Optional[bool] = None,
-         aggregation: Optional[str] = None) -> int:
+         aggregation: Optional[str] = None,
+         weight_arena: Optional[str] = None,
+         fusion: Optional[str] = None) -> int:
     if workers is not None and workers <= 0:
         raise ValueError(f"--workers must be positive (got {workers})")
     if heartbeat_interval is not None and heartbeat_interval <= 0:
@@ -186,6 +206,12 @@ def _run(experiment: str, scale: str, seed: int,
                                                       "persistent"):
         raise ValueError("--no-delta-shipping requires --backend "
                          "sharded or --backend persistent")
+    if weight_arena is not None and backend != "persistent":
+        raise ValueError("--weight-arena requires --backend persistent "
+                         "(shared-memory arenas are single-host)")
+    if fusion is not None and backend not in ("sharded", "persistent"):
+        raise ValueError("--fusion requires --backend sharded or "
+                         "--backend persistent")
     kwargs = {"scale": scale}
     entry = get_experiment(experiment)
     # Profiling-only experiments take neither a seed nor a training
@@ -199,7 +225,8 @@ def _run(experiment: str, scale: str, seed: int,
         print(f"warning: experiment {experiment!r} runs no client "
               f"trainings; ignoring --backend/--workers/--shards/"
               f"--on-shard-failure/--heartbeat-interval/"
-              f"--wire-compression/--no-delta-shipping/--aggregation",
+              f"--wire-compression/--no-delta-shipping/--aggregation/"
+              f"--weight-arena/--fusion",
               file=sys.stderr)
     elif backend == "serial" and workers is not None:
         print("warning: --workers has no effect with the serial backend",
@@ -212,7 +239,9 @@ def _run(experiment: str, scale: str, seed: int,
                                       heartbeat_interval=heartbeat_interval,
                                       wire_compression=wire_compression,
                                       delta_shipping=delta_shipping,
-                                      aggregation=aggregation)
+                                      aggregation=aggregation,
+                                      weight_arena=weight_arena,
+                                      fusion=fusion)
         kwargs["backend"] = shared_backend
     try:
         _, text = run_experiment(experiment, **kwargs)
@@ -247,7 +276,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         wire_compression=args.wire_compression,
                         delta_shipping=(False if args.no_delta_shipping
                                         else None),
-                        aggregation=args.aggregation)
+                        aggregation=args.aggregation,
+                        weight_arena=args.weight_arena,
+                        fusion=args.fusion)
         except (KeyError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -6,7 +6,8 @@ from .aggregation import (ModelStructure, PartialAggregate, aggregate_full,
                           sample_count_weights)
 from .client import (ClientConfig, ClientSpec, ClientState, ClientUpdate,
                      FLClient, TrainingSummary)
-from .executor import (AGGREGATION_MODES, FAILURE_POLICIES, ExecutionBackend,
+from .executor import (AGGREGATION_MODES, FAILURE_POLICIES, FUSION_MODES,
+                       WEIGHT_ARENA_MODES, ExecutionBackend,
                        PersistentProcessBackend, ProcessPoolBackend,
                        SerialBackend, ShardError, ShardedSocketBackend,
                        ThreadPoolBackend, TrainingJob, available_backends,
@@ -53,6 +54,8 @@ __all__ = [
     "ShardError",
     "AGGREGATION_MODES",
     "FAILURE_POLICIES",
+    "FUSION_MODES",
+    "WEIGHT_ARENA_MODES",
     "TrainingJob",
     "available_backends",
     "make_backend",

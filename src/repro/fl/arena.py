@@ -1,0 +1,304 @@
+"""Shared-memory weight arenas for the localhost persistent backend.
+
+The pipe-based :class:`~repro.fl.executor.PersistentProcessBackend`
+ships every cycle's weight tables through OS pipes — one full copy of
+the global snapshot *per worker*, serialized through the kernel.  This
+module replaces those bulk bytes with POSIX shared memory:
+
+* the parent **stages** each frame's large out-of-band segments into a
+  per-cycle *generation* (one :class:`multiprocessing.shared_memory.
+  SharedMemory` block, named uniquely per backend instance), deduping
+  identical source buffers across worker slots, so the snapshot is
+  copied **once** no matter how many workers there are;
+* the pipe frames then carry only tiny ``(generation, offset, length)``
+  descriptors (see ``codec.py``'s arena segment flag) — cold dispatch
+  drops from O(weights x workers) pipe bytes to O(1) publish +
+  O(descriptors);
+* workers **attach** each generation on first reference and read the
+  segments as zero-copy writable views into the mapping.
+
+Generation lifecycle (double buffering)
+---------------------------------------
+``stage_segment`` lazily opens a staging generation; ``publish`` maps
+it, copies the staged bytes in, and makes it live.  Published
+generations are retired (closed + unlinked) by ``collect``, which keeps
+the *most recent* generation alive — a dispatch retry inside the same
+exchange may publish a successor generation while frames referencing
+the previous one are still owed to workers, so only older generations
+are ever unlinked.  Unlinking while workers still hold attached
+mappings is safe on Linux: the name disappears but every existing
+mapping stays valid until its holder closes it.
+
+Resource-tracker semantics
+--------------------------
+Both ``SharedMemory(create=True)`` and plain attaches register the
+segment name with :mod:`multiprocessing.resource_tracker`.  The workers
+are forked children, so they share the parent's tracker process: the
+parent's ``unlink`` is the single point that unregisters a name, and a
+worker-side attach adds no separate registration to clean up.  Workers
+therefore never call ``resource_tracker.unregister`` — keeping the
+registration alive also means the tracker still unlinks the segments if
+the *parent* dies without running teardown.  For normal interpreter
+exits a module-level ``atexit`` hook closes every live writer, so no
+"leaked shared_memory objects" warnings are emitted and ``/dev/shm``
+ends empty.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import time
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - import guard for exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None
+
+__all__ = ["WEIGHT_ARENA_MODES", "ArenaError", "WeightArenaWriter",
+           "ArenaReader"]
+
+#: Valid ``weight_arena`` settings of the persistent backend.
+WEIGHT_ARENA_MODES = ("off", "shm")
+
+#: Segment offsets are aligned so decoded ndarray views land on
+#: cache-line boundaries (numpy is happiest with aligned buffers).
+_ALIGNMENT = 64
+
+
+class ArenaError(RuntimeError):
+    """A shared-memory arena operation failed (missing generation,
+    descriptor out of bounds, or platform without shm support)."""
+
+
+def _require_shm():
+    if _shared_memory is None:  # pragma: no cover - exotic builds
+        raise ArenaError("multiprocessing.shared_memory is unavailable "
+                         "on this platform; use weight_arena='off'")
+    return _shared_memory
+
+
+class _StagingGeneration:
+    """Bytes promised to the next published generation.
+
+    Holds *references* to the source buffers (no copies yet) plus a
+    dedup table keyed by the id of each buffer's owner, so the same
+    snapshot ndarray referenced by every worker slot's frame is staged
+    exactly once.  The strong references also pin those ids for the
+    staging window, which is what makes the id-based dedup sound.
+    """
+
+    __slots__ = ("name", "size", "sources", "dedup")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.size = 0
+        self.sources: List[Tuple[int, memoryview]] = []
+        self.dedup: Dict[int, Tuple[str, int, int]] = {}
+
+
+class WeightArenaWriter:
+    """Parent-side arena: stage segments, publish generations, retire.
+
+    One writer per backend instance; generation names embed the pid, a
+    random session token and a counter, so concurrent backends (or a
+    crashed predecessor's leftovers) can never collide.
+    """
+
+    def __init__(self) -> None:
+        _require_shm()
+        self._session = secrets.token_hex(4)
+        self._counter = 0
+        self._staging: Optional[_StagingGeneration] = None
+        self._published: List["_shared_memory.SharedMemory"] = []
+        #: Wall-clock seconds the most recent :meth:`publish` spent
+        #: creating + filling its generation (benchmark instrumentation).
+        self.last_publish_seconds = 0.0
+        #: Bytes the most recent :meth:`publish` copied into shared
+        #: memory (0 when nothing was staged).
+        self.last_publish_bytes = 0
+        _LIVE_WRITERS.add(self)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def generation_count(self) -> int:
+        """Number of published generations not yet retired."""
+        return len(self._published)
+
+    def stage_segment(self, view: memoryview) -> Tuple[str, int, int]:
+        """Reserve arena space for ``view``; returns (name, offset, len).
+
+        No bytes move until :meth:`publish`.  Two views over the same
+        underlying object (the codec hands us ``PickleBuffer.raw()``
+        views, one per frame referencing a shared snapshot array) map to
+        one reservation.
+        """
+        view = memoryview(view)
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        owner = getattr(view, "obj", None)
+        key = id(owner) if owner is not None else id(view)
+        staging = self._staging
+        if staging is None:
+            staging = _StagingGeneration(
+                f"repro_arena_{os.getpid()}_{self._session}_{self._counter}")
+            self._counter += 1
+            self._staging = staging
+        cached = staging.dedup.get(key)
+        if cached is not None:
+            return cached
+        offset = -staging.size % _ALIGNMENT + staging.size
+        length = len(view)
+        staging.size = offset + length
+        staging.sources.append((offset, view))
+        descriptor = (staging.name, offset, length)
+        staging.dedup[key] = descriptor
+        return descriptor
+
+    def publish(self) -> Optional[str]:
+        """Materialize the staging generation; returns its name.
+
+        Creates the shared-memory block, copies every staged source in,
+        and drops the source references.  A no-op returning ``None``
+        when nothing was staged (e.g. a warm delta cycle where every
+        parameter was skipped).
+        """
+        staging, self._staging = self._staging, None
+        if staging is None:
+            return None
+        shm_module = _require_shm()
+        started = time.perf_counter()
+        try:
+            shm = shm_module.SharedMemory(create=True, name=staging.name,
+                                          size=max(staging.size, 1))
+        except OSError as exc:
+            raise ArenaError(
+                f"cannot create shared-memory generation "
+                f"{staging.name!r} ({staging.size} bytes): {exc}") from exc
+        buffer = shm.buf
+        for offset, view in staging.sources:
+            buffer[offset:offset + len(view)] = view
+        self._published.append(shm)
+        self.last_publish_seconds = time.perf_counter() - started
+        self.last_publish_bytes = staging.size
+        return staging.name
+
+    def abandon(self) -> None:
+        """Discard the staging generation without publishing it."""
+        self._staging = None
+
+    def collect(self) -> None:
+        """Retire all published generations but the most recent.
+
+        Also abandons any stale staging left behind by an aborted
+        dispatch attempt.  Call at the *start* of an exchange: the
+        previous exchange's frames are fully answered by then, so only
+        the latest generation can still be referenced by undispatched
+        retry frames.
+        """
+        self.abandon()
+        while len(self._published) > 1:
+            _unlink(self._published.pop(0))
+
+    def close(self) -> None:
+        """Retire everything; the writer stays reusable afterwards."""
+        self.abandon()
+        while self._published:
+            _unlink(self._published.pop())
+
+
+def _unlink(shm: "_shared_memory.SharedMemory") -> None:
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception:
+        pass
+
+
+#: Writers with possibly-live generations; swept at interpreter exit so
+#: an owner that never reached ``close()`` still leaves /dev/shm empty.
+_LIVE_WRITERS: "weakref.WeakSet[WeightArenaWriter]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_writers() -> None:  # pragma: no cover - interpreter exit
+    for writer in list(_LIVE_WRITERS):
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+class ArenaReader:
+    """Worker-side arena: attach generations, resolve descriptors.
+
+    Keeps at most one *active* generation mapped; attaching a new one
+    retires the previous mapping.  A retired mapping whose buffer is
+    still referenced (the codec's delta-decoder base can hold views
+    into it across cycles) raises ``BufferError`` on ``close`` — those
+    are parked and re-tried on the next attach, so mappings are released
+    as soon as their last view dies instead of accumulating.
+    """
+
+    def __init__(self) -> None:
+        self._attached: Dict[str, "_shared_memory.SharedMemory"] = {}
+        self._deferred: List["_shared_memory.SharedMemory"] = []
+
+    def resolve_segment(self, name: str, offset: int,
+                        length: int) -> memoryview:
+        """A writable zero-copy view of one staged segment."""
+        shm = self._attached.get(name)
+        if shm is None:
+            shm_module = _require_shm()
+            self._sweep_deferred()
+            for other in list(self._attached):
+                self._retire(self._attached.pop(other))
+            try:
+                shm = shm_module.SharedMemory(name=name)
+            except FileNotFoundError:
+                raise ArenaError(
+                    f"arena generation {name!r} no longer exists (the "
+                    f"parent retired it before this frame arrived)"
+                    ) from None
+            # No resource_tracker.unregister here: the forked worker
+            # shares the parent's tracker, so the parent's unlink is the
+            # single unregistration point — see the module docstring.
+            self._attached[name] = shm
+        if offset < 0 or length < 0 or offset + length > shm.size:
+            raise ArenaError(
+                f"arena descriptor [{offset}:{offset + length}] exceeds "
+                f"generation {name!r} of {shm.size} bytes")
+        return memoryview(shm.buf)[offset:offset + length]
+
+    def _sweep_deferred(self) -> None:
+        still_held = []
+        for shm in self._deferred:
+            try:
+                shm.close()
+            except BufferError:
+                still_held.append(shm)
+            except Exception:
+                pass
+        self._deferred = still_held
+
+    def _retire(self, shm: "_shared_memory.SharedMemory") -> None:
+        try:
+            shm.close()
+        except BufferError:
+            self._deferred.append(shm)
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Release every mapping (exported views permitting)."""
+        for name in list(self._attached):
+            self._retire(self._attached.pop(name))
+        self._sweep_deferred()

@@ -96,8 +96,10 @@ from ..nn.masking import ModelMask
 from . import codec as wire_codec
 from .aggregation import (NUM_LEVELS, ModelStructure, PartialAggregate,
                           fold_updates, level_sums, merge_partials)
+from .arena import WEIGHT_ARENA_MODES, ArenaReader, WeightArenaWriter
 from .client import ClientSpec, ClientUpdate, FLClient
 from .codec import DeltaDecoderState, DeltaEncoderState
+from .fusion import FUSION_MODES, cluster_signature, train_cluster
 from .transport import (DEFAULT_MAX_FRAME_BYTES, ProtocolError,
                         TransportError, _picklable_exception,
                         connect_to_shard, format_address, parse_address)
@@ -113,6 +115,8 @@ __all__ = [
     "ShardError",
     "AGGREGATION_MODES",
     "FAILURE_POLICIES",
+    "FUSION_MODES",
+    "WEIGHT_ARENA_MODES",
     "available_backends",
     "make_backend",
 ]
@@ -565,10 +569,17 @@ class _WireGroup:
 
 @dataclass
 class _WireBatch:
-    """Everything one persistent worker needs for one cycle."""
+    """Everything one persistent worker needs for one cycle.
+
+    ``fusion`` selects the in-worker training engine: ``"off"`` runs the
+    classic per-client loop, ``"stacked"`` fuses topology-homogeneous
+    clients into batched multi-client GEMMs (see :mod:`repro.fl.fusion`)
+    — bit-identical either way.
+    """
 
     weights_table: List[Dict[str, np.ndarray]]
     groups: List[_WireGroup]
+    fusion: str = "off"
 
 
 @dataclass
@@ -589,6 +600,7 @@ class _WireFoldBatch:
     factors: List[List[float]]
     partial: bool
     structure: Optional[ModelStructure]
+    fusion: str = "off"
 
 
 @dataclass
@@ -681,6 +693,7 @@ def _persistent_worker_main(conn, wire_compression: str = "none") -> None:
     """
     residents: Dict[int, FLClient] = {}
     codec_state = DeltaDecoderState()
+    arena_reader = ArenaReader()
     try:
         while True:
             try:
@@ -693,7 +706,8 @@ def _persistent_worker_main(conn, wire_compression: str = "none") -> None:
                 # decoded as views must be writable like the socket
                 # shards' (and the old in-band pickles').
                 kind, payload = wire_codec.decode_message(
-                    memoryview(bytearray(blob)), delta_state=codec_state)
+                    memoryview(bytearray(blob)), delta_state=codec_state,
+                    arena=arena_reader)
             except wire_codec.DeltaBaseMismatchError as exc:
                 # The parent's delta assumed a base this worker does not
                 # hold; report it so the parent re-sends a full snapshot.
@@ -711,17 +725,16 @@ def _persistent_worker_main(conn, wire_compression: str = "none") -> None:
             reply = _handle_resident_request(kind, payload, residents)
             conn.send_bytes(_encode_reply(reply, wire_compression))
     finally:
+        arena_reader.close()
         conn.close()
 
 
-def _train_wire_group(residents: Dict[int, FLClient],
-                      weights_table: List[Dict[str, np.ndarray]],
-                      group: _WireGroup) -> Tuple:
-    """Train one group's chained jobs against the resident fleet.
+def _ensure_resident(residents: Dict[int, FLClient],
+                     group: _WireGroup) -> Tuple:
+    """Build or fetch a group's resident client.
 
-    Returns ``("ok", updates, rng_state)`` or ``("error", exc)``; the
-    error cases drop the resident replica so the parent re-ships a clean
-    spec before the client's next batch.
+    Returns ``("ok", client)`` or ``("error", exc)``; build failures
+    drop any stale replica so the parent re-ships a clean spec.
     """
     if group.spec is not None:
         # A spec that cannot build on this host (import error, missing
@@ -736,6 +749,19 @@ def _train_wire_group(residents: Dict[int, FLClient],
         return ("error", RuntimeError(
             f"worker has no resident client {group.index} and "
             f"received no spec"))
+    return ("ok", client)
+
+
+def _train_resident_group(residents: Dict[int, FLClient],
+                          client: FLClient,
+                          weights_table: List[Dict[str, np.ndarray]],
+                          group: _WireGroup) -> Tuple:
+    """Train one ensured client's chained jobs through the classic loop.
+
+    Returns ``("ok", updates, rng_state)`` or ``("error", exc)``; the
+    error case drops the resident replica so the parent re-ships a clean
+    spec before the client's next batch.
+    """
     client.rng.bit_generator.state = group.rng_state
     try:
         updates = [client.local_train(
@@ -750,12 +776,91 @@ def _train_wire_group(residents: Dict[int, FLClient],
     return ("ok", updates, client.rng.bit_generator.state)
 
 
+def _train_wire_group(residents: Dict[int, FLClient],
+                      weights_table: List[Dict[str, np.ndarray]],
+                      group: _WireGroup) -> Tuple:
+    """Train one group's chained jobs against the resident fleet."""
+    ensured = _ensure_resident(residents, group)
+    if ensured[0] == "error":
+        return ensured
+    return _train_resident_group(residents, ensured[1], weights_table,
+                                 group)
+
+
+def _train_groups_stacked(residents: Dict[int, FLClient],
+                          weights_table: List[Dict[str, np.ndarray]],
+                          groups: List[_WireGroup]) -> List[Tuple]:
+    """Train a batch's groups with fusion-eligible clients clustered.
+
+    Groups sharing a :func:`~repro.fl.fusion.cluster_signature` train as
+    one stacked multi-client pass; singletons and ineligible groups run
+    the classic per-client loop.  Outcomes come back in group order and
+    are bit-identical to the classic path — clients share no state and
+    every group's RNG is restored from its shipped digest, so the
+    cluster-first execution order is invisible in the results.
+    """
+    outcomes: List[Optional[Tuple]] = [None] * len(groups)
+    clusters: Dict[Tuple, List[Tuple[int, FLClient, _WireGroup]]] = {}
+    for position, group in enumerate(groups):
+        ensured = _ensure_resident(residents, group)
+        if ensured[0] == "error":
+            outcomes[position] = ensured
+            continue
+        client = ensured[1]
+        signature = cluster_signature(client, group, weights_table)
+        if signature is None:
+            outcomes[position] = _train_resident_group(
+                residents, client, weights_table, group)
+        else:
+            clusters.setdefault(signature, []).append(
+                (position, client, group))
+    for members in clusters.values():
+        if len(members) < 2:
+            # A cluster of one gains nothing from stacking; keep the
+            # classic loop as the single source of singleton numerics.
+            for position, client, group in members:
+                outcomes[position] = _train_resident_group(
+                    residents, client, weights_table, group)
+            continue
+        for _, client, group in members:
+            client.rng.bit_generator.state = group.rng_state
+        try:
+            updates = train_cluster(
+                [(client, group.jobs[0]) for _, client, group in members],
+                weights_table)
+        except Exception as exc:
+            # The stacked pass has no per-client failure boundary: fail
+            # every member and drop their replicas for a clean re-ship.
+            wrapped = _picklable_exception(exc)
+            for position, _, group in members:
+                residents.pop(group.index, None)
+                outcomes[position] = ("error", wrapped)
+            continue
+        for (position, client, _), update in zip(members, updates):
+            outcomes[position] = ("ok", [update],
+                                  client.rng.bit_generator.state)
+    return outcomes
+
+
+def _train_batch_groups(residents: Dict[int, FLClient],
+                        weights_table: List[Dict[str, np.ndarray]],
+                        groups: List[_WireGroup],
+                        fusion: str) -> List[Tuple]:
+    """Per-group training outcomes, via the configured engine."""
+    if fusion == "stacked":
+        return _train_groups_stacked(residents, weights_table, groups)
+    return [_train_wire_group(residents, weights_table, group)
+            for group in groups]
+
+
 def _run_wire_batch(residents: Dict[int, FLClient],
                     batch: _WireBatch) -> List[Tuple]:
     """Train every group of a worker batch against the resident fleet."""
     results: List[Tuple] = []
-    for group in batch.groups:
-        outcome = _train_wire_group(residents, batch.weights_table, group)
+    outcomes = _train_batch_groups(residents, batch.weights_table,
+                                   batch.groups,
+                                   getattr(batch, "fusion", "off"))
+    for group, outcome in zip(batch.groups, outcomes):
         if outcome[0] == "error":
             results.append((group.index, "error", outcome[1]))
         else:
@@ -779,8 +884,11 @@ def _run_fold_batch(residents: Dict[int, FLClient],
     folded_updates: List[ClientUpdate] = []
     folded_factors: List[float] = []
     failed = False
-    for group, group_factors in zip(batch.groups, batch.factors):
-        outcome = _train_wire_group(residents, batch.weights_table, group)
+    outcomes = _train_batch_groups(residents, batch.weights_table,
+                                   batch.groups,
+                                   getattr(batch, "fusion", "off"))
+    for group, group_factors, outcome in zip(batch.groups, batch.factors,
+                                             outcomes):
         if outcome[0] == "error":
             results.append((group.index, "error", outcome[1]))
             failed = True
@@ -952,7 +1060,8 @@ class _ResidentFleetBackend(ExecutionBackend):
 
     def __init__(self, on_failure: str = "abort",
                  wire_compression: str = "none",
-                 delta_shipping: bool = True) -> None:
+                 delta_shipping: bool = True,
+                 fusion: str = "off") -> None:
         if on_failure not in FAILURE_POLICIES:
             raise ValueError(
                 f"unknown failure policy {on_failure!r}; "
@@ -961,7 +1070,16 @@ class _ResidentFleetBackend(ExecutionBackend):
             raise ValueError(
                 f"unknown wire compression {wire_compression!r}; "
                 f"available: {wire_codec.COMPRESSIONS}")
+        if fusion not in FUSION_MODES:
+            raise ValueError(f"unknown fusion mode {fusion!r}; "
+                             f"available: {FUSION_MODES}")
         self.on_failure = on_failure
+        #: In-worker training engine (``"off"``/``"stacked"``) shipped
+        #: with every wire batch — see :mod:`repro.fl.fusion`.
+        self.fusion = fusion
+        #: Shared-memory arena writer (persistent backend only; ``None``
+        #: keeps every segment on the wire).
+        self._arena: Optional[WeightArenaWriter] = None
         #: Per-segment compression of the wire codec (``"none"``/
         #: ``"zlib"``) — applied to dispatches and, via negotiation or
         #: worker configuration, to the slots' replies.
@@ -1123,7 +1241,7 @@ class _ResidentFleetBackend(ExecutionBackend):
         return wire_codec.encode_message(
             (kind, batch), compression=self._slot_compression(slot),
             delta_state=state, force_full=force_full,
-            delta_cache=delta_cache)
+            delta_cache=delta_cache, arena=self._arena)
 
     def _commit_tx(self, slot: int, frame: "wire_codec.EncodedFrame",
                    array_cache: Optional[Dict] = None) -> None:
@@ -1248,8 +1366,9 @@ class _ResidentFleetBackend(ExecutionBackend):
                 slot = active[next_slot % len(active)]
                 next_slot += 1
                 placement[index] = slot
-            batch = batches.setdefault(slot, _WireBatch(weights_table=[],
-                                                        groups=[]))
+            batch = batches.setdefault(
+                slot, _WireBatch(weights_table=[], groups=[],
+                                 fusion=self.fusion))
             refs = weight_refs.setdefault(slot, {})
             wire_jobs = []
             for job in client_jobs:
@@ -1285,6 +1404,11 @@ class _ResidentFleetBackend(ExecutionBackend):
         slot.  Also refreshes :attr:`last_dispatch_bytes` and
         :attr:`last_reply_bytes` for this round trip.
         """
+        if self._arena is not None:
+            # The previous exchange is fully answered, so every arena
+            # generation but the most recent can be retired (and any
+            # staging a crashed attempt left behind is discarded).
+            self._arena.collect()
         # Both caches live for exactly one batch: they share the
         # O(weights) delta/copy work across slots encoding (and later
         # committing) the same global snapshot.
@@ -1294,6 +1418,10 @@ class _ResidentFleetBackend(ExecutionBackend):
                                          delta_cache=delta_cache,
                                          kind=wire_kind)
                   for slot, batch in batches.items()}
+        if self._arena is not None:
+            # Materialize the staged segments before any frame that
+            # references them can reach a worker.
+            self._arena.publish()
         self.last_dispatch_bytes = sum(frame.total_bytes
                                        for frame in frames.values())
         self.last_reply_bytes = 0
@@ -1326,6 +1454,12 @@ class _ResidentFleetBackend(ExecutionBackend):
                 mismatch_state.reset()
                 full = self._encode_run(slot, batches[slot],
                                         force_full=True, kind=wire_kind)
+                if self._arena is not None:
+                    # The resend staged its segments into a successor
+                    # generation; the earlier one stays live until the
+                    # next exchange's collect() in case later slots'
+                    # replies force more resends against it.
+                    self._arena.publish()
                 self.last_dispatch_bytes += full.total_bytes
                 frames[slot] = full
                 self._dispatch(slot, full, "re-sending a full snapshot",
@@ -1434,7 +1568,8 @@ class _ResidentFleetBackend(ExecutionBackend):
         fold_batches = {
             slot: _WireFoldBatch(weights_table=batch.weights_table,
                                  groups=batch.groups, factors=[],
-                                 partial=partial, structure=structure)
+                                 partial=partial, structure=structure,
+                                 fusion=batch.fusion)
             for slot, batch in batches.items()}
         # Per-slot factor rows line up with the slot's groups because
         # both follow the submission order of ``order``.
@@ -1596,13 +1731,20 @@ class _ResidentFleetBackend(ExecutionBackend):
 
         Encodes through the real codec path (delta states included, but
         never committed), so the number matches what the next batch
-        actually puts on the wire.
+        actually puts on the wire.  Under a shared-memory arena the
+        frames carry descriptors instead of array bytes, and those
+        descriptor bytes are what is reported — the staged (never
+        published) segments are abandoned before returning.
         """
         batches, _ = self._build_payloads(clients, jobs, commit=False)
         delta_cache: Dict = {}
-        return sum(self._encode_run(slot, batch,
-                                    delta_cache=delta_cache).total_bytes
-                   for slot, batch in batches.items())
+        try:
+            return sum(self._encode_run(slot, batch,
+                                        delta_cache=delta_cache).total_bytes
+                       for slot, batch in batches.items())
+        finally:
+            if self._arena is not None:
+                self._arena.abandon()
 
     def close(self) -> None:
         """Stop every slot; the backend re-creates them lazily if reused.
@@ -1655,13 +1797,23 @@ class PersistentProcessBackend(_ResidentFleetBackend):
     def __init__(self, max_workers: Optional[int] = None,
                  on_failure: str = "abort",
                  wire_compression: str = "none",
-                 delta_shipping: bool = True) -> None:
+                 delta_shipping: bool = True,
+                 weight_arena: str = "off",
+                 fusion: str = "off") -> None:
         super().__init__(on_failure=on_failure,
                          wire_compression=wire_compression,
-                         delta_shipping=delta_shipping)
+                         delta_shipping=delta_shipping,
+                         fusion=fusion)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if weight_arena not in WEIGHT_ARENA_MODES:
+            raise ValueError(
+                f"unknown weight arena mode {weight_arena!r}; "
+                f"available: {WEIGHT_ARENA_MODES}")
         self.max_workers = max_workers
+        self.weight_arena = weight_arena
+        if weight_arena == "shm":
+            self._arena = WeightArenaWriter()
         self._ctx = multiprocessing.get_context()
         self._workers: Dict[int, _PersistentWorker] = {}
 
@@ -1744,6 +1896,11 @@ class PersistentProcessBackend(_ResidentFleetBackend):
         self._workers.clear()
         for worker in workers:
             worker.stop()
+        if self._arena is not None:
+            # After the workers are gone nothing can still reference a
+            # generation — unlink them all.  The writer stays reusable,
+            # so a re-opened backend keeps its arena.
+            self._arena.close()
 
 
 # --------------------------------------------------------------------- #
@@ -1903,10 +2060,12 @@ class ShardedSocketBackend(_ResidentFleetBackend):
                  heartbeat_interval: Optional[float] = None,
                  heartbeat_timeout: float = 5.0,
                  wire_compression: str = "none",
-                 delta_shipping: bool = True) -> None:
+                 delta_shipping: bool = True,
+                 fusion: str = "off") -> None:
         super().__init__(on_failure=on_failure,
                          wire_compression=wire_compression,
-                         delta_shipping=delta_shipping)
+                         delta_shipping=delta_shipping,
+                         fusion=fusion)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if heartbeat_interval is not None and heartbeat_interval < 0:
@@ -2238,7 +2397,9 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                  heartbeat_interval: Optional[float] = None,
                  wire_compression: Optional[str] = None,
                  delta_shipping: Optional[bool] = None,
-                 aggregation: Optional[str] = None
+                 aggregation: Optional[str] = None,
+                 weight_arena: Optional[str] = None,
+                 fusion: Optional[str] = None
                  ) -> ExecutionBackend:
     """Resolve a backend specification into an :class:`ExecutionBackend`.
 
@@ -2289,6 +2450,19 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         either way.  Valid for every backend name (the serial fold is
         the reference implementation); must be ``None`` when ``spec``
         is an already-constructed instance.
+    weight_arena:
+        Weight dispatch plane of the persistent backend (``"off"``,
+        default, or ``"shm"``).  With ``"shm"`` the parent publishes
+        each cycle's weight tables into a shared-memory arena and the
+        pipes carry only descriptors — see :mod:`repro.fl.arena`.
+        Single-host by construction, so only ``spec="persistent"``
+        accepts it.
+    fusion:
+        In-worker training engine of the worker-resident backends
+        (``"off"``, default, or ``"stacked"``).  With ``"stacked"``
+        clients sharing a model topology and batch schedule train as
+        one batched-GEMM pass — bit-identical to serial; see
+        :mod:`repro.fl.fusion`.
     """
     if isinstance(spec, ExecutionBackend):
         if max_workers is not None:
@@ -2317,6 +2491,11 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 f"aggregation={aggregation!r} cannot be applied to an "
                 f"already-constructed backend instance {spec!r}; set the "
                 f"instance's aggregation attribute instead")
+        if weight_arena is not None or fusion is not None:
+            raise ValueError(
+                f"weight_arena/fusion cannot be applied to an already-"
+                f"constructed backend instance {spec!r}; construct the "
+                f"backend with the desired execution plane instead")
         return spec
     if aggregation is not None and aggregation not in AGGREGATION_MODES:
         raise ValueError(
@@ -2340,6 +2519,15 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         raise ValueError(
             f"wire_compression/delta_shipping only apply to the worker-"
             f"resident backends ('sharded', 'persistent'), not {spec!r}")
+    if weight_arena is not None and spec != PersistentProcessBackend.name:
+        raise ValueError(
+            f"weight_arena only applies to the 'persistent' backend "
+            f"(shared-memory arenas are single-host), not {spec!r}")
+    if fusion is not None and spec not in (ShardedSocketBackend.name,
+                                           PersistentProcessBackend.name):
+        raise ValueError(
+            f"fusion only applies to the worker-resident backends "
+            f"('sharded', 'persistent'), not {spec!r}")
     if spec is None:
         if max_workers is not None:
             # Mirrors the instance rejection above: a defaulted (serial)
@@ -2369,14 +2557,17 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 heartbeat_interval=heartbeat_interval,
                 wire_compression=wire_compression or "none",
                 delta_shipping=(delta_shipping
-                                if delta_shipping is not None else True))
+                                if delta_shipping is not None else True),
+                fusion=fusion or "off")
         elif factory is PersistentProcessBackend:
             backend = PersistentProcessBackend(
                 max_workers=max_workers,
                 on_failure=on_shard_failure or "abort",
                 wire_compression=wire_compression or "none",
                 delta_shipping=(delta_shipping
-                                if delta_shipping is not None else True))
+                                if delta_shipping is not None else True),
+                weight_arena=weight_arena or "off",
+                fusion=fusion or "off")
         else:
             backend = factory(max_workers=max_workers)
     else:

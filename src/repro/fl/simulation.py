@@ -194,7 +194,9 @@ class FederatedSimulation:
                     heartbeat_interval: Optional[float] = None,
                     wire_compression: Optional[str] = None,
                     delta_shipping: Optional[bool] = None,
-                    aggregation: Optional[str] = None
+                    aggregation: Optional[str] = None,
+                    weight_arena: Optional[str] = None,
+                    fusion: Optional[str] = None
                     ) -> ExecutionBackend:
         """Swap the execution backend, closing the previous pooled one.
 
@@ -222,6 +224,11 @@ class FederatedSimulation:
         used by :meth:`train_and_aggregate` and
         :meth:`run_virtual_cycle` — see
         :func:`~repro.fl.executor.make_backend`.
+        ``weight_arena`` (``"off"``/``"shm"``, ``"persistent"`` backend
+        only) dispatches weights through shared-memory arenas, and
+        ``fusion`` (``"off"``/``"stacked"``, worker-resident backends
+        only) trains topology-homogeneous clients as one batched-GEMM
+        pass — both bit-identical to serial.
         """
         new_backend = make_backend(backend, max_workers=max_workers,
                                    shards=shards,
@@ -229,7 +236,9 @@ class FederatedSimulation:
                                    heartbeat_interval=heartbeat_interval,
                                    wire_compression=wire_compression,
                                    delta_shipping=delta_shipping,
-                                   aggregation=aggregation)
+                                   aggregation=aggregation,
+                                   weight_arena=weight_arena,
+                                   fusion=fusion)
         if new_backend is self.backend:
             return new_backend
         old_backend = self.backend

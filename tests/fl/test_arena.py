@@ -1,0 +1,322 @@
+"""Shared-memory weight arena tests: unit, codec and backend lifecycle.
+
+Covers the writer/reader pair of :mod:`repro.fl.arena`, the codec's
+arena segment kind, and the persistent backend's arena lifecycle —
+including the guarantees the resource tracker cares about: generations
+are retired as cycles advance, close/failover unlinks everything, and a
+whole training run leaves ``/dev/shm`` exactly as it found it.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.fl import codec as wire_codec
+from repro.fl import make_backend
+from repro.fl.arena import (WEIGHT_ARENA_MODES, ArenaError, ArenaReader,
+                            WeightArenaWriter)
+from repro.fl.executor import TrainingJob
+
+from ..conftest import make_tiny_simulation
+
+SHM_DIR = "/dev/shm"
+
+
+def shm_arena_files():
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux
+        return []
+    return sorted(glob.glob(os.path.join(SHM_DIR, "repro_arena_*")))
+
+
+@pytest.fixture
+def writer():
+    arena_writer = WeightArenaWriter()
+    yield arena_writer
+    arena_writer.close()
+
+
+@pytest.fixture
+def reader():
+    arena_reader = ArenaReader()
+    yield arena_reader
+    arena_reader.close()
+
+
+class TestWriterReader:
+    def test_stage_publish_resolve_round_trip(self, writer, reader):
+        payload = np.arange(1024, dtype=np.float64)
+        name, offset, length = writer.stage_segment(
+            memoryview(payload).cast("B"))
+        assert length == payload.nbytes
+        assert writer.publish() == name
+        view = reader.resolve_segment(name, offset, length)
+        np.testing.assert_array_equal(
+            np.frombuffer(view, dtype=np.float64), payload)
+
+    def test_same_buffer_staged_once(self, writer):
+        payload = np.arange(256, dtype=np.float64)
+        first = writer.stage_segment(memoryview(payload).cast("B"))
+        second = writer.stage_segment(memoryview(payload).cast("B"))
+        assert first == second
+
+    def test_distinct_buffers_get_aligned_offsets(self, writer):
+        a = np.arange(13, dtype=np.uint8)
+        b = np.arange(17, dtype=np.uint8)
+        name_a, offset_a, _ = writer.stage_segment(memoryview(a))
+        name_b, offset_b, _ = writer.stage_segment(memoryview(b))
+        assert name_a == name_b
+        assert offset_a != offset_b
+        assert offset_a % 64 == 0 and offset_b % 64 == 0
+
+    def test_publish_without_staging_is_noop(self, writer):
+        assert writer.publish() is None
+        assert writer.generation_count == 0
+
+    def test_collect_keeps_only_most_recent_generation(self, writer,
+                                                       reader):
+        names = []
+        for round_index in range(3):
+            payload = np.full(128, round_index, dtype=np.float64)
+            names.append(writer.stage_segment(
+                memoryview(payload).cast("B"))[0])
+            writer.publish()
+        assert writer.generation_count == 3
+        writer.collect()
+        assert writer.generation_count == 1
+        # The survivor resolves; the retired generations are gone.
+        reader.resolve_segment(names[-1], 0, 128 * 8)
+        fresh = ArenaReader()
+        try:
+            with pytest.raises(ArenaError, match="no longer exists"):
+                fresh.resolve_segment(names[0], 0, 128 * 8)
+        finally:
+            fresh.close()
+
+    def test_close_unlinks_everything_and_writer_is_reusable(self, writer):
+        payload = np.arange(64, dtype=np.float64)
+        name = writer.stage_segment(memoryview(payload).cast("B"))[0]
+        writer.publish()
+        writer.close()
+        assert writer.generation_count == 0
+        probing = ArenaReader()
+        try:
+            with pytest.raises(ArenaError, match="no longer exists"):
+                probing.resolve_segment(name, 0, payload.nbytes)
+        finally:
+            probing.close()
+        # Reusable: a fresh generation publishes under a new name.
+        renamed = writer.stage_segment(memoryview(payload).cast("B"))[0]
+        assert renamed != name
+        assert writer.publish() == renamed
+
+    def test_abandon_discards_staging(self, writer):
+        payload = np.arange(64, dtype=np.float64)
+        writer.stage_segment(memoryview(payload).cast("B"))
+        writer.abandon()
+        assert writer.publish() is None
+
+    def test_missing_generation_raises(self, reader):
+        with pytest.raises(ArenaError, match="no longer exists"):
+            reader.resolve_segment("repro_arena_0_deadbeef_0", 0, 8)
+
+    def test_out_of_bounds_descriptor_raises(self, writer, reader):
+        payload = np.arange(64, dtype=np.float64)
+        name, offset, length = writer.stage_segment(
+            memoryview(payload).cast("B"))
+        writer.publish()
+        with pytest.raises(ArenaError, match="exceeds"):
+            reader.resolve_segment(name, offset, length + 4096)
+
+    def test_publish_stats_recorded(self, writer):
+        payload = np.arange(1024, dtype=np.float64)
+        writer.stage_segment(memoryview(payload).cast("B"))
+        writer.publish()
+        assert writer.last_publish_bytes == payload.nbytes
+        assert writer.last_publish_seconds >= 0.0
+
+
+class TestCodecArenaSegments:
+    def _round_trip(self, message, writer, reader, compression="none"):
+        frame = wire_codec.encode_message(message, arena=writer,
+                                          compression=compression)
+        writer.publish()
+        blob = memoryview(bytearray(frame.tobytes()))
+        return frame, wire_codec.decode_message(blob, arena=reader)
+
+    def test_large_arrays_travel_as_descriptors(self, writer, reader):
+        weights = {"w": np.arange(4096, dtype=np.float64),
+                   "tiny": np.arange(4, dtype=np.float64)}
+        frame, (kind, decoded) = self._round_trip(
+            ("run", weights), writer, reader)
+        assert kind == "run"
+        np.testing.assert_array_equal(decoded["w"], weights["w"])
+        np.testing.assert_array_equal(decoded["tiny"], weights["tiny"])
+        # The frame itself no longer carries the big array's bytes …
+        assert frame.total_bytes < weights["w"].nbytes
+        # … and the decoded view aliases the shared-memory mapping.
+        assert not decoded["w"].flags.owndata
+
+    def test_shared_array_deduped_across_frames(self, writer):
+        shared = np.arange(8192, dtype=np.float64)
+        frame_a = wire_codec.encode_message(("run", {"w": shared}),
+                                            arena=writer)
+        frame_b = wire_codec.encode_message(("run", {"w": shared}),
+                                            arena=writer)
+        assert writer.publish() is not None
+        assert writer.last_publish_bytes < 2 * shared.nbytes
+        assert frame_a.total_bytes < shared.nbytes
+        assert frame_b.total_bytes < shared.nbytes
+        writer.collect()
+
+    def test_arena_frame_without_reader_raises(self, writer):
+        weights = {"w": np.arange(4096, dtype=np.float64)}
+        frame = wire_codec.encode_message(("run", weights), arena=writer)
+        writer.publish()
+        blob = memoryview(bytearray(frame.tobytes()))
+        with pytest.raises(wire_codec.CodecError, match="single-host"):
+            wire_codec.decode_message(blob)
+
+    def test_arena_segments_skip_compression(self, writer, reader):
+        weights = {"w": np.zeros(8192, dtype=np.float64)}
+        frame, (_, decoded) = self._round_trip(("run", weights), writer,
+                                               reader, compression="zlib")
+        np.testing.assert_array_equal(decoded["w"], weights["w"])
+
+
+class TestPersistentBackendArena:
+    def test_modes_exported(self):
+        assert WEIGHT_ARENA_MODES == ("off", "shm")
+        from repro.fl import WEIGHT_ARENA_MODES as reexported
+        assert reexported is WEIGHT_ARENA_MODES
+
+    def test_arena_requires_persistent_backend(self):
+        with pytest.raises(ValueError, match="single-host"):
+            make_backend("sharded", weight_arena="shm")
+        with pytest.raises(ValueError, match="weight_arena"):
+            make_backend("thread", weight_arena="shm")
+
+    def test_fusion_requires_resident_backend(self):
+        with pytest.raises(ValueError, match="fusion"):
+            make_backend("process", fusion="stacked")
+
+    def test_instance_passthrough_rejects_arena_and_fusion(self):
+        backend = make_backend("persistent", max_workers=1)
+        try:
+            with pytest.raises(ValueError, match="already-constructed"):
+                make_backend(backend, weight_arena="shm")
+            with pytest.raises(ValueError, match="already-constructed"):
+                make_backend(backend, fusion="stacked")
+        finally:
+            backend.close()
+
+    def test_unknown_modes_rejected(self):
+        with pytest.raises(ValueError, match="weight arena"):
+            make_backend("persistent", weight_arena="mmap")
+        with pytest.raises(ValueError, match="fusion"):
+            make_backend("persistent", fusion="fused")
+
+    def test_dispatch_bytes_report_descriptors_not_zero(self):
+        """Satellite: arena dispatch reports the descriptor bytes."""
+
+        def cold_bytes(**kwargs):
+            sim = make_tiny_simulation(samples_per_client=200)
+            sim.set_backend("persistent", max_workers=2, **kwargs)
+            weights = sim.server.get_global_weights()
+            jobs = [TrainingJob(index=index, weights=weights)
+                    for index in sim.client_indices()]
+            try:
+                cold = sim.backend.dispatch_payload_bytes(sim.clients,
+                                                          jobs)
+                # The probe only *stages*: the backend still trains and
+                # retires generations normally afterwards.
+                sim.run_jobs(jobs)
+                generations = (sim.backend._arena.generation_count
+                               if sim.backend._arena is not None else None)
+            finally:
+                sim.close()
+            return cold, generations
+
+        plain, _ = cold_bytes()
+        arena, generations = cold_bytes(weight_arena="shm")
+        assert 0 < arena
+        assert arena * 10 <= plain
+        assert generations == 1
+
+    def test_generations_bounded_across_cycles(self):
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("persistent", max_workers=2,
+                                  weight_arena="shm")
+        try:
+            for _ in range(4):
+                sim.train_clients(sim.client_indices())
+                assert backend._arena.generation_count <= 2
+        finally:
+            sim.close()
+        assert backend._arena.generation_count == 0
+
+    def test_close_unlinks_generations(self):
+        before = set(shm_arena_files())
+        sim = make_tiny_simulation()
+        sim.set_backend("persistent", max_workers=2, weight_arena="shm")
+        try:
+            sim.train_clients(sim.client_indices())
+            assert set(shm_arena_files()) - before
+        finally:
+            sim.close()
+        assert set(shm_arena_files()) - before == set()
+
+    def test_killed_worker_failover_bit_identical_and_leak_free(self):
+        """SIGKILL mid-run: rebalance heals, /dev/shm ends clean."""
+        serial_sim = make_tiny_simulation()
+        serial_sim.train_clients(serial_sim.client_indices())
+        serial_second = serial_sim.train_clients(
+            serial_sim.client_indices())
+
+        before = set(shm_arena_files())
+        sim = make_tiny_simulation()
+        backend = sim.set_backend("persistent", max_workers=2,
+                                  weight_arena="shm", fusion="stacked",
+                                  on_shard_failure="rebalance")
+        try:
+            sim.train_clients(sim.client_indices())
+            worker = backend._workers[0]
+            worker.process.kill()
+            worker.process.join()
+            second = sim.train_clients(sim.client_indices())
+        finally:
+            sim.close()
+        assert set(shm_arena_files()) - before == set()
+        for expected, actual in zip(serial_second, second):
+            assert expected.train_loss == actual.train_loss
+            for key in expected.weights:
+                np.testing.assert_array_equal(expected.weights[key],
+                                              actual.weights[key])
+
+    def test_interpreter_exit_leaves_no_segments_or_warnings(self):
+        """Satellite: a run that never calls close() still unlinks its
+        generations at interpreter exit, with no resource_tracker
+        leak warnings."""
+        script = (
+            "import sys; sys.path.insert(0, {src!r}); "
+            "sys.path.insert(0, {tests_root!r})\n"
+            "from tests.conftest import make_tiny_simulation\n"
+            "sim = make_tiny_simulation()\n"
+            "sim.set_backend('persistent', max_workers=2, "
+            "weight_arena='shm', fusion='stacked')\n"
+            "sim.train_clients(sim.client_indices())\n"
+            "print('TRAINED', flush=True)\n"
+        ).format(src=os.path.abspath("src"),
+                 tests_root=os.path.abspath("."))
+        before = set(shm_arena_files())
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True,
+                                timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert "TRAINED" in result.stdout
+        assert "leaked shared_memory" not in result.stderr
+        assert "resource_tracker" not in result.stderr
+        assert set(shm_arena_files()) - before == set()

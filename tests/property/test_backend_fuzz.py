@@ -24,8 +24,9 @@ from ..conftest import (FAST_DEVICE, make_tiny_dataset, make_tiny_model,
 FUZZ_SEEDS = (0, 1, 2)
 #: Backend configurations replayed against the serial reference: every
 #: non-serial backend, plus the worker-resident backends under each wire
-#: codec variant (delta + zlib compression, and delta disabled) — the
-#: codec must be invisible in the numerics whatever its knobs.
+#: codec variant (delta + zlib compression, and delta disabled), the
+#: persistent backend's shared-memory arena dispatch, and the stacked
+#: fusion engine — none of these knobs may be visible in the numerics.
 BACKENDS_UNDER_TEST = (
     ("thread", {}),
     ("process", {}),
@@ -34,6 +35,10 @@ BACKENDS_UNDER_TEST = (
     ("persistent", {"wire_compression": "zlib"}),
     ("sharded", {"wire_compression": "zlib"}),
     ("persistent", {"delta_shipping": False}),
+    ("persistent", {"weight_arena": "shm"}),
+    ("persistent", {"fusion": "stacked"}),
+    ("persistent", {"weight_arena": "shm", "fusion": "stacked"}),
+    ("sharded", {"fusion": "stacked"}),
 )
 
 BACKEND_IDS = [name if not kwargs else
@@ -147,6 +152,9 @@ AGGREGATION_BACKENDS = (
     ("persistent", {}),
     ("sharded", {}),
     ("persistent", {"wire_compression": "zlib"}),
+    # Masked hierarchical folding on top of arena dispatch + stacked
+    # fusion: masks must gate the fused GEMM exactly like serial.
+    ("persistent", {"weight_arena": "shm", "fusion": "stacked"}),
 )
 
 AGGREGATION_IDS = [name if not kwargs else
