@@ -16,6 +16,9 @@ backend's whole-client pickling.  Its ``virtual_fleets`` section sweeps
 logical fleet sizes through ``run_virtual_cycle`` on a 2-shard fleet and
 asserts the hierarchical-aggregation claim: upstream bytes independent
 of the fleet size and >=10x below flat at 10^3 clients/shard.  The
+``transport`` section records median ping round-trips against a live
+shard server with TCP_NODELAY on (the default) and off, so the Nagle
+before/after is visible in the report.  The
 ``arena`` and ``fusion`` sections (also written standalone by
 ``test_arena_fusion_report_json`` as ``BENCH_arena_fusion.json`` for the
 CI smoke artifact) assert the shared-memory dispatch claim (cold pipe
@@ -715,6 +718,56 @@ def _virtual_sweep_report():
     }
 
 
+def _transport_ping_report(num_pings=50, num_nagle_pings=25):
+    """Median ping round-trip against a live :class:`ShardServer`, with
+    TCP_NODELAY on (the transport's default since concurrent serving
+    landed) and explicitly off for the before/after comparison.
+
+    Recorded, not asserted: small-frame RTT is scheduler noise on a busy
+    CI box, and pings are answered inline by the server's event loop
+    either way — the record is here so Nagle regressions are visible in
+    the report, not to gate merges on microseconds.
+    """
+    import threading
+
+    from repro.fl.transport import ShardServer, connect_to_shard
+
+    server = ShardServer()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def median_rtt_s(channel, count):
+        rtts = []
+        for _ in range(count):
+            start = time.perf_counter()
+            channel.send(("ping", None))
+            kind, _ = channel.recv()
+            rtts.append(time.perf_counter() - start)
+            assert kind == "pong"
+        return float(np.median(rtts))
+
+    try:
+        channel = connect_to_shard(server.address, timeout=10)
+        try:
+            median_rtt_s(channel, 5)  # warm-up
+            nodelay = median_rtt_s(channel, num_pings)
+            channel.set_tcp_nodelay(False)
+            nagle = median_rtt_s(channel, num_nagle_pings)
+        finally:
+            channel.send(("shutdown", None))
+            channel.close()
+    finally:
+        thread.join(timeout=15)
+    assert not thread.is_alive()
+    print(f"\ntransport ping RTT: nodelay {nodelay * 1e6:.0f}us "
+          f"(default), nagle {nagle * 1e6:.0f}us")
+    return {
+        "ping_rtt_s": {"tcp_nodelay": nodelay, "nagle": nagle},
+        "num_pings": num_pings,
+        "tcp_nodelay_default": True,
+    }
+
+
 def test_substrate_report_json(results_dir):
     """Write BENCH_substrate.json and assert the dispatch-scaling and
     delta-shipping claims."""
@@ -748,6 +801,7 @@ def test_substrate_report_json(results_dir):
         "dispatch_payload_bytes": payloads,
         "arena": _arena_sweep_report(),
         "fusion": _fusion_sweep_report(),
+        "transport": _transport_ping_report(),
         "virtual_fleets": _virtual_sweep_report(),
         "codec": {
             "configs": _CODEC_CONFIGS,

@@ -145,6 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
     shard_parser.add_argument("--max-frame-bytes", type=int, default=None,
                               help="reject protocol frames larger than "
                                    "this many bytes")
+    shard_parser.add_argument("--max-sessions", type=int, default=None,
+                              help="retain at most this many parent "
+                                   "session fleets; beyond it the least "
+                                   "recently active disconnected session "
+                                   "is evicted (default: 8)")
+    shard_parser.add_argument("--read-deadline", type=float, default=None,
+                              help="drop a connection that stalls "
+                                   "mid-frame for this many seconds; "
+                                   "its session stays resumable "
+                                   "(default: 600)")
     return parser
 
 
@@ -283,15 +293,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
     if args.command == "shard-worker":
-        return _serve_shard(args.host, args.port, args.max_frame_bytes)
+        return _serve_shard(args.host, args.port, args.max_frame_bytes,
+                            args.max_sessions, args.read_deadline)
     parser.print_help()
     return 1
 
 
-def _serve_shard(host: str, port: int,
-                 max_frame_bytes: Optional[int]) -> int:
+def _serve_shard(host: str, port: int, max_frame_bytes: Optional[int],
+                 max_sessions: Optional[int] = None,
+                 read_deadline: Optional[float] = None) -> int:
     """Run one shard server until it receives a shutdown message."""
-    from .fl.transport import DEFAULT_MAX_FRAME_BYTES, serve_shard
+    from .fl.transport import (DEFAULT_MAX_FRAME_BYTES, DEFAULT_MAX_SESSIONS,
+                               DEFAULT_READ_DEADLINE_S, serve_shard)
 
     if max_frame_bytes is not None and not 0 < max_frame_bytes <= 0xFFFFFFFF:
         print("error: --max-frame-bytes must be positive and within the "
@@ -299,6 +312,16 @@ def _serve_shard(host: str, port: int,
         return 2
     if max_frame_bytes is None:
         max_frame_bytes = DEFAULT_MAX_FRAME_BYTES
+    if max_sessions is not None and max_sessions < 1:
+        print("error: --max-sessions must be at least 1", file=sys.stderr)
+        return 2
+    if max_sessions is None:
+        max_sessions = DEFAULT_MAX_SESSIONS
+    if read_deadline is not None and read_deadline <= 0:
+        print("error: --read-deadline must be positive", file=sys.stderr)
+        return 2
+    if read_deadline is None:
+        read_deadline = DEFAULT_READ_DEADLINE_S
 
     def announce(bound_host: str, bound_port: int) -> None:
         # The auto-spawn mode of ShardedSocketBackend parses this line.
@@ -307,6 +330,7 @@ def _serve_shard(host: str, port: int,
 
     try:
         serve_shard(host, port, max_frame_bytes=max_frame_bytes,
+                    max_sessions=max_sessions, read_deadline=read_deadline,
                     ready=announce)
     except OSError as error:
         print(f"error: cannot serve shard on {host}:{port}: {error}",

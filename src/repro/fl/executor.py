@@ -634,7 +634,12 @@ def _handle_resident_request(kind: str, payload: Any,
 
     This is the protocol core shared by the pipe workers and the socket
     shard servers (their loops differ only in transport and control
-    messages).  A request whose handling blows up degrades to an
+    messages).  ``residents`` is the caller's routing decision: a pipe
+    worker has exactly one fleet, while the multi-session shard server
+    passes the *session-private* fleet of whichever parent sent the
+    request (see :class:`~repro.fl.transport.ShardServer`), so this
+    function never sees — and can never leak — another session's
+    residents.  A request whose handling blows up degrades to an
     ``("error", ...)`` reply instead of killing the worker — only
     ``Exception``, though, so Ctrl-C still stops a foreground shard
     mid-batch.
@@ -2013,7 +2018,12 @@ class ShardedSocketBackend(_ResidentFleetBackend):
       connects to externally started shard servers.  ``close()`` sends a
       polite ``bye`` and disconnects; the servers keep running and a
       reused backend reconnects (re-shipping specs — a fresh connection
-      never trusts leftover residents).
+      never trusts leftover residents).  External shards are
+      *multi-tenant*: several backends (even in different processes)
+      may share one fleet concurrently, each isolated behind its own
+      session token with a private resident fleet and delta-decoder
+      state on every shard — histories stay bit-identical to running
+      alone (see :class:`~repro.fl.transport.ShardServer`).
     * ``shards=None`` auto-spawns ``max_workers`` (default 2) localhost
       shard workers via the CLI entrypoint.  The children inherit the
       parent's ``sys.path`` so specs unpickle identically; ``close()``
@@ -2282,12 +2292,17 @@ class ShardedSocketBackend(_ResidentFleetBackend):
 
         Each probe is bounded by ``timeout`` (default: the backend's
         ``heartbeat_timeout``), so a hung shard cannot block the fleet.
-        A slot that fails its probe has its channel closed (a timed-out
-        pong would desynchronize the stream) and is reported; what to
-        *do* about it is the caller's policy — the pre-batch heartbeat
-        applies ``on_failure``, a monitoring caller may just observe.
-        Only call between batches: probing a slot with an in-flight
-        request would interleave replies.
+        The shard's event loop answers pings inline — never from the
+        thread executing batches — so a probe stays meaningful (and
+        fast) even while *another* parent's session is mid-batch on a
+        shared shard; a timeout here really means the shard process is
+        gone, not merely busy.  A slot that fails its probe has its
+        channel closed (a timed-out pong would desynchronize the
+        stream) and is reported; what to *do* about it is the caller's
+        policy — the pre-batch heartbeat applies ``on_failure``, a
+        monitoring caller may just observe.  Only call between batches:
+        probing a slot with an in-flight request of *this* session
+        would interleave replies.
         """
         probe_timeout = self.heartbeat_timeout if timeout is None else timeout
         dead: List[int] = []

@@ -2,8 +2,9 @@
 
 This module is the wire layer of :class:`~repro.fl.executor.
 ShardedSocketBackend`: length-prefixed message framing over TCP, a
-version-checked hello handshake, and the shard-server loop that hosts
-worker-resident clients behind the ``repro shard-worker`` CLI.
+version-checked hello handshake, and the shard-server event loop that
+hosts worker-resident clients behind the ``repro shard-worker`` CLI and
+serves several parent sessions concurrently.
 
 Framing
 -------
@@ -52,24 +53,53 @@ connection on plain pickles.  Both sides run the handshake under a
 timeout, so a version-mismatched or silent peer fails fast instead of
 blocking a fleet start-up forever.
 
+Concurrent sessions
+-------------------
+The shard server (:class:`ShardServer`, behind :func:`serve_shard`) is
+a single-threaded ``selectors`` event loop multiplexing every live
+connection, in the style of proactor/reactor actor runtimes: each
+connection carries its own incremental frame-reassembly buffers, so a
+peer that delivers a frame in dribbles never blocks its neighbours.
+Sessions are isolated by their hello token: every token owns a private
+resident fleet *and* a private delta-decoder state, so two parents
+sharing one fleet can never observe each other's residents or delta
+bases.  Heavy requests (``run``/``map``/``fold``/``vfold``) execute one
+at a time on a dedicated worker thread — arrival order within a
+connection, round-robin across connections — which keeps single-parent
+runs bit-identical to the serial backend while control traffic stays
+live.  ``--max-sessions`` caps how many session fleets a shard retains;
+adding one beyond the cap evicts the least-recently-active
+*disconnected* session, and is refused when every retained session has
+a live connection.
+
 Reconnects and resident state
 -----------------------------
-A shard keeps the resident clients of its *most recent session* across
-connection drops: a parent that reconnects with the same ``session``
-token resumes them (the ack carries ``"resumed": True``) instead of
-re-shipping every spec — this is what makes failover of a sibling shard
-cheap, because the surviving shards' fleets survive the reconnect.  A
-hello with a different (or no) session token drops the stored residents,
-so state can never leak between unrelated runs; a polite ``bye`` clears
-them too.
+A shard keeps each session's resident clients across connection drops:
+a parent that reconnects with the same ``session`` token resumes them
+(the ack carries ``"resumed": True``) instead of re-shipping every
+spec — this is what makes failover of a sibling shard cheap, because
+the surviving shards' fleets survive the reconnect.  A hello with a new
+token starts a fresh, independent fleet without disturbing anyone
+else's; a hello without a token gets a private fleet that dies with the
+connection; a polite ``bye`` retires that session's fleet and forgets
+its token.  A second connection arriving with a live session's token
+takes the session over (the stale predecessor is dropped).
 
-Health checking
----------------
+Liveness
+--------
 ``ping`` frames are answered with ``("pong", {"residents": ...})`` at
-any point in a connection's lifetime.  The sharded backend uses them as
-heartbeat probes between batches (see
-:meth:`~repro.fl.executor.ShardedSocketBackend.check_health`) so a dead
-shard is detected at a cycle boundary, where recovery is cheapest.
+any point in a connection's lifetime — *from the event loop itself*, so
+heartbeat probes (see
+:meth:`~repro.fl.executor.ShardedSocketBackend.check_health`) stay
+responsive even while a sibling session's batch is mid-training on the
+worker thread.  Two deadlines guard the loop: a connection that stalls
+*mid-frame* (or with unflushed replies) for longer than
+``read_deadline`` seconds is dropped — only that connection; its
+session stays resumable — and a connection that never completes the
+hello is dropped after the handshake timeout.  Transient
+``listener.accept()`` failures (``EMFILE``, ``ECONNABORTED``, …) pause
+accepting with exponential backoff and a one-line stderr diagnostic
+instead of silently killing a long-running shard.
 
 Trust boundary
 --------------
@@ -85,8 +115,14 @@ private interface or an SSH tunnel/WireGuard mesh.
 from __future__ import annotations
 
 import pickle
+import queue
+import selectors
 import socket
 import struct
+import sys
+import threading
+import time
+from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import codec as wire_codec
@@ -95,6 +131,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_LISTEN_BACKLOG",
+    "DEFAULT_MAX_SESSIONS",
+    "DEFAULT_READ_DEADLINE_S",
     "TransportError",
     "ConnectionClosedError",
     "TruncatedFrameError",
@@ -103,6 +141,7 @@ __all__ = [
     "ProtocolVersionError",
     "MalformedMessageError",
     "MessageChannel",
+    "ShardServer",
     "connect_to_shard",
     "serve_shard",
     "parse_address",
@@ -118,12 +157,25 @@ PROTOCOL_VERSION = 2
 #: comfortably; a corrupt header claiming gigabytes is rejected instead).
 DEFAULT_MAX_FRAME_BYTES = 1 << 30
 
-#: Listen backlog of the shard server.  One connection is *served* at a
-#: time, but reconnects racing a half-closed predecessor (failover
-#: resets every channel at once) and overlapping parents must be able to
-#: queue instead of having their SYNs dropped — ``listen(1)`` made a
-#: second connection in quick succession hang until its connect timeout.
+#: Listen backlog of the shard server.  Connections are accepted as the
+#: event loop gets to them, but reconnects racing a half-closed
+#: predecessor (failover resets every channel at once) and overlapping
+#: parents must be able to queue instead of having their SYNs dropped —
+#: ``listen(1)`` made a second connection in quick succession hang until
+#: its connect timeout.
 DEFAULT_LISTEN_BACKLOG = 128
+
+#: Default cap on retained session fleets per shard (``repro
+#: shard-worker --max-sessions``).  Beyond it, adding a session evicts
+#: the least-recently-active *disconnected* one; when every retained
+#: session still has a live connection the new hello is refused.
+DEFAULT_MAX_SESSIONS = 8
+
+#: Default seconds a connection may stall *mid-frame* (or with replies
+#: it is not reading back) before the server drops it.  Idle time
+#: between complete frames is unlimited — parents legitimately sit idle
+#: between cycles — so this only bounds wedged peers, not quiet ones.
+DEFAULT_READ_DEADLINE_S = 600.0
 
 #: Pickle protocol for shard traffic (matches the pipe workers).
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
@@ -132,6 +184,10 @@ _HEADER = struct.Struct(">I")
 
 #: Seconds both sides allow the hello handshake to take.
 _HANDSHAKE_TIMEOUT_S = 20.0
+
+#: Accept-failure backoff window (exponential, per consecutive failure).
+_ACCEPT_BACKOFF_MIN_S = 0.05
+_ACCEPT_BACKOFF_MAX_S = 2.0
 
 
 class TransportError(RuntimeError):
@@ -233,6 +289,12 @@ class MessageChannel:
                              "frame header's 4 GiB limit")
         self._sock: Optional[socket.socket] = sock
         self.max_frame_bytes = max_frame_bytes
+        # Nagle would hold each small control frame (ping/pong, delta
+        # headers, error replies) until the previous one is ACKed —
+        # with send_bytes' separate header/payload writes that is a
+        # delayed-ACK round trip per frame.  Request/reply traffic
+        # never benefits from coalescing, so disable it outright.
+        self.set_tcp_nodelay(True)
         #: Whether the hello handshake resumed a previous session's
         #: resident state on the shard (set by :func:`connect_to_shard`).
         self.resumed = False
@@ -320,7 +382,14 @@ class MessageChannel:
         view = memoryview(buffer)
         received = 0
         while received < num_bytes:
-            chunk = sock.recv_into(view[received:], num_bytes - received)
+            try:
+                chunk = sock.recv_into(view[received:], num_bytes - received)
+            except ConnectionResetError:
+                # A peer that drops a desynchronized connection with
+                # unread data in flight resets instead of FIN-closing;
+                # to the protocol that is the same "the stream is over"
+                # signal, not a bare socket error.
+                chunk = 0
             if not chunk:
                 if mid_frame or received:
                     raise TruncatedFrameError(
@@ -351,6 +420,22 @@ class MessageChannel:
         return _load_message(self.recv_bytes())
 
     # ------------------------------------------------------------------ #
+    def set_tcp_nodelay(self, enabled: bool) -> None:
+        """Toggle ``TCP_NODELAY`` (on by default; no-op off TCP).
+
+        Non-TCP sockets (the AF_UNIX socketpairs tests use, pipes on
+        some platforms) reject the option — that is fine, they have no
+        Nagle to disable.  The benchmark suite toggles this to measure
+        the latency Nagle would have cost.
+        """
+        if self._sock is None:
+            return
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY,
+                                  1 if enabled else 0)
+        except OSError:
+            pass
+
     def settimeout(self, timeout: Optional[float]) -> None:
         if self._sock is not None:
             self._sock.settimeout(timeout)
@@ -452,238 +537,800 @@ def connect_to_shard(address: Any, *,
     return channel
 
 
-def _server_handshake(channel: MessageChannel,
-                      session: Dict[str, Any]) -> Optional[Dict[int, Any]]:
-    """Validate a fresh connection's hello and resolve its residents.
+# --------------------------------------------------------------------- #
+# reply encoding (server side)
+# --------------------------------------------------------------------- #
 
-    ``session`` is the server's cross-connection store (``token`` +
-    ``residents`` + codec negotiation/state).  A hello carrying the
-    stored token *resumes* the previous connection's residents (and the
-    codec's delta-decoder state, which tracks them); any other hello
-    (different token, or none) replaces them with a clean fleet.
-    Returns the residents dict the connection must serve against, or
-    ``None`` if the handshake failed and the connection must be dropped.
-    """
-    try:
-        kind, payload = channel.recv()
-    except (TransportError, OSError, socket.timeout):
-        return None
-    if kind != "hello" or not isinstance(payload, dict):
-        _try_send(channel, ("error", ProtocolError(
-            f"expected a hello, got {kind!r}")))
-        return None
-    peer_version = payload.get("protocol")
-    if peer_version != PROTOCOL_VERSION:
-        _try_send(channel, ("error", ProtocolVersionError(
-            f"shard speaks protocol {PROTOCOL_VERSION}, "
-            f"client sent {peer_version!r}")))
-        return None
-    token = payload.get("session")
-    resumed = token is not None and token == session.get("token")
-    if not resumed:
-        session["residents"] = {}
-        session["codec_state"] = wire_codec.DeltaDecoderState()
-    session.setdefault("codec_state", wire_codec.DeltaDecoderState())
-    session["token"] = token
-    requested_codec = payload.get("codec")
-    if isinstance(requested_codec, dict):
-        session["codec"] = {
-            "version": wire_codec.CODEC_VERSION,
-            "compression": wire_codec.negotiate_compression(
-                requested_codec.get("compression")),
-        }
-    else:
-        session["codec"] = None
-    # Shared-memory arenas are single-host; a remote shard can never map
-    # the parent's /dev/shm, so the capability is always declined.
-    ack = {"protocol": PROTOCOL_VERSION, "resumed": resumed,
-           "residents": len(session["residents"]),
-           "codec": session["codec"], "arena": False}
-    if not _try_send(channel, ("hello-ack", ack)):
-        return None
-    return session["residents"]
-
-
-def _try_send(channel: MessageChannel, message: Tuple[str, Any]) -> bool:
-    try:
-        channel.send(message)
-        return True
-    except (TransportError, OSError):
-        return False
-
-
-def _send_reply(channel: MessageChannel, reply: Tuple[str, Any],
-                compression: Optional[str] = None) -> bool:
-    """Send a request's reply, degrading to an error reply if needed.
+def _pickled_reply_buffers(reply: Tuple[str, Any],
+                           max_frame_bytes: int) -> List[Any]:
+    """Wire buffers (header + payload) of a plain-pickled reply.
 
     The parent is blocked waiting for exactly one reply, so a reply that
     cannot be pickled or exceeds the frame limit must not be silently
     dropped (that would hang the fleet) nor crash the server: it is
-    replaced by a small ``("error", ...)`` explaining the failure —
-    naming the reply kind and its skeleton-vs-ndarray size breakdown
-    when it was the frame limit that bit.  ``compression`` selects the
-    negotiated codec framing (``None`` = plain pickle, for connections
-    that did not negotiate the codec).  ``False`` means the connection
-    itself is gone.
+    replaced by a small ``("error", ...)`` explaining the failure.
+    """
+    try:
+        blob = pickle.dumps(reply, _PICKLE_PROTOCOL)
+    except Exception as exc:
+        blob = pickle.dumps(("error", RuntimeError(
+            f"shard reply does not pickle: {exc!r}")), _PICKLE_PROTOCOL)
+    if len(blob) > max_frame_bytes:
+        blob = pickle.dumps(("error", FrameTooLargeError(
+            f"shard reply is {len(blob)} bytes "
+            f"(max_frame_bytes={max_frame_bytes})")), _PICKLE_PROTOCOL)
+    return [_HEADER.pack(len(blob)), blob]
+
+
+def _reply_buffers(reply: Tuple[str, Any], compression: Optional[str],
+                   max_frame_bytes: int) -> List[Any]:
+    """Wire buffers of a reply under the connection's negotiated framing.
+
+    ``compression`` selects codec framing (``None`` = plain pickle, for
+    connections that did not negotiate the codec).  Degradation follows
+    :func:`_pickled_reply_buffers`: an unencodable or oversized reply
+    becomes a small plain-pickled ``("error", ...)`` naming the reply
+    kind and its skeleton-vs-ndarray size breakdown when it was the
+    frame limit that bit.
     """
     if compression is None:
-        try:
-            blob = pickle.dumps(reply, _PICKLE_PROTOCOL)
-        except Exception as exc:
-            return _try_send(channel, ("error", RuntimeError(
-                f"shard reply does not pickle: {exc!r}")))
-        if len(blob) > channel.max_frame_bytes:
-            return _try_send(channel, ("error", FrameTooLargeError(
-                f"shard reply is {len(blob)} bytes "
-                f"(max_frame_bytes={channel.max_frame_bytes})")))
-        try:
-            channel.send_bytes(blob)
-            return True
-        except (TransportError, OSError):
-            return False
+        return _pickled_reply_buffers(reply, max_frame_bytes)
     try:
         frame = wire_codec.encode_message(reply, compression=compression)
     except Exception as exc:
-        return _try_send(channel, ("error", RuntimeError(
-            f"shard reply does not encode: {exc!r}")))
-    if frame.total_bytes > channel.max_frame_bytes:
-        return _try_send(channel, ("error", FrameTooLargeError(
+        return _pickled_reply_buffers(("error", RuntimeError(
+            f"shard reply does not encode: {exc!r}")), max_frame_bytes)
+    if frame.total_bytes > max_frame_bytes:
+        return _pickled_reply_buffers(("error", FrameTooLargeError(
             f"shard reply is an oversized {frame.kind!r} frame "
-            f"(max_frame_bytes={channel.max_frame_bytes}; "
-            f"{frame.describe()})")))
-    try:
-        channel.send_frame(frame)
-        return True
-    except (TransportError, OSError):
-        return False
+            f"(max_frame_bytes={max_frame_bytes}; "
+            f"{frame.describe()})")), max_frame_bytes)
+    return [_HEADER.pack(frame.total_bytes)] + frame.buffers()
 
 
 # --------------------------------------------------------------------- #
 # shard server
 # --------------------------------------------------------------------- #
 
+class _Session:
+    """One parent session's server-side state, isolated by hello token.
+
+    ``residents`` is the fleet :func:`~repro.fl.executor.
+    _handle_resident_request` mutates; ``codec_state`` the delta-decoder
+    bases its frames establish.  Both are private to the token — the
+    whole point of the session table is that no other parent can reach
+    them.  ``conn`` is the live connection currently owning the session
+    (``None`` while disconnected-but-resumable).
+    """
+
+    __slots__ = ("token", "residents", "codec_state", "conn", "last_active")
+
+    def __init__(self, token: Optional[str]) -> None:
+        self.token = token
+        self.residents: Dict[int, Any] = {}
+        self.codec_state = wire_codec.DeltaDecoderState()
+        self.conn: Optional["_Connection"] = None
+        self.last_active = 0.0
+
+
+class _Connection:
+    """Per-connection state machine of the shard-server event loop.
+
+    Owns the incremental frame reassembly (non-blocking reads into a
+    pre-sized writable buffer, so codec decodes stay zero-copy and
+    writable exactly like the blocking path), the outbox of partially
+    written replies, and the protocol state (``hello`` until the
+    handshake completes, then ``ready``).
+    """
+
+    HELLO = "hello"
+    READY = "ready"
+
+    __slots__ = ("sock", "peer", "max_frame_bytes", "state", "session",
+                 "compression", "deadline", "frames", "outbox", "busy",
+                 "pending_item", "close_after_flush", "dead", "interest",
+                 "_header", "_header_got", "_payload", "_payload_view",
+                 "_payload_got")
+
+    def __init__(self, sock: socket.socket, max_frame_bytes: int,
+                 handshake_deadline: float) -> None:
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self.sock = sock
+        try:
+            self.peer = format_address(sock.getpeername()[:2])
+        except OSError:
+            self.peer = "?"
+        self.max_frame_bytes = max_frame_bytes
+        self.state = _Connection.HELLO
+        self.session: Optional[_Session] = None
+        self.compression: Optional[str] = None
+        #: Monotonic instant after which the connection counts as wedged
+        #: (``None`` = no deadline armed; see :meth:`arm_deadline`).
+        self.deadline: Optional[float] = handshake_deadline
+        #: Complete frame payloads awaiting processing, in arrival order.
+        self.frames: deque = deque()
+        #: Reply bytes awaiting a writable socket.
+        self.outbox: deque = deque()
+        #: A heavy request of this connection is queued or executing.
+        self.busy = False
+        self.pending_item: Optional[Tuple[str, Any]] = None
+        self.close_after_flush = False
+        self.dead = False
+        self.interest = selectors.EVENT_READ
+        self._header = bytearray(_HEADER.size)
+        self._header_got = 0
+        self._payload: Optional[bytearray] = None
+        self._payload_view: Optional[memoryview] = None
+        self._payload_got = 0
+
+    @property
+    def mid_frame(self) -> bool:
+        return self._header_got > 0 or self._payload is not None
+
+    def on_readable(self) -> bool:
+        """Drain the socket into frames; ``False`` = connection is over.
+
+        Frames completed before an EOF are still queued — a parent that
+        sends ``bye`` and closes in one breath must have its ``bye``
+        honoured.
+        """
+        while True:
+            if self._payload is None:
+                want = _HEADER.size - self._header_got
+                try:
+                    got = self.sock.recv_into(
+                        memoryview(self._header)[self._header_got:], want)
+                except (BlockingIOError, InterruptedError):
+                    return True
+                except OSError:
+                    return False
+                if got == 0:
+                    return False
+                self._header_got += got
+                if self._header_got < _HEADER.size:
+                    continue
+                (length,) = _HEADER.unpack(self._header)
+                if length > self.max_frame_bytes:
+                    # The announced payload is never read, so the stream
+                    # is desynchronized beyond repair: drop it.
+                    return False
+                self._header_got = 0
+                self._payload = bytearray(length)
+                self._payload_view = memoryview(self._payload)
+                self._payload_got = 0
+                if length == 0:
+                    self._finish_frame()
+                continue
+            want = len(self._payload) - self._payload_got
+            try:
+                got = self.sock.recv_into(
+                    self._payload_view[self._payload_got:], want)
+            except (BlockingIOError, InterruptedError):
+                return True
+            except OSError:
+                return False
+            if got == 0:
+                return False
+            self._payload_got += got
+            if self._payload_got == len(self._payload):
+                self._finish_frame()
+
+    def _finish_frame(self) -> None:
+        view, self._payload_view = self._payload_view, None
+        self._payload = None
+        self.frames.append(view)
+
+    def queue_reply(self, buffers: List[Any]) -> bool:
+        """Queue wire buffers and try to flush them immediately."""
+        for buffer in buffers:
+            view = memoryview(buffer).cast("B")
+            if len(view):
+                self.outbox.append(view)
+        return self.flush()
+
+    def flush(self) -> bool:
+        """Write as much of the outbox as the socket accepts right now."""
+        while self.outbox:
+            try:
+                if hasattr(self.sock, "sendmsg"):
+                    # Cap the iovec count per call: sendmsg rejects
+                    # vectors longer than IOV_MAX with EMSGSIZE.
+                    batch = [self.outbox[index]
+                             for index in range(min(len(self.outbox), 512))]
+                    sent = self.sock.sendmsg(batch)
+                else:  # pragma: no cover - non-POSIX
+                    sent = self.sock.send(self.outbox[0])
+            except (BlockingIOError, InterruptedError):
+                return True
+            except OSError:
+                return False
+            while self.outbox and sent >= len(self.outbox[0]):
+                sent -= len(self.outbox[0])
+                self.outbox.popleft()
+            if sent and self.outbox:
+                self.outbox[0] = self.outbox[0][sent:]
+        return True
+
+    def arm_deadline(self, now: float, read_deadline: float) -> None:
+        """Re-arm the liveness deadline after progress on this socket.
+
+        Handshake deadlines are absolute (set at accept and never
+        extended).  After the handshake, the clock only runs while the
+        peer owes us bytes — a partially received frame or unflushed
+        replies — and resets on every byte of progress, so slow peers
+        survive and wedged ones are bounded.
+        """
+        if self.state == _Connection.HELLO:
+            return
+        if self.mid_frame or self.outbox:
+            self.deadline = now + read_deadline
+        else:
+            self.deadline = None
+
+    def close(self) -> None:
+        self.dead = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ShardServer:
+    """Event-loop shard server multiplexing concurrent parent sessions.
+
+    A single ``selectors`` loop owns every socket: it accepts,
+    reassembles frames incrementally per connection, answers control
+    traffic (hello, ping, bye, shutdown, malformed-frame errors) inline,
+    and feeds heavy requests (``run``/``map``/``fold``/``vfold``) to one
+    dedicated worker thread — arrival order within a connection, round-
+    robin across connections when several are ready.  One worker, not a
+    pool: resident training is CPU-bound and single-parent runs must
+    stay bit-identical to the serial backend, so requests execute
+    strictly one at a time while the loop keeps every other session's
+    heartbeats and handshakes live.
+
+    Sessions (resident fleets + delta-decoder state) live in a
+    ``{token: _Session}`` table — see :class:`_Session` — capped at
+    ``max_sessions`` with least-recently-active eviction of disconnected
+    entries.  Construct directly only in tests (it exposes the bound
+    ``address`` before serving); production entry points are
+    :func:`serve_shard` and the ``repro shard-worker`` CLI.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 backlog: int = DEFAULT_LISTEN_BACKLOG,
+                 max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 read_deadline: float = DEFAULT_READ_DEADLINE_S,
+                 handshake_timeout: float = _HANDSHAKE_TIMEOUT_S,
+                 ready: Optional[Callable[[str, int], None]] = None,
+                 handler: Optional[Callable] = None) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        if read_deadline <= 0:
+            raise ValueError("read_deadline must be positive")
+        self.max_frame_bytes = max_frame_bytes
+        self.max_sessions = max_sessions
+        self.read_deadline = read_deadline
+        self.handshake_timeout = handshake_timeout
+        self._ready_callback = ready
+        self._handler = handler
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+            self._listener.listen(backlog)
+            self._listener.setblocking(False)
+        except OSError:
+            self._listener.close()
+            raise
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._sessions: Dict[str, _Session] = {}
+        self._conns: set = set()
+        self._run_queue: deque = deque()  # conns with a dispatchable item
+        self._worker_active = False
+        self._running = False
+        self._accept_failures = 0
+        self._accept_paused_until: Optional[float] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._work: "queue.Queue" = queue.Queue()
+        self._done: "queue.Queue" = queue.Queue()
+        self._wake_r: Optional[socket.socket] = None
+        self._wake_w: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------ #
+    # loop scaffolding
+    # ------------------------------------------------------------------ #
+
+    def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` frame arrives, then tear down."""
+        if self._handler is None:
+            # Imported lazily: executor imports this module at load time.
+            from .executor import _handle_resident_request
+            self._handler = _handle_resident_request
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector.register(self._listener, selectors.EVENT_READ,
+                                "accept")
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        worker = threading.Thread(target=self._worker_main,
+                                  name="shard-request-worker", daemon=True)
+        worker.start()
+        self._running = True
+        if self._ready_callback is not None:
+            self._ready_callback(*self.address)
+        try:
+            while self._running:
+                now = time.monotonic()
+                events = self._selector.select(self._select_timeout(now))
+                now = time.monotonic()
+                for key, mask in events:
+                    if key.data == "accept":
+                        self._on_accept_ready()
+                    elif key.data == "wake":
+                        self._drain_wake()
+                    else:
+                        self._service_connection(key.data, mask, now)
+                    if not self._running:
+                        break
+                self._drain_done(now)
+                self._check_deadlines(now)
+                self._maybe_resume_accept(now)
+                if self._listener.fileno() == -1:
+                    # The listener is gone (external close()): no new
+                    # parents can ever arrive, so end the serve loop.
+                    self._running = False
+        finally:
+            self._running = False
+            self._work.put(None)
+            worker.join(timeout=60)
+            for conn in list(self._conns):
+                conn.close()
+            self._conns.clear()
+            self._sessions.clear()
+            self._selector.close()
+            for sock in (self._wake_r, self._wake_w):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self.close()
+
+    def close(self) -> None:
+        """Close the listener (idempotent; ends a running serve loop)."""
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._wake()  # a blocked select() must notice the closure
+
+    def _select_timeout(self, now: float) -> Optional[float]:
+        deadlines = [conn.deadline for conn in self._conns
+                     if conn.deadline is not None]
+        if self._accept_paused_until is not None:
+            deadlines.append(self._accept_paused_until)
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - now)
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except (OSError, AttributeError):
+            pass  # a pending wakeup (full pipe) or teardown: both fine
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # accepting
+    # ------------------------------------------------------------------ #
+
+    def _accept(self) -> Tuple[socket.socket, Any]:
+        """One ``accept()`` call (separate so tests can inject failures)."""
+        return self._listener.accept()
+
+    def _on_accept_ready(self) -> None:
+        while True:
+            try:
+                sock, _ = self._accept()
+            except (BlockingIOError, InterruptedError):
+                self._accept_failures = 0
+                return
+            except OSError as exc:
+                if self._listener.fileno() == -1:
+                    # The listener itself is gone — nothing left to
+                    # serve; only this (or shutdown) ends the loop.
+                    self._running = False
+                    return
+                # Transient (EMFILE, ECONNABORTED, ...): pause accepting
+                # with exponential backoff instead of dying; established
+                # connections keep being served throughout.
+                self._accept_failures += 1
+                delay = min(_ACCEPT_BACKOFF_MAX_S,
+                            _ACCEPT_BACKOFF_MIN_S
+                            * (2 ** (self._accept_failures - 1)))
+                print(f"repro shard-worker: accept() failed ({exc}); "
+                      f"retrying in {delay:.2f}s", file=sys.stderr)
+                try:
+                    self._selector.unregister(self._listener)
+                except (KeyError, ValueError):
+                    pass
+                self._accept_paused_until = time.monotonic() + delay
+                return
+            self._accept_failures = 0
+            conn = _Connection(sock, self.max_frame_bytes,
+                               time.monotonic() + self.handshake_timeout)
+            self._conns.add(conn)
+            self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+
+    def _maybe_resume_accept(self, now: float) -> None:
+        if (self._accept_paused_until is not None
+                and now >= self._accept_paused_until):
+            self._accept_paused_until = None
+            if self._listener.fileno() != -1:
+                self._selector.register(self._listener,
+                                        selectors.EVENT_READ, "accept")
+
+    # ------------------------------------------------------------------ #
+    # per-connection servicing
+    # ------------------------------------------------------------------ #
+
+    def _service_connection(self, conn: _Connection, mask: int,
+                            now: float) -> None:
+        if conn.dead:
+            return
+        alive = True
+        if mask & selectors.EVENT_READ:
+            alive = conn.on_readable()
+        self._process_frames(conn, now)
+        if conn.dead or not self._running:
+            return
+        if not alive:
+            self._drop(conn)
+            return
+        self._post_service(conn, now)
+
+    def _post_service(self, conn: _Connection, now: float) -> None:
+        """Flush, settle write interest and deadlines after any activity."""
+        if conn.outbox and not conn.flush():
+            self._drop(conn)
+            return
+        if not conn.outbox and conn.close_after_flush:
+            self._drop(conn)
+            return
+        interest = selectors.EVENT_READ
+        if conn.outbox:
+            interest |= selectors.EVENT_WRITE
+        if interest != conn.interest:
+            conn.interest = interest
+            self._selector.modify(conn.sock, interest, conn)
+        conn.arm_deadline(now, self.read_deadline)
+
+    def _drop(self, conn: _Connection) -> None:
+        """Close one connection; its session stays resumable."""
+        if conn.dead:
+            return
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        conn.close()
+        self._conns.discard(conn)
+        session = conn.session
+        if session is not None and session.conn is conn:
+            session.conn = None
+            session.last_active = time.monotonic()
+
+    def _check_deadlines(self, now: float) -> None:
+        for conn in list(self._conns):
+            if conn.deadline is not None and now >= conn.deadline:
+                if conn.state == _Connection.READY:
+                    print(f"repro shard-worker: dropping stalled "
+                          f"connection {conn.peer} (no progress for "
+                          f"{self.read_deadline:.0f}s mid-frame); its "
+                          f"session stays resumable", file=sys.stderr)
+                self._drop(conn)
+
+    # ------------------------------------------------------------------ #
+    # frame processing (event-loop thread)
+    # ------------------------------------------------------------------ #
+
+    def _process_frames(self, conn: _Connection, now: float) -> None:
+        """Handle queued frames in order until one needs the worker.
+
+        Control frames are answered inline; the first heavy frame marks
+        the connection busy and joins the round-robin run queue — later
+        frames of the same connection wait so per-connection ordering is
+        exact.
+        """
+        while (not conn.busy and not conn.dead and not conn.close_after_flush
+               and conn.frames and self._running):
+            blob = conn.frames.popleft()
+            if conn.session is not None:
+                conn.session.last_active = now
+            if conn.state == _Connection.HELLO:
+                self._handle_hello(conn, blob, now)
+                continue
+            if wire_codec.is_codec_frame(blob):
+                self._enqueue_heavy(conn, ("codec", blob))
+                continue
+            try:
+                kind, payload = _load_message(blob)
+            except MalformedMessageError as exc:
+                # Framing is intact, only this payload was garbage:
+                # report it and keep serving.
+                if not conn.queue_reply(_pickled_reply_buffers(
+                        ("error", exc), self.max_frame_bytes)):
+                    self._drop(conn)
+                continue
+            if kind == "ping":
+                pong = ("pong", {"residents": len(conn.session.residents)})
+                if not conn.queue_reply(_reply_buffers(
+                        pong, conn.compression, self.max_frame_bytes)):
+                    self._drop(conn)
+                continue
+            if kind == "bye":
+                self._end_session(conn)
+                self._drop(conn)
+                return
+            if kind == "shutdown":
+                self._running = False
+                return
+            self._enqueue_heavy(conn, ("msg", (kind, payload)))
+
+    def _handle_hello(self, conn: _Connection, blob: Any,
+                      now: float) -> None:
+        try:
+            kind, payload = _load_message(blob)
+        except MalformedMessageError:
+            self._drop(conn)
+            return
+        if kind != "hello" or not isinstance(payload, dict):
+            self._refuse(conn, ProtocolError(
+                f"expected a hello, got {kind!r}"))
+            return
+        peer_version = payload.get("protocol")
+        if peer_version != PROTOCOL_VERSION:
+            self._refuse(conn, ProtocolVersionError(
+                f"shard speaks protocol {PROTOCOL_VERSION}, "
+                f"client sent {peer_version!r}"))
+            return
+        resolved = self._resolve_session(conn, payload.get("session"), now)
+        if resolved is None:
+            return
+        session, resumed = resolved
+        conn.session = session
+        requested_codec = payload.get("codec")
+        codec_ack: Optional[Dict[str, Any]] = None
+        if isinstance(requested_codec, dict):
+            codec_ack = {
+                "version": wire_codec.CODEC_VERSION,
+                "compression": wire_codec.negotiate_compression(
+                    requested_codec.get("compression")),
+            }
+            conn.compression = codec_ack["compression"]
+        # Shared-memory arenas are single-host; a remote shard can never
+        # map the parent's /dev/shm, so the capability is always declined.
+        ack = {"protocol": PROTOCOL_VERSION, "resumed": resumed,
+               "residents": len(session.residents),
+               "codec": codec_ack, "arena": False}
+        conn.state = _Connection.READY
+        conn.deadline = None
+        if not conn.queue_reply(_pickled_reply_buffers(
+                ("hello-ack", ack), self.max_frame_bytes)):
+            self._drop(conn)
+
+    def _refuse(self, conn: _Connection, error: BaseException) -> None:
+        """Answer a failed hello with an error, then hang up."""
+        conn.close_after_flush = True
+        if not conn.queue_reply(_pickled_reply_buffers(
+                ("error", error), self.max_frame_bytes)):
+            self._drop(conn)
+
+    def _resolve_session(self, conn: _Connection, token: Optional[str],
+                         now: float):
+        """The (session, resumed) a hello token maps to, or ``None``.
+
+        ``None`` (an anonymous hello) gets a private session that is
+        never stored: it cannot be resumed and dies with the connection.
+        A known token resumes its session, taking it over from a stale
+        live connection if one lingers.  A new token claims a table slot,
+        evicting the least-recently-active disconnected session when the
+        table is full — and is refused outright when every retained
+        session still has a live connection.
+        """
+        if token is None:
+            session = _Session(None)
+            session.conn = conn
+            session.last_active = now
+            return session, False
+        session = self._sessions.get(token)
+        if session is not None:
+            stale = session.conn
+            if stale is not None and stale is not conn:
+                self._drop(stale)
+            session.conn = conn
+            session.last_active = now
+            return session, True
+        if len(self._sessions) >= self.max_sessions:
+            evictable = [candidate for candidate in self._sessions.values()
+                         if candidate.conn is None]
+            if not evictable:
+                self._refuse(conn, ProtocolError(
+                    f"shard is at capacity: {len(self._sessions)} live "
+                    f"sessions (raise --max-sessions)"))
+                return None
+            victim = min(evictable, key=lambda s: s.last_active)
+            del self._sessions[victim.token]
+        session = _Session(token)
+        session.conn = conn
+        session.last_active = now
+        self._sessions[token] = session
+        return session, False
+
+    def _end_session(self, conn: _Connection) -> None:
+        """A polite ``bye``: the run is over, retire the session.
+
+        A later reconnect with the same token must start clean instead
+        of resuming an emptied fleet, so the token is forgotten too.
+        """
+        session = conn.session
+        if session is None:
+            return
+        session.residents.clear()
+        session.codec_state = wire_codec.DeltaDecoderState()
+        session.conn = None
+        if session.token is not None:
+            self._sessions.pop(session.token, None)
+
+    # ------------------------------------------------------------------ #
+    # heavy-request scheduling
+    # ------------------------------------------------------------------ #
+
+    def _enqueue_heavy(self, conn: _Connection,
+                       item: Tuple[str, Any]) -> None:
+        conn.busy = True
+        conn.pending_item = item
+        self._run_queue.append(conn)
+        self._maybe_dispatch()
+
+    def _maybe_dispatch(self) -> None:
+        while not self._worker_active and self._run_queue:
+            conn = self._run_queue.popleft()
+            if conn.dead:
+                conn.busy = False
+                conn.pending_item = None
+                continue
+            item, conn.pending_item = conn.pending_item, None
+            self._worker_active = True
+            self._work.put((conn, item))
+
+    def _drain_done(self, now: float) -> None:
+        while True:
+            try:
+                conn, buffers, control = self._done.get_nowait()
+            except queue.Empty:
+                return
+            self._worker_active = False
+            conn.busy = False
+            if control == "shutdown":
+                self._running = False
+                return
+            if control == "bye":
+                self._end_session(conn)
+                self._drop(conn)
+            elif not conn.dead:
+                if buffers is not None and not conn.queue_reply(buffers):
+                    self._drop(conn)
+                else:
+                    # The reply freed the connection: its next queued
+                    # frame (if any) may now proceed.
+                    self._process_frames(conn, now)
+                    if not conn.dead and self._running:
+                        self._post_service(conn, now)
+            self._maybe_dispatch()
+
+    # ------------------------------------------------------------------ #
+    # worker thread
+    # ------------------------------------------------------------------ #
+
+    def _worker_main(self) -> None:
+        while True:
+            job = self._work.get()
+            if job is None:
+                return
+            conn, item = job
+            try:
+                buffers, control = self._execute(conn, item)
+            except Exception as exc:  # belt and braces: never die
+                buffers, control = _pickled_reply_buffers(
+                    ("error", _picklable_exception(exc)),
+                    self.max_frame_bytes), None
+            self._done.put((conn, buffers, control))
+            self._wake()
+
+    def _execute(self, conn: _Connection, item: Tuple[str, Any]):
+        """Decode (if codec-framed) and run one heavy request.
+
+        Runs on the worker thread.  Per-session state (residents, delta
+        decoder) is only ever touched here, and the worker runs one
+        request at a time, so sessions need no locking.  Returns
+        ``(reply_buffers, control)`` where ``control`` flags decoded
+        ``bye``/``shutdown`` for the loop to act on.
+        """
+        session = conn.session
+        flavor, data = item
+        if flavor == "codec":
+            try:
+                kind, payload = wire_codec.decode_message(
+                    data, delta_state=session.codec_state)
+            except wire_codec.DeltaBaseMismatchError as exc:
+                # The parent's delta referenced a base this shard does
+                # not hold (e.g. a reply it never saw committed it on
+                # our side): report it so the parent re-sends a full
+                # snapshot.
+                return _reply_buffers(("error", exc), conn.compression,
+                                      self.max_frame_bytes), None
+            except wire_codec.CodecError as exc:
+                return _pickled_reply_buffers(
+                    ("error", MalformedMessageError(str(exc))),
+                    self.max_frame_bytes), None
+        else:
+            kind, payload = data
+        if kind in ("bye", "shutdown"):
+            return None, kind
+        if kind == "ping":
+            reply: Tuple[str, Any] = ("pong",
+                                      {"residents": len(session.residents)})
+        else:
+            reply = self._handler(kind, payload, session.residents)
+        return _reply_buffers(reply, conn.compression,
+                              self.max_frame_bytes), None
+
+
 def serve_shard(host: str = "127.0.0.1", port: int = 0, *,
                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                 backlog: int = DEFAULT_LISTEN_BACKLOG,
-                ready: Optional[Callable[[str, int], None]] = None) -> None:
+                ready: Optional[Callable[[str, int], None]] = None,
+                max_sessions: int = DEFAULT_MAX_SESSIONS,
+                read_deadline: float = DEFAULT_READ_DEADLINE_S,
+                handshake_timeout: float = _HANDSHAKE_TIMEOUT_S) -> None:
     """Run one shard server until a ``shutdown`` message arrives.
 
     The server hosts worker-resident clients exactly like a persistent
     pipe worker: specs build residents once, then only weights/masks/RNG
-    digests travel per cycle.  One connection is served at a time; a
-    dropped or misbehaving connection returns the server to ``accept``
-    (reconnect semantics) while further connections queue in the listen
-    ``backlog``.  The resident fleet *survives* a reconnect of the same
-    session (the parent's hello token decides — see
-    :func:`_server_handshake`); a connection from any other session
-    starts from a clean fleet, so residents from a previous run can
-    never leak into the next.
+    digests travel per cycle.  Several parent sessions are served
+    concurrently by a :class:`ShardServer` event loop — one resident
+    fleet and delta-decoder state per hello token (at most
+    ``max_sessions`` retained), control traffic answered inline, heavy
+    requests executed one at a time in round-robin order so every
+    session's history stays bit-identical to a serial run.  A connection
+    that stalls mid-frame longer than ``read_deadline`` seconds is
+    dropped (its session stays resumable); transient ``accept`` failures
+    back off and retry instead of killing the server.
 
     ``ready`` is called with the bound ``(host, port)`` once listening —
     the CLI prints the announce line from it, the auto-spawn mode and the
     tests read it back.
     """
-    # Imported lazily: executor imports this module at load time.
-    from .executor import _handle_resident_request
-
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server = ShardServer(host, port, max_frame_bytes=max_frame_bytes,
+                         backlog=backlog, max_sessions=max_sessions,
+                         read_deadline=read_deadline,
+                         handshake_timeout=handshake_timeout, ready=ready)
     try:
-        listener.bind((host, port))
-        listener.listen(backlog)
-        bound_host, bound_port = listener.getsockname()[:2]
-        if ready is not None:
-            ready(bound_host, bound_port)
-        session: Dict[str, Any] = {"token": None, "residents": {}}
-        shutdown = False
-        while not shutdown:
-            try:
-                conn, _ = listener.accept()
-            except OSError:
-                break
-            channel = MessageChannel(conn, max_frame_bytes)
-            channel.settimeout(_HANDSHAKE_TIMEOUT_S)
-            residents = _server_handshake(channel, session)
-            if residents is None:
-                channel.close()
-                continue
-            channel.settimeout(None)
-            shutdown = _serve_connection(channel, _handle_resident_request,
-                                         session=session)
-            channel.close()
+        server.serve_forever()
     finally:
-        try:
-            listener.close()
-        except Exception:
-            pass
-
-
-def _serve_connection(channel: MessageChannel, handle_request: Callable,
-                      session: Optional[Dict[str, Any]] = None) -> bool:
-    """Serve one parent connection; ``True`` means shut the server down.
-
-    Control messages (``bye``/``shutdown``/``ping``) are handled here;
-    everything else goes through ``handle_request`` — the protocol core
-    shared with the pipe workers (``run``/``map`` against the resident
-    fleet, ``fold``/``vfold`` for shard-local hierarchical aggregation,
-    degrading failures to ``("error", ...)`` replies so a misbehaving
-    request cannot crash a long-running shard).
-
-    ``session`` is the server's cross-connection store; its residents
-    are mutated in place so they survive into the next connection of the
-    same session.  A polite ``bye`` empties the residents *and* forgets
-    the token — the parent declared the run over, so a later same-token
-    reconnect must not be told it resumed anything — whereas an abrupt
-    transport failure keeps both for a resuming reconnect.  A frame
-    announcing more than the channel's limit leaves the stream
-    unrecoverable (the payload was never read), so it drops the
-    connection instead of returning to ``recv`` desynchronized.
-    """
-    if session is None:
-        session = {"token": None, "residents": {}}
-    residents = session["residents"]
-    codec_config = session.get("codec")
-    compression = (codec_config or {}).get("compression")
-    codec_state = session.setdefault("codec_state",
-                                     wire_codec.DeltaDecoderState())
-    while True:
-        try:
-            blob = channel.recv_bytes()
-        except (TransportError, OSError):
-            # Clean close, truncated frame or oversized announcement: the
-            # stream is over either way — back to accept().
-            return False
-        try:
-            if wire_codec.is_codec_frame(blob):
-                kind, payload = wire_codec.decode_message(
-                    blob, delta_state=codec_state)
-            else:
-                kind, payload = _load_message(blob)
-        except wire_codec.DeltaBaseMismatchError as exc:
-            # The parent's delta referenced a base this shard does not
-            # hold (e.g. a reply it never saw committed it on our side):
-            # report it so the parent re-sends a full snapshot.
-            if not _send_reply(channel, ("error", exc), compression):
-                return False
-            continue
-        except (MalformedMessageError, wire_codec.CodecError) as exc:
-            # Framing is intact, only this payload was garbage: report it
-            # and keep serving.
-            if not isinstance(exc, MalformedMessageError):
-                exc = MalformedMessageError(str(exc))
-            if not _try_send(channel, ("error", exc)):
-                return False
-            continue
-        if kind == "bye":
-            residents.clear()
-            session["token"] = None
-            session["codec_state"] = wire_codec.DeltaDecoderState()
-            return False
-        if kind == "shutdown":
-            return True
-        if kind == "ping":
-            reply: Tuple[str, Any] = ("pong", {"residents": len(residents)})
-        else:
-            reply = handle_request(kind, payload, residents)
-        if not _send_reply(channel, reply, compression):
-            return False
+        server.close()

@@ -10,10 +10,13 @@ reconnects that resume the previous session's resident fleet.
 """
 
 import contextlib
+import errno
+import os
 import pickle
 import socket
 import struct
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -21,9 +24,10 @@ import pytest
 from repro.fl.transport import (PROTOCOL_VERSION, ConnectionClosedError,
                                 FrameTooLargeError, MalformedMessageError,
                                 MessageChannel, ProtocolError,
-                                ProtocolVersionError, TransportError,
-                                TruncatedFrameError, connect_to_shard,
-                                format_address, parse_address, serve_shard)
+                                ProtocolVersionError, ShardServer,
+                                TransportError, TruncatedFrameError,
+                                connect_to_shard, format_address,
+                                parse_address, serve_shard)
 
 
 def _channel_pair(max_frame_bytes=1 << 20):
@@ -402,12 +406,27 @@ class TestSessionResume:
             first.close()  # abrupt: no polite bye
             assert self._residents(address, "session-a") == (True, 1)
 
-    def test_different_session_starts_clean(self):
+    def test_different_session_starts_clean_and_does_not_wipe_others(self):
+        """A new token gets a fresh fleet, and — unlike the old
+        single-session server — connecting it must *not* destroy another
+        session's residents: sessions are isolated, not exclusive."""
         with _shard_server() as address:
             self._train_one_resident(address, "session-a").close()
             assert self._residents(address, "session-b") == (False, 0)
-            # ... and session-b's connection wiped session-a's fleet.
-            assert self._residents(address, "session-a") == (False, 0)
+            # session-a's fleet survived session-b's visit.
+            assert self._residents(address, "session-a") == (True, 1)
+
+    def test_two_live_sessions_hold_separate_fleets(self):
+        """Resident isolation: two sessions train on one shard at the
+        same time and each only ever sees its own resident."""
+        with _shard_server() as address:
+            a = self._train_one_resident(address, "session-a")
+            b = self._train_one_resident(address, "session-b")
+            for channel in (a, b):
+                channel.send(("ping", None))
+                assert channel.recv() == ("pong", {"residents": 1})
+            a.close()
+            b.close()
 
     def test_no_session_token_never_resumes(self):
         with _shard_server() as address:
@@ -567,9 +586,228 @@ class TestCodecNegotiation:
         channel.close()
 
 
+@contextlib.contextmanager
+def _running_server(server):
+    """Drive a directly constructed ShardServer on a thread."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.address
+    finally:
+        try:
+            channel = connect_to_shard(server.address, timeout=5)
+            channel.send(("shutdown", None))
+            channel.close()
+        except (TransportError, OSError):
+            pass
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestTcpNodelay:
+    def test_shard_channels_enable_nodelay(self, shard_server):
+        """Regression: small control frames (ping/pong, delta headers)
+        must not eat Nagle + delayed-ACK round trips."""
+        channel = connect_to_shard(shard_server, timeout=5)
+        sock = channel._socket()
+        assert sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+        channel.close()
+
+    def test_non_tcp_sockets_survive_the_toggle(self):
+        left, right = _channel_pair()  # AF_UNIX: no Nagle to disable
+        left.send(("ping", None))
+        assert right.recv()[0] == "ping"
+        left.set_tcp_nodelay(False)  # no-op off TCP, must not raise
+        left.set_tcp_nodelay(True)
+        left.close()
+        right.close()
+        left.set_tcp_nodelay(True)  # no-op on a closed channel
+
+
+class TestConcurrentSessions:
+    """One shard fleet serving several live parent sessions at once."""
+
+    def test_two_live_sessions_are_isolated(self, shard_server):
+        a = connect_to_shard(shard_server, timeout=5, session="tenant-a")
+        b = connect_to_shard(shard_server, timeout=5, session="tenant-b")
+        # Both connections are live simultaneously and interleave freely.
+        for _ in range(3):
+            a.send(("map", (_triple, [(0, 2)])))
+            b.send(("map", (_triple, [(0, 10)])))
+            assert a.recv() == ("ok", [(0, 6)])
+            assert b.recv() == ("ok", [(0, 30)])
+        a.close()
+        b.close()
+
+    def test_ping_answered_while_sibling_session_trains(self, shard_server):
+        """Heartbeat liveness: a sibling session's batch occupying the
+        worker thread must not delay another session's ping — the event
+        loop answers control traffic inline."""
+        busy = connect_to_shard(shard_server, timeout=5, session="tenant-a")
+        probe = connect_to_shard(shard_server, timeout=5,
+                                 session="tenant-b")
+        busy.send(("map", (_sleep_echo, [(0, 1.5)])))
+        time.sleep(0.3)  # let the worker pick the slow request up
+        probe.settimeout(5)
+        start = time.monotonic()
+        probe.send(("ping", None))
+        assert probe.recv()[0] == "pong"
+        assert time.monotonic() - start < 1.0, \
+            "ping waited behind a sibling session's batch"
+        assert busy.recv() == ("ok", [(0, 1.5)])
+        busy.close()
+        probe.close()
+
+    def test_same_token_second_connection_takes_over(self, shard_server):
+        first = connect_to_shard(shard_server, timeout=5, session="tenant")
+        second = connect_to_shard(shard_server, timeout=5, session="tenant")
+        assert second.resumed is True
+        # The stale predecessor was dropped by the server ...
+        first.settimeout(10)
+        with pytest.raises((TransportError, OSError)):
+            first.recv()
+        first.close()
+        # ... and the takeover connection serves normally.
+        second.send(("ping", None))
+        assert second.recv()[0] == "pong"
+        second.close()
+
+    def test_lru_disconnected_session_evicted_at_capacity(self):
+        with _shard_server(max_sessions=2) as address:
+            connect_to_shard(address, timeout=5, session="tenant-a").close()
+            time.sleep(0.05)
+            connect_to_shard(address, timeout=5, session="tenant-b").close()
+            time.sleep(0.05)
+            # The table is full; tenant-c evicts the least recently
+            # active disconnected session (tenant-a).
+            connect_to_shard(address, timeout=5, session="tenant-c").close()
+            b = connect_to_shard(address, timeout=5, session="tenant-b")
+            assert b.resumed is True
+            b.close()
+            a = connect_to_shard(address, timeout=5, session="tenant-a")
+            assert a.resumed is False
+            a.close()
+
+    def test_all_live_sessions_refuse_new_token(self):
+        with _shard_server(max_sessions=1) as address:
+            live = connect_to_shard(address, timeout=5, session="tenant-a")
+            with pytest.raises(ProtocolError, match="capacity"):
+                connect_to_shard(address, timeout=5, session="tenant-b")
+            # Anonymous connections take no table slot, so they still
+            # work, and the live session is unaffected throughout.
+            anon = connect_to_shard(address, timeout=5)
+            anon.send(("ping", None))
+            assert anon.recv()[0] == "pong"
+            anon.close()
+            live.send(("ping", None))
+            assert live.recv()[0] == "pong"
+            live.close()
+
+
+class TestLivenessDeadlines:
+    def test_stalled_mid_frame_peer_dropped_not_wedged(self):
+        """Regression: a parent stalling mid-frame used to wedge the
+        whole server forever (unbounded ``recv``).  Now only that
+        connection is dropped, its session stays resumable, and other
+        parents are served throughout."""
+        with _shard_server(read_deadline=1.0) as address:
+            stalled = connect_to_shard(address, timeout=5,
+                                       session="tenant-a")
+            # Claim a 64-byte frame but deliver only 3 bytes.
+            stalled._socket().sendall(struct.pack(">I", 64) + b"abc")
+            # While it stalls, another parent is served immediately.
+            other = connect_to_shard(address, timeout=5)
+            other.send(("ping", None))
+            assert other.recv()[0] == "pong"
+            other.close()
+            # The stalled connection is dropped within the deadline ...
+            stalled.settimeout(10)
+            with pytest.raises((ConnectionClosedError,
+                                TruncatedFrameError, OSError)):
+                stalled.recv()
+            stalled.close()
+            # ... and its session remains resumable.
+            again = connect_to_shard(address, timeout=5,
+                                     session="tenant-a")
+            assert again.resumed is True
+            again.close()
+
+    def test_idle_between_frames_is_not_dropped(self):
+        """The deadline bounds wedged peers, not quiet ones: parents
+        legitimately sit idle between cycles."""
+        with _shard_server(read_deadline=0.5) as address:
+            channel = connect_to_shard(address, timeout=5)
+            time.sleep(1.2)  # idle well past the read deadline
+            channel.send(("ping", None))
+            assert channel.recv()[0] == "pong"
+            channel.close()
+
+    def test_silent_connection_dropped_after_handshake_timeout(self):
+        with _shard_server(handshake_timeout=0.5) as address:
+            raw = socket.create_connection(address, timeout=5)
+            raw.settimeout(10)
+            assert raw.recv(1) == b""  # the server hung up
+            raw.close()
+            # The server still serves well-behaved clients.
+            channel = connect_to_shard(address, timeout=5)
+            channel.send(("ping", None))
+            assert channel.recv()[0] == "pong"
+            channel.close()
+
+
+class _FlakyAcceptServer(ShardServer):
+    """Fails the first N ``accept()`` calls with a transient OSError."""
+
+    def __init__(self, failures, errno_code, **kwargs):
+        super().__init__(**kwargs)
+        self.failures_left = failures
+        self.errno_code = errno_code
+
+    def _accept(self):
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise OSError(self.errno_code, os.strerror(self.errno_code))
+        return super()._accept()
+
+
+class TestAcceptErrors:
+    @pytest.mark.parametrize("errno_code",
+                             [errno.EMFILE, errno.ECONNABORTED])
+    def test_transient_accept_errors_back_off_and_recover(
+            self, errno_code, capfd):
+        """Regression: a transient ``accept()`` OSError (fd exhaustion,
+        a connection aborted in the backlog) silently broke the serve
+        loop.  It must back off, say so on stderr, and keep serving."""
+        server = _FlakyAcceptServer(2, errno_code)
+        with _running_server(server) as address:
+            channel = connect_to_shard(address, timeout=10)
+            channel.send(("ping", None))
+            assert channel.recv()[0] == "pong"
+            channel.close()
+            assert server.failures_left == 0
+        assert "accept() failed" in capfd.readouterr().err
+
+    def test_listener_closure_ends_the_serve_loop(self):
+        server = ShardServer()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        channel = connect_to_shard(server.address, timeout=5)
+        channel.send(("ping", None))
+        assert channel.recv()[0] == "pong"
+        server.close()  # listener closure, not a transient error
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        channel.close()
+
+
 def _triple(value):
     """Module-level map function (picklable for shard traffic)."""
     return value * 3
+
+
+def _sleep_echo(value):
+    time.sleep(value)
+    return value
 
 
 def _explode(value):
