@@ -1,0 +1,53 @@
+"""Static analysis for the repro substrate (``repro lint``).
+
+AST-based invariant checkers that make the substrate's hand-maintained
+guarantees machine-checkable at CI time instead of fuzzer-discovered at
+runtime:
+
+* :mod:`~repro.analysis.determinism` — no nondeterminism sources in the
+  bit-identical backends' modules;
+* :mod:`~repro.analysis.wire_kinds` — the wire message-kind mapping is
+  total across codec/transport/executor (``codec.WIRE_KINDS``);
+* :mod:`~repro.analysis.event_loop` — no blocking calls on the shard
+  server's event-loop thread;
+* :mod:`~repro.analysis.swallow` — no silent ``except Exception: pass``;
+* :mod:`~repro.analysis.resources` — resources released on all paths.
+
+The engine (:mod:`~repro.analysis.engine`) is stdlib-only — no numpy —
+so the lint gate can run in a bare interpreter.
+"""
+
+from .determinism import DeterminismChecker
+from .engine import (Checker, Finding, LintReport, SourceModule,
+                     load_baseline, run_checkers, write_baseline)
+from .event_loop import EventLoopChecker
+from .resources import ResourceChecker
+from .swallow import SwallowChecker
+from .wire_kinds import WireKindChecker
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "SourceModule",
+    "DeterminismChecker",
+    "WireKindChecker",
+    "EventLoopChecker",
+    "SwallowChecker",
+    "ResourceChecker",
+    "default_checkers",
+    "load_baseline",
+    "run_checkers",
+    "write_baseline",
+]
+
+
+def default_checkers():
+    """The checker set ``repro lint`` runs, in reporting order."""
+    return [
+        DeterminismChecker(),
+        WireKindChecker(),
+        EventLoopChecker(),
+        SwallowChecker(),
+        ResourceChecker(),
+    ]

@@ -1,0 +1,80 @@
+"""``repro lint`` command: run the checkers, gate on the baseline.
+
+Exit codes: ``0`` — no findings beyond the committed baseline (or the
+baseline was regenerated with ``--fix-baseline``); ``1`` — new
+findings; ``2`` — usage or I/O errors.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import default_checkers
+from .engine import (build_report, default_baseline_path,
+                     default_package_root, load_baseline, parse_modules,
+                     run_checkers, write_baseline)
+
+__all__ = ["run_lint"]
+
+
+def run_lint(paths: Sequence[str] = (), output_format: str = "text",
+             baseline: Optional[str] = None, fix_baseline: bool = False,
+             output: Optional[str] = None) -> int:
+    """Run the full checker set and report against the baseline."""
+    targets = ([Path(p) for p in paths] if paths
+               else [default_package_root()])
+    for target in targets:
+        if not target.exists():
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return 2
+    baseline_path = (Path(baseline) if baseline is not None
+                     else default_baseline_path())
+
+    modules, parse_errors = parse_modules(targets)
+    findings = list(parse_errors)
+    findings.extend(run_checkers(modules, default_checkers()))
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+
+    if fix_baseline:
+        write_baseline(findings, baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    try:
+        baseline_counts = load_baseline(baseline_path)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = build_report(findings, baseline_counts)
+
+    if output_format == "json":
+        text = json.dumps(report.as_json(), indent=2, sort_keys=True)
+    else:
+        text = _render_text(report)
+    if output:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+    try:
+        print(text)
+    except BrokenPipeError:
+        # Downstream pager/head hung up; the exit code still stands.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+    return 1 if report.failed else 0
+
+
+def _render_text(report) -> str:
+    lines: List[str] = [finding.render() for finding in report.new]
+    summary = (f"{len(report.findings)} finding(s): "
+               f"{len(report.new)} new, "
+               f"{len(report.baselined)} baselined")
+    if report.stale_baseline:
+        summary += (f" ({report.stale_baseline} stale baseline entr"
+                    f"{'y' if report.stale_baseline == 1 else 'ies'} — "
+                    f"regenerate with 'repro lint --fix-baseline')")
+    lines.append(summary)
+    return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Checker 3: no blocking calls on the shard-server event-loop thread.
+
+:class:`repro.fl.transport.ShardServer` multiplexes every parent
+session over one ``selectors`` loop; a single blocking call on that
+thread (a ``time.sleep``, a blocking ``recv``/``sendall``/``accept``, a
+file read) stalls *every* tenant's heartbeats and handshakes at once —
+exactly the class of bug the ``settimeout(None)`` wedge fixed in PR 8.
+
+The walk is a bounded call-graph over one module (``transport.py`` by
+default):
+
+* *loop classes* are classes that create or poll a selector
+  (``selectors.DefaultSelector()`` / ``.select(...)``);
+* methods handed to ``threading.Thread(target=...)`` run on another
+  thread and are excluded, together with everything only they reach;
+* classes *constructed* inside loop-reachable code (e.g. the
+  per-connection state machines) join the walk, so their methods are
+  loop code too;
+* a socket is considered non-blocking once ``setblocking(False)`` or a
+  finite ``settimeout(...)`` is applied to it (assignment aliases of
+  the form ``self.x = sock`` are followed), which is what "without a
+  deadline" means statically.
+
+Codes
+-----
+* ``REPRO-B301`` — ``time.sleep`` on the loop thread.
+* ``REPRO-B302`` — blocking socket call (``accept``/``recv``/
+  ``recv_into``/``recvfrom``/``sendall``/``sendmsg``/``connect``) on a
+  socket never marked non-blocking and never given a deadline.
+* ``REPRO-B303`` — file I/O (``open``/``os.open``/``io.open``) on the
+  loop thread.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .engine import (Checker, Finding, SourceModule, dotted_name,
+                     resolve_call_name)
+
+__all__ = ["EventLoopChecker"]
+
+_BLOCKING_SOCKET_METHODS = frozenset({
+    "accept", "recv", "recv_into", "recvfrom", "recvmsg",
+    "sendall", "sendmsg", "connect",
+})
+
+_FILE_IO = frozenset({"open", "io.open", "os.open"})
+
+
+def _function_defs(tree: ast.Module
+                   ) -> Tuple[Dict[str, ast.FunctionDef],
+                              Dict[str, Dict[str, ast.FunctionDef]]]:
+    """(module-level functions, class -> {method name -> def})."""
+    functions: Dict[str, ast.FunctionDef] = {}
+    classes: Dict[str, Dict[str, ast.FunctionDef]] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            methods: Dict[str, ast.FunctionDef] = {}
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    methods[item.name] = item
+            classes[node.name] = methods
+    return functions, classes
+
+
+class EventLoopChecker(Checker):
+    name = "event-loop"
+
+    def __init__(self, targets: frozenset = frozenset({"transport.py"})
+                 ) -> None:
+        self.targets = frozenset(targets)
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        if module.name not in self.targets:
+            return
+        aliases = module.aliases
+        functions, classes = _function_defs(module.tree)
+
+        loop_classes = {name for name, methods in classes.items()
+                        if any(self._uses_selector(body, aliases)
+                               for body in methods.values())}
+        if not loop_classes:
+            return
+
+        # Methods offloaded to worker threads (threading.Thread(target=…))
+        # run off the loop; everything only they reach is out of scope.
+        offloaded: Set[Tuple[str, str]] = set()
+        for cls in loop_classes:
+            for method in classes[cls].values():
+                for target in self._thread_targets(method, aliases):
+                    offloaded.add((cls, target))
+
+        reachable: Set[Tuple[str, str]] = set()
+        owned_classes: Set[str] = set(loop_classes)
+        worklist: List[Tuple[str, str]] = []
+        for cls in loop_classes:
+            for name in classes[cls]:
+                if (cls, name) not in offloaded:
+                    worklist.append((cls, name))
+
+        while worklist:
+            cls, name = worklist.pop()
+            if (cls, name) in reachable:
+                continue
+            defs = classes.get(cls) if cls else functions
+            body = defs.get(name) if defs else None
+            if body is None:
+                continue
+            reachable.add((cls, name))
+            for call in (n for n in ast.walk(body)
+                         if isinstance(n, ast.Call)):
+                callee = call.func
+                if isinstance(callee, ast.Name):
+                    if callee.id in classes:
+                        # Constructing a same-module class from loop
+                        # code: its methods become loop code.
+                        if callee.id not in owned_classes:
+                            owned_classes.add(callee.id)
+                        worklist.append((callee.id, "__init__"))
+                    elif callee.id in functions:
+                        worklist.append(("", callee.id))
+                elif isinstance(callee, ast.Attribute):
+                    dotted = dotted_name(callee)
+                    if dotted is not None and dotted.startswith("self."):
+                        if dotted.count(".") == 1 and cls:
+                            worklist.append((cls, callee.attr))
+                            continue
+                    # A method call on some object: conservatively
+                    # follow it into every loop-owned class defining it.
+                    for owner in sorted(owned_classes):
+                        if (callee.attr in classes.get(owner, {})
+                                and (owner, callee.attr) not in offloaded):
+                            worklist.append((owner, callee.attr))
+
+        nonblocking = self._nonblocking_receivers(classes, owned_classes)
+        seen: Set[Tuple[int, str]] = set()
+        for cls, name in sorted(reachable):
+            defs = classes.get(cls) if cls else functions
+            body = defs.get(name)
+            if body is None:
+                continue
+            for finding in self._scan_function(module, cls or "<module>",
+                                               name, body, aliases,
+                                               nonblocking):
+                marker = (finding.line, finding.code)
+                if marker not in seen:
+                    seen.add(marker)
+                    yield finding
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _uses_selector(body: ast.AST, aliases: Dict[str, str]) -> bool:
+        for node in ast.walk(body):
+            if isinstance(node, ast.Call):
+                name = resolve_call_name(node.func, aliases)
+                if name is not None and name.startswith("selectors."):
+                    return True
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "select"
+                        and dotted_name(node.func) not in (None,)
+                        and "selector" in (dotted_name(node.func) or "")):
+                    return True
+        return False
+
+    @staticmethod
+    def _thread_targets(body: ast.AST,
+                        aliases: Dict[str, str]) -> Iterator[str]:
+        for node in ast.walk(body):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node.func, aliases)
+            if name not in ("threading.Thread", "Thread"):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    dotted = dotted_name(keyword.value)
+                    if dotted is not None and "." in dotted:
+                        yield dotted.rsplit(".", 1)[-1]
+
+    @staticmethod
+    def _nonblocking_receivers(classes: Dict[str, Dict[str,
+                                                       ast.FunctionDef]],
+                               owned: Set[str]) -> Set[str]:
+        """Dotted receivers proven non-blocking (or deadline-bounded).
+
+        ``sock.setblocking(False)``/``sock.settimeout(5)`` clears
+        ``sock``; a subsequent ``self.x = sock`` clears ``self.x`` too.
+        The scan covers every method of the loop-owned classes
+        (``__init__`` included — that is where sockets are configured).
+        """
+        cleared: Set[str] = set()
+        assignments: List[Tuple[str, str]] = []
+        for cls in owned:
+            for method in classes.get(cls, {}).values():
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Call) and isinstance(
+                            node.func, ast.Attribute):
+                        receiver = dotted_name(node.func.value)
+                        if receiver is None:
+                            continue
+                        if node.func.attr == "setblocking":
+                            args = node.args
+                            if (args
+                                    and isinstance(args[0], ast.Constant)
+                                    and args[0].value is False):
+                                cleared.add(receiver)
+                        elif node.func.attr == "settimeout":
+                            args = node.args
+                            if args and not (
+                                    isinstance(args[0], ast.Constant)
+                                    and args[0].value is None):
+                                cleared.add(receiver)
+                    elif isinstance(node, ast.Assign):
+                        value = dotted_name(node.value)
+                        if value is None:
+                            continue
+                        for target in node.targets:
+                            target_name = dotted_name(target)
+                            if target_name is not None:
+                                assignments.append((target_name, value))
+        # One propagation pass is enough for the ``self.x = sock`` idiom.
+        for _ in range(2):
+            for target_name, value in assignments:
+                if value in cleared:
+                    cleared.add(target_name)
+        return cleared
+
+    def _scan_function(self, module: SourceModule, cls: str, name: str,
+                       body: ast.AST, aliases: Dict[str, str],
+                       nonblocking: Set[str]) -> Iterator[Finding]:
+        where = f"{cls}.{name}" if cls != "<module>" else name
+        for node in ast.walk(body):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_call_name(node.func, aliases)
+            if dotted == "time.sleep":
+                yield Finding(
+                    path=module.path, line=node.lineno, code="REPRO-B301",
+                    checker=self.name,
+                    message=(f"time.sleep() in {where} runs on the "
+                             f"event-loop thread and stalls every "
+                             f"session; use a selector deadline"))
+            elif dotted in _FILE_IO:
+                yield Finding(
+                    path=module.path, line=node.lineno, code="REPRO-B303",
+                    checker=self.name,
+                    message=(f"file I/O ({dotted}) in {where} runs on "
+                             f"the event-loop thread; move it off the "
+                             f"loop or behind the worker"))
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr in _BLOCKING_SOCKET_METHODS):
+                receiver = dotted_name(node.func.value)
+                if receiver is not None and receiver in nonblocking:
+                    continue
+                label = receiver or "<expression>"
+                yield Finding(
+                    path=module.path, line=node.lineno, code="REPRO-B302",
+                    checker=self.name,
+                    message=(f"blocking socket call "
+                             f"{label}.{node.func.attr}() in {where} "
+                             f"has no deadline and runs on the "
+                             f"event-loop thread (setblocking(False) "
+                             f"or settimeout(...) first)"))

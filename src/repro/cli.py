@@ -12,6 +12,7 @@ Usage::
         --aggregation hierarchical
     python -m repro shard-worker --host 0.0.0.0 --port 7600
     python -m repro scales
+    python -m repro lint --format json
 
 Every experiment prints the same rows/series the paper reports; the
 optional ``--output`` flag additionally writes the formatted text to a
@@ -155,6 +156,25 @@ def build_parser() -> argparse.ArgumentParser:
                                    "mid-frame for this many seconds; "
                                    "its session stays resumable "
                                    "(default: 600)")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the AST invariant checkers (determinism, wire kinds, "
+             "event loop, exception swallowing, resource lifecycles)")
+    lint_parser.add_argument("paths", nargs="*",
+                             help="files or directories to lint "
+                                  "(default: the repro package)")
+    lint_parser.add_argument("--format", default="text",
+                             choices=("text", "json"), dest="output_format",
+                             help="report format (default: text)")
+    lint_parser.add_argument("--baseline", default=None,
+                             help="baseline JSON of accepted findings "
+                                  "(default: tools/lint_baseline.json)")
+    lint_parser.add_argument("--fix-baseline", action="store_true",
+                             help="rewrite the baseline to accept every "
+                                  "current finding, then exit 0")
+    lint_parser.add_argument("--output", default=None,
+                             help="also write the report to a file")
     return parser
 
 
@@ -295,6 +315,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "shard-worker":
         return _serve_shard(args.host, args.port, args.max_frame_bytes,
                             args.max_sessions, args.read_deadline)
+    if args.command == "lint":
+        # Imported lazily: the analysis engine is stdlib-only and must
+        # stay importable (and fast) without touching the fl stack.
+        from .analysis.cli import run_lint
+        return run_lint(args.paths, output_format=args.output_format,
+                        baseline=args.baseline,
+                        fix_baseline=args.fix_baseline,
+                        output=args.output)
     parser.print_help()
     return 1
 

@@ -110,7 +110,7 @@ class WeightArenaWriter:
 
     def __init__(self) -> None:
         _require_shm()
-        self._session = secrets.token_hex(4)
+        self._session = secrets.token_hex(4)  # lint: allow[determinism] - shm namespace token, not math
         self._counter = 0
         self._staging: Optional[_StagingGeneration] = None
         self._published: List["_shared_memory.SharedMemory"] = []
@@ -170,7 +170,7 @@ class WeightArenaWriter:
         if staging is None:
             return None
         shm_module = _require_shm()
-        started = time.perf_counter()
+        started = time.perf_counter()  # lint: allow[determinism] - metric only
         try:
             shm = shm_module.SharedMemory(create=True, name=staging.name,
                                           size=max(staging.size, 1))
@@ -182,7 +182,7 @@ class WeightArenaWriter:
         for offset, view in staging.sources:
             buffer[offset:offset + len(view)] = view
         self._published.append(shm)
-        self.last_publish_seconds = time.perf_counter() - started
+        self.last_publish_seconds = time.perf_counter() - started  # lint: allow[determinism] - metric only
         self.last_publish_bytes = staging.size
         return staging.name
 
@@ -213,13 +213,13 @@ class WeightArenaWriter:
 def _unlink(shm: "_shared_memory.SharedMemory") -> None:
     try:
         shm.close()
-    except Exception:
+    except Exception:  # lint: allow[swallow] - best-effort teardown
         pass
     try:
         shm.unlink()
     except FileNotFoundError:
         pass
-    except Exception:
+    except Exception:  # lint: allow[swallow] - best-effort teardown
         pass
 
 
@@ -233,7 +233,7 @@ def _close_live_writers() -> None:  # pragma: no cover - interpreter exit
     for writer in list(_LIVE_WRITERS):
         try:
             writer.close()
-        except Exception:
+        except Exception:  # lint: allow[swallow] - atexit sweep
             pass
 
 
@@ -285,7 +285,7 @@ class ArenaReader:
                 shm.close()
             except BufferError:
                 still_held.append(shm)
-            except Exception:
+            except Exception:  # lint: allow[swallow] - best-effort teardown
                 pass
         self._deferred = still_held
 
@@ -294,7 +294,7 @@ class ArenaReader:
             shm.close()
         except BufferError:
             self._deferred.append(shm)
-        except Exception:
+        except Exception:  # lint: allow[swallow] - best-effort teardown
             pass
 
     def close(self) -> None:

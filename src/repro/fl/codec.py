@@ -79,6 +79,22 @@ __all__ = [
     "CODEC_VERSION",
     "CODEC_MAGIC",
     "COMPRESSIONS",
+    "WIRE_KINDS",
+    "DELTA_KINDS",
+    "KIND_HELLO",
+    "KIND_HELLO_ACK",
+    "KIND_PING",
+    "KIND_PONG",
+    "KIND_BYE",
+    "KIND_SHUTDOWN",
+    "KIND_CLOSE",
+    "KIND_RUN",
+    "KIND_FOLD",
+    "KIND_VFOLD",
+    "KIND_MAP",
+    "KIND_RESULTS",
+    "KIND_OK",
+    "KIND_ERROR",
     "CodecError",
     "DeltaBaseMismatchError",
     "DeltaEncoderState",
@@ -99,6 +115,58 @@ CODEC_MAGIC = 0xEC
 
 #: Supported per-segment compression algorithms, in preference order.
 COMPRESSIONS = ("none", "zlib")
+
+# --------------------------------------------------------------------- #
+# wire-kind registry
+# --------------------------------------------------------------------- #
+# Every ``(kind, payload)`` message the worker-resident backends speak,
+# across all three layers (this codec, the transport's shard server, the
+# executor's dispatch and worker loops).  The constants are the spelling
+# the layers must use — ``repro lint``'s wire-kind checker cross-checks
+# every usage site against :data:`WIRE_KINDS`, so a kind added in one
+# layer but not registered here (or deleted here while still spoken
+# anywhere) fails CI instead of surfacing as a runtime
+# ``MalformedMessageError``.
+
+KIND_HELLO = "hello"          # connection opener (parent -> shard)
+KIND_HELLO_ACK = "hello-ack"  # handshake answer (shard -> parent)
+KIND_PING = "ping"            # liveness probe, answered inline
+KIND_PONG = "pong"            # probe answer
+KIND_BYE = "bye"              # polite session end (external shards)
+KIND_SHUTDOWN = "shutdown"    # stop serving (auto-spawned shards)
+KIND_CLOSE = "close"          # stop a pipe worker (persistent backend)
+KIND_RUN = "run"              # train a wire batch of resident clients
+KIND_FOLD = "fold"            # train + fold in-shard (hierarchical)
+KIND_VFOLD = "vfold"          # build/train/fold a virtual-client span
+KIND_MAP = "map"              # generic function map over items
+KIND_RESULTS = "results"      # batch reply (run/fold/vfold)
+KIND_OK = "ok"                # map reply
+KIND_ERROR = "error"          # any failure reply (carries the exception)
+
+#: Canonical kind -> role table.  Roles: ``control`` messages are
+#: answered inline by the serving loop (or consumed without a reply),
+#: ``request`` messages get exactly one heavy reply, ``reply`` kinds
+#: only ever travel shard/worker -> parent.
+WIRE_KINDS: Dict[str, str] = {
+    KIND_HELLO: "control",
+    KIND_HELLO_ACK: "reply",
+    KIND_PING: "control",
+    KIND_PONG: "reply",
+    KIND_BYE: "control",
+    KIND_SHUTDOWN: "control",
+    KIND_CLOSE: "control",
+    KIND_RUN: "request",
+    KIND_FOLD: "request",
+    KIND_VFOLD: "request",
+    KIND_MAP: "request",
+    KIND_RESULTS: "reply",
+    KIND_OK: "reply",
+    KIND_ERROR: "reply",
+}
+
+#: Kinds whose payload carries a ``weights_table`` eligible for delta
+#: encoding against the slot's acknowledged base (see module docs).
+DELTA_KINDS = frozenset((KIND_RUN, KIND_FOLD, KIND_VFOLD))
 
 #: Compression algorithm ids as stored in frame byte 2.
 _COMPRESSION_IDS = {"none": 0, "zlib": 1}
@@ -506,7 +574,7 @@ def encode_message(message: Tuple[str, Any], *,
     table_wire = None
     pending_base: Optional[Dict[str, np.ndarray]] = None
     pending_seq: Optional[int] = None
-    if (delta_state is not None and kind in ("run", "fold", "vfold")
+    if (delta_state is not None and kind in DELTA_KINDS
             and getattr(payload, "weights_table", None) is not None):
         table_wire, pending_base, pending_seq = _encode_table(
             payload.weights_table, delta_state, force_full,

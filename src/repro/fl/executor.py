@@ -98,7 +98,10 @@ from .aggregation import (NUM_LEVELS, ModelStructure, PartialAggregate,
                           fold_updates, level_sums, merge_partials)
 from .arena import WEIGHT_ARENA_MODES, ArenaReader, WeightArenaWriter
 from .client import ClientSpec, ClientUpdate, FLClient
-from .codec import DeltaDecoderState, DeltaEncoderState
+from .codec import (DeltaDecoderState, DeltaEncoderState, KIND_BYE,
+                    KIND_CLOSE, KIND_ERROR, KIND_FOLD, KIND_MAP, KIND_OK,
+                    KIND_PING, KIND_PONG, KIND_RESULTS, KIND_RUN,
+                    KIND_SHUTDOWN, KIND_VFOLD)
 from .fusion import FUSION_MODES, cluster_signature, train_cluster
 from .transport import (DEFAULT_MAX_FRAME_BYTES, ProtocolError,
                         TransportError, _picklable_exception,
@@ -137,10 +140,25 @@ _TRANSPORT_FAILURES = (EOFError, OSError, TransportError,
 #: Control messages, pickled once at import time so that closing a
 #: backend never needs to pickle anything — ``close()`` stays safe even
 #: during interpreter shutdown, when module globals may be torn down.
-_CLOSE_BLOB = pickle.dumps(("close", None), _PICKLE_PROTOCOL)
-_BYE_BLOB = pickle.dumps(("bye", None), _PICKLE_PROTOCOL)
-_SHUTDOWN_BLOB = pickle.dumps(("shutdown", None), _PICKLE_PROTOCOL)
-_PING_BLOB = pickle.dumps(("ping", None), _PICKLE_PROTOCOL)
+_CLOSE_BLOB = pickle.dumps((KIND_CLOSE, None), _PICKLE_PROTOCOL)
+_BYE_BLOB = pickle.dumps((KIND_BYE, None), _PICKLE_PROTOCOL)
+_SHUTDOWN_BLOB = pickle.dumps((KIND_SHUTDOWN, None), _PICKLE_PROTOCOL)
+_PING_BLOB = pickle.dumps((KIND_PING, None), _PICKLE_PROTOCOL)
+
+
+def _note_swallowed(context: str, exc: BaseException) -> None:
+    """One-line stderr note for an error a teardown path survives.
+
+    Teardown must stay idempotent and safe during interpreter shutdown,
+    so these paths never re-raise — but silently eating the error makes
+    dead-worker bugs undiagnosable.  stderr itself may already be torn
+    down when this runs, so the write is best-effort.
+    """
+    try:
+        print(f"repro: swallowed while {context}: {exc!r}",
+              file=sys.stderr)
+    except Exception:  # lint: allow[swallow]
+        pass
 
 #: Policies of the worker-resident backends when a slot's transport dies
 #: mid-operation: ``abort`` (historical behavior — fail the batch, close
@@ -337,8 +355,8 @@ class ExecutionBackend:
             hi=template.num_clients, factor=template.uniform_factor,
             loss_scale=template.uniform_factor,
             return_updates=return_updates)
-        kind, payload, loss_levels, count = _run_virtual_batch(batch)
-        if kind == "updates":
+        tag, payload, loss_levels, count = _run_virtual_batch(batch)
+        if tag == "updates":
             return payload, loss_levels, count
         return (([payload] if payload is not None else []),
                 loss_levels, count)
@@ -429,11 +447,11 @@ class _PoolBackend(ExecutionBackend):
         if pool is not None:
             try:
                 pool.shutdown(wait=True)
-            except Exception:
+            except Exception as exc:
                 # close() must stay idempotent and safe during interpreter
                 # shutdown; a pool that cannot shut down cleanly anymore
                 # has nothing left worth raising about.
-                pass
+                _note_swallowed("shutting down the worker pool", exc)
 
     def _submit_job_groups(self, clients: Sequence[FLClient],
                            jobs: Sequence[TrainingJob],
@@ -644,29 +662,29 @@ def _handle_resident_request(kind: str, payload: Any,
     ``Exception``, though, so Ctrl-C still stops a foreground shard
     mid-batch.
     """
-    if kind == "run":
+    if kind == KIND_RUN:
         try:
-            return ("results", _run_wire_batch(residents, payload))
+            return (KIND_RESULTS, _run_wire_batch(residents, payload))
         except Exception as exc:
-            return ("error", _picklable_exception(exc))
-    if kind == "fold":
+            return (KIND_ERROR, _picklable_exception(exc))
+    if kind == KIND_FOLD:
         try:
-            return ("results", _run_fold_batch(residents, payload))
+            return (KIND_RESULTS, _run_fold_batch(residents, payload))
         except Exception as exc:
-            return ("error", _picklable_exception(exc))
-    if kind == "vfold":
+            return (KIND_ERROR, _picklable_exception(exc))
+    if kind == KIND_VFOLD:
         try:
-            return ("results", _run_virtual_batch(payload))
+            return (KIND_RESULTS, _run_virtual_batch(payload))
         except Exception as exc:
-            return ("error", _picklable_exception(exc))
-    if kind == "map":
+            return (KIND_ERROR, _picklable_exception(exc))
+    if kind == KIND_MAP:
         try:
             fn, items = payload
-            return ("ok", [(position, fn(item))
-                           for position, item in items])
+            return (KIND_OK, [(position, fn(item))
+                              for position, item in items])
         except Exception as exc:
-            return ("error", _picklable_exception(exc))
-    return ("error", ProtocolError(f"unknown message kind {kind!r}"))
+            return (KIND_ERROR, _picklable_exception(exc))
+    return (KIND_ERROR, ProtocolError(f"unknown message kind {kind!r}"))
 
 
 def _encode_reply(reply: Tuple[str, Any], compression: str) -> bytes:
@@ -681,8 +699,8 @@ def _encode_reply(reply: Tuple[str, Any], compression: str) -> bytes:
                                          compression=compression).tobytes()
     except Exception as exc:
         return wire_codec.encode_message(
-            ("error", RuntimeError(f"worker reply does not encode: "
-                                   f"{exc!r}"))).tobytes()
+            (KIND_ERROR, RuntimeError(f"worker reply does not encode: "
+                                      f"{exc!r}"))).tobytes()
 
 
 def _persistent_worker_main(conn, wire_compression: str = "none") -> None:
@@ -716,16 +734,16 @@ def _persistent_worker_main(conn, wire_compression: str = "none") -> None:
             except wire_codec.DeltaBaseMismatchError as exc:
                 # The parent's delta assumed a base this worker does not
                 # hold; report it so the parent re-sends a full snapshot.
-                conn.send_bytes(_encode_reply(("error", exc),
+                conn.send_bytes(_encode_reply((KIND_ERROR, exc),
                                               wire_compression))
                 continue
             except wire_codec.CodecError as exc:
                 # Framing intact but the payload was garbage: degrade to
                 # an error reply like the socket shard server does.
-                conn.send_bytes(_encode_reply(("error", exc),
+                conn.send_bytes(_encode_reply((KIND_ERROR, exc),
                                               wire_compression))
                 continue
-            if kind == "close":
+            if kind == KIND_CLOSE:
                 break
             reply = _handle_resident_request(kind, payload, residents)
             conn.send_bytes(_encode_reply(reply, wire_compression))
@@ -990,19 +1008,19 @@ class _PersistentWorker:
         # during interpreter shutdown (hence the pre-pickled blob).
         try:
             self.conn.send_bytes(_CLOSE_BLOB)
-        except Exception:
-            pass
+        except Exception as exc:
+            _note_swallowed("asking a worker to close", exc)
         try:
             self.process.join(timeout=5.0)
             if self.process.is_alive():  # pragma: no cover - hang safety net
                 self.process.terminate()
                 self.process.join(timeout=1.0)
-        except Exception:
-            pass
+        except Exception as exc:
+            _note_swallowed("joining a worker process", exc)
         try:
             self.conn.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            _note_swallowed("closing a worker pipe", exc)
 
 
 class ShardError(RuntimeError):
@@ -1228,7 +1246,7 @@ class _ResidentFleetBackend(ExecutionBackend):
     def _encode_run(self, slot: int, batch: Any,
                     force_full: bool = False,
                     delta_cache: Optional[Dict] = None,
-                    kind: str = "run") -> "wire_codec.EncodedFrame":
+                    kind: str = KIND_RUN) -> "wire_codec.EncodedFrame":
         """Encode one slot's batch: delta weights table + zero-copy frame.
 
         ``kind`` selects the wire message (``"run"``, ``"fold"`` or
@@ -1442,7 +1460,7 @@ class _ResidentFleetBackend(ExecutionBackend):
                                                 pending=slots[position + 1:])
             mismatch_state = (
                 self._tx_states.get(slot)
-                if (kind == "error"
+                if (kind == KIND_ERROR
                     and isinstance(results,
                                    wire_codec.DeltaBaseMismatchError))
                 else None)
@@ -1471,7 +1489,7 @@ class _ResidentFleetBackend(ExecutionBackend):
                                pending=slots[position + 1:])
                 kind, results = self._collect_reply(
                     slot, context, pending=slots[position + 1:])
-            if kind != "results":
+            if kind != KIND_RESULTS:
                 self.close()
                 if isinstance(results, BaseException):
                     raise results
@@ -1516,7 +1534,7 @@ class _ResidentFleetBackend(ExecutionBackend):
                           jobs: Sequence[TrainingJob]
                           ) -> List[ClientUpdate]:
         batches, order = self._prepare_batches(clients, jobs)
-        replies = self._exchange(batches, "run", "running a batch")
+        replies = self._exchange(batches, KIND_RUN, "running a batch")
         outcomes: Dict[int, Tuple] = {}
         for slot in sorted(replies):
             for outcome in replies[slot]:
@@ -1581,7 +1599,7 @@ class _ResidentFleetBackend(ExecutionBackend):
         for index, positions in order:
             fold_batches[self._placement[index]].factors.append(
                 [float(weight_factors[position]) for position in positions])
-        replies = self._exchange(fold_batches, "fold",
+        replies = self._exchange(fold_batches, KIND_FOLD,
                                  "running a fold batch")
         partials: List[PartialAggregate] = []
         outcomes: Dict[int, Tuple] = {}
@@ -1650,7 +1668,7 @@ class _ResidentFleetBackend(ExecutionBackend):
                 loss_scale=template.uniform_factor,
                 return_updates=return_updates)
             lo += span
-        replies = self._exchange(batches, "vfold",
+        replies = self._exchange(batches, KIND_VFOLD,
                                  "running a virtual fold")
         payloads: List[Any] = []
         loss_levels = np.zeros(NUM_LEVELS)
@@ -1694,7 +1712,7 @@ class _ResidentFleetBackend(ExecutionBackend):
         # on a later chunk must not leave earlier workers with undrained
         # replies (that would desynchronize the request/reply protocol).
         frames = {slot: wire_codec.encode_message(
-                      ("map", (fn, chunks[slot])),
+                      (KIND_MAP, (fn, chunks[slot])),
                       compression=self._slot_compression(slot))
                   for slot in slots}
         dispatched: List[int] = []
@@ -1708,7 +1726,7 @@ class _ResidentFleetBackend(ExecutionBackend):
             kind, payload = self._collect_reply(
                 slot, "running map_ordered",
                 pending=slots[slot_position + 1:])
-            if kind == "error":
+            if kind == KIND_ERROR:
                 error = error or payload
                 continue
             for position, result in payload:
@@ -1765,8 +1783,8 @@ class _ResidentFleetBackend(ExecutionBackend):
             self._close_epoch += 1
             try:
                 self._teardown()
-            except Exception:
-                pass
+            except Exception as exc:
+                _note_swallowed("tearing down the fleet", exc)
             self._placement.clear()
             self._resident.clear()
             self._dead_slots.clear()
@@ -1922,7 +1940,7 @@ def _kill_spawned_shards() -> None:  # pragma: no cover - interpreter exit
         try:
             if proc.poll() is None:
                 proc.kill()
-        except Exception:
+        except Exception:  # lint: allow[swallow] - atexit, stderr gone
             pass
 
 
@@ -1937,13 +1955,13 @@ def _reap_shard_process(proc, timeout: float = 5.0) -> None:
         try:
             proc.kill()
             proc.wait(timeout=1.0)
-        except Exception:
+        except Exception:  # lint: allow[swallow] - best-effort reap
             pass
     _SPAWNED_SHARD_PROCS.discard(proc)
     try:
         if proc.stdout is not None:
             proc.stdout.close()
-    except Exception:
+    except Exception:  # lint: allow[swallow] - best-effort reap
         pass
 
 
@@ -1961,7 +1979,7 @@ def _read_shard_announce(proc, timeout: float) -> Tuple[str, int]:
     lands in the stream's buffer, the fd never polls readable again, and
     the spawn would time out despite a live shard.
     """
-    deadline = time.monotonic() + timeout
+    deadline = time.monotonic() + timeout  # lint: allow[determinism] - spawn timeout, not math
     fd = proc.stdout.fileno()
     pending = ""
     while True:
@@ -1977,7 +1995,7 @@ def _read_shard_announce(proc, timeout: float) -> Tuple[str, int]:
                                  args=(proc.stdout,),
                                  daemon=True).start()
                 return host, int(port)
-        remaining = deadline - time.monotonic()
+        remaining = deadline - time.monotonic()  # lint: allow[determinism] - spawn timeout, not math
         if remaining <= 0:
             raise ShardError(
                 f"timed out after {timeout:.0f}s waiting for a local shard "
@@ -1997,7 +2015,7 @@ def _drain_stream(stream) -> None:
     try:
         for _ in stream:
             pass
-    except Exception:
+    except Exception:  # lint: allow[swallow] - dead shard's stdout
         pass
 
 
@@ -2119,7 +2137,9 @@ class ShardedSocketBackend(_ResidentFleetBackend):
         #: token, which is what makes failover resets cheap for the
         #: surviving shards.  Unique per backend instance, so two fleets
         #: can never resume each other's residents.
-        self._session = f"{os.getpid():x}-{os.urandom(12).hex()}"
+        self._session = (
+            f"{os.getpid():x}-"
+            f"{os.urandom(12).hex()}")  # lint: allow[determinism] - identity token, not math
         self._last_probe: Optional[float] = None
         self._channels: Dict[int, Any] = {}
         self._procs: Dict[int, Any] = {}
@@ -2312,7 +2332,7 @@ class ShardedSocketBackend(_ResidentFleetBackend):
                 channel.settimeout(probe_timeout)
                 channel.send_bytes(_PING_BLOB)
                 kind, _ = wire_codec.decode_message(channel.recv_bytes())
-                if kind != "pong":
+                if kind != KIND_PONG:
                     raise ProtocolError(
                         f"shard answered a ping with {kind!r}")
                 channel.settimeout(None)
@@ -2328,7 +2348,7 @@ class ShardedSocketBackend(_ResidentFleetBackend):
     def _maybe_check_health(self) -> None:
         if self.heartbeat_interval is None or not self._channels:
             return
-        now = time.monotonic()
+        now = time.monotonic()  # lint: allow[determinism] - heartbeat pacing, not math
         if (self._last_probe is not None
                 and now - self._last_probe < self.heartbeat_interval):
             return
@@ -2378,8 +2398,8 @@ class ShardedSocketBackend(_ResidentFleetBackend):
             blob = _SHUTDOWN_BLOB if slot in procs else _BYE_BLOB
             try:
                 channel.send_bytes(blob)
-            except Exception:
-                pass
+            except Exception as exc:
+                _note_swallowed("hanging up on a shard", exc)
             channel.close()
         for slot, proc in procs.items():
             if slot not in channels:

@@ -126,6 +126,8 @@ from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import codec as wire_codec
+from .codec import (KIND_BYE, KIND_ERROR, KIND_HELLO, KIND_HELLO_ACK,
+                    KIND_PING, KIND_PONG, KIND_SHUTDOWN)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -445,7 +447,7 @@ class MessageChannel:
         if sock is not None:
             try:
                 sock.close()
-            except Exception:
+            except Exception:  # lint: allow[swallow] - idempotent close
                 pass
 
     def __enter__(self) -> "MessageChannel":
@@ -509,7 +511,7 @@ def connect_to_shard(address: Any, *,
             hello["codec"] = dict(codec)
         if arena:
             hello["arena"] = True
-        channel.send(("hello", hello))
+        channel.send((KIND_HELLO, hello))
         kind, payload = channel.recv()
     except (OSError, socket.timeout) as exc:
         channel.close()
@@ -518,10 +520,10 @@ def connect_to_shard(address: Any, *,
     except TransportError:
         channel.close()
         raise
-    if kind == "error" and isinstance(payload, BaseException):
+    if kind == KIND_ERROR and isinstance(payload, BaseException):
         channel.close()
         raise payload
-    if kind != "hello-ack":
+    if kind != KIND_HELLO_ACK:
         channel.close()
         raise ProtocolError(
             f"shard {host}:{port} answered the hello with {kind!r}")
@@ -553,10 +555,10 @@ def _pickled_reply_buffers(reply: Tuple[str, Any],
     try:
         blob = pickle.dumps(reply, _PICKLE_PROTOCOL)
     except Exception as exc:
-        blob = pickle.dumps(("error", RuntimeError(
+        blob = pickle.dumps((KIND_ERROR, RuntimeError(
             f"shard reply does not pickle: {exc!r}")), _PICKLE_PROTOCOL)
     if len(blob) > max_frame_bytes:
-        blob = pickle.dumps(("error", FrameTooLargeError(
+        blob = pickle.dumps((KIND_ERROR, FrameTooLargeError(
             f"shard reply is {len(blob)} bytes "
             f"(max_frame_bytes={max_frame_bytes})")), _PICKLE_PROTOCOL)
     return [_HEADER.pack(len(blob)), blob]
@@ -578,10 +580,10 @@ def _reply_buffers(reply: Tuple[str, Any], compression: Optional[str],
     try:
         frame = wire_codec.encode_message(reply, compression=compression)
     except Exception as exc:
-        return _pickled_reply_buffers(("error", RuntimeError(
+        return _pickled_reply_buffers((KIND_ERROR, RuntimeError(
             f"shard reply does not encode: {exc!r}")), max_frame_bytes)
     if frame.total_bytes > max_frame_bytes:
-        return _pickled_reply_buffers(("error", FrameTooLargeError(
+        return _pickled_reply_buffers((KIND_ERROR, FrameTooLargeError(
             f"shard reply is an oversized {frame.kind!r} frame "
             f"(max_frame_bytes={max_frame_bytes}; "
             f"{frame.describe()})")), max_frame_bytes)
@@ -1073,20 +1075,21 @@ class ShardServer:
                 # Framing is intact, only this payload was garbage:
                 # report it and keep serving.
                 if not conn.queue_reply(_pickled_reply_buffers(
-                        ("error", exc), self.max_frame_bytes)):
+                        (KIND_ERROR, exc), self.max_frame_bytes)):
                     self._drop(conn)
                 continue
-            if kind == "ping":
-                pong = ("pong", {"residents": len(conn.session.residents)})
+            if kind == KIND_PING:
+                pong = (KIND_PONG,
+                        {"residents": len(conn.session.residents)})
                 if not conn.queue_reply(_reply_buffers(
                         pong, conn.compression, self.max_frame_bytes)):
                     self._drop(conn)
                 continue
-            if kind == "bye":
+            if kind == KIND_BYE:
                 self._end_session(conn)
                 self._drop(conn)
                 return
-            if kind == "shutdown":
+            if kind == KIND_SHUTDOWN:
                 self._running = False
                 return
             self._enqueue_heavy(conn, ("msg", (kind, payload)))
@@ -1098,7 +1101,7 @@ class ShardServer:
         except MalformedMessageError:
             self._drop(conn)
             return
-        if kind != "hello" or not isinstance(payload, dict):
+        if kind != KIND_HELLO or not isinstance(payload, dict):
             self._refuse(conn, ProtocolError(
                 f"expected a hello, got {kind!r}"))
             return
@@ -1130,14 +1133,14 @@ class ShardServer:
         conn.state = _Connection.READY
         conn.deadline = None
         if not conn.queue_reply(_pickled_reply_buffers(
-                ("hello-ack", ack), self.max_frame_bytes)):
+                (KIND_HELLO_ACK, ack), self.max_frame_bytes)):
             self._drop(conn)
 
     def _refuse(self, conn: _Connection, error: BaseException) -> None:
         """Answer a failed hello with an error, then hang up."""
         conn.close_after_flush = True
         if not conn.queue_reply(_pickled_reply_buffers(
-                ("error", error), self.max_frame_bytes)):
+                (KIND_ERROR, error), self.max_frame_bytes)):
             self._drop(conn)
 
     def _resolve_session(self, conn: _Connection, token: Optional[str],
@@ -1226,10 +1229,10 @@ class ShardServer:
                 return
             self._worker_active = False
             conn.busy = False
-            if control == "shutdown":
+            if control == KIND_SHUTDOWN:
                 self._running = False
                 return
-            if control == "bye":
+            if control == KIND_BYE:
                 self._end_session(conn)
                 self._drop(conn)
             elif not conn.dead:
@@ -1257,7 +1260,7 @@ class ShardServer:
                 buffers, control = self._execute(conn, item)
             except Exception as exc:  # belt and braces: never die
                 buffers, control = _pickled_reply_buffers(
-                    ("error", _picklable_exception(exc)),
+                    (KIND_ERROR, _picklable_exception(exc)),
                     self.max_frame_bytes), None
             self._done.put((conn, buffers, control))
             self._wake()
@@ -1282,19 +1285,20 @@ class ShardServer:
                 # not hold (e.g. a reply it never saw committed it on
                 # our side): report it so the parent re-sends a full
                 # snapshot.
-                return _reply_buffers(("error", exc), conn.compression,
+                return _reply_buffers((KIND_ERROR, exc), conn.compression,
                                       self.max_frame_bytes), None
             except wire_codec.CodecError as exc:
                 return _pickled_reply_buffers(
-                    ("error", MalformedMessageError(str(exc))),
+                    (KIND_ERROR, MalformedMessageError(str(exc))),
                     self.max_frame_bytes), None
         else:
             kind, payload = data
-        if kind in ("bye", "shutdown"):
+        if kind in (KIND_BYE, KIND_SHUTDOWN):
             return None, kind
-        if kind == "ping":
-            reply: Tuple[str, Any] = ("pong",
-                                      {"residents": len(session.residents)})
+        if kind == KIND_PING:
+            reply: Tuple[str, Any] = (KIND_PONG,
+                                      {"residents":
+                                       len(session.residents)})
         else:
             reply = self._handler(kind, payload, session.residents)
         return _reply_buffers(reply, conn.compression,

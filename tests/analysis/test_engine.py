@@ -1,0 +1,178 @@
+"""Engine mechanics: findings, suppressions, baseline, report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import SwallowChecker
+from repro.analysis.engine import (Finding, LintReport, apply_baseline,
+                                   baseline_payload, build_report,
+                                   import_aliases, load_baseline,
+                                   parse_modules, resolve_call_name,
+                                   run_checkers, write_baseline)
+
+from .conftest import codes
+
+
+def _finding(path="a.py", line=3, code="REPRO-E401", message="m",
+             severity="warning", checker="swallow"):
+    return Finding(path=path, line=line, code=code, message=message,
+                   severity=severity, checker=checker)
+
+
+class TestFinding:
+    def test_render_is_path_line_code_message(self):
+        finding = _finding()
+        assert finding.render() == "a.py:3: REPRO-E401 m"
+
+    def test_key_ignores_line(self):
+        assert _finding(line=3).key == _finding(line=99).key
+
+    def test_as_json_carries_baselined_flag(self):
+        payload = _finding().as_json(baselined=True)
+        assert payload["baselined"] is True
+        assert payload["code"] == "REPRO-E401"
+        assert payload["line"] == 3
+
+
+class TestParsing:
+    def test_unparsable_file_becomes_x001_not_a_crash(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        modules, errors = parse_modules([tmp_path], repo_root=tmp_path)
+        assert modules == []
+        assert codes(errors) == ["REPRO-X001"]
+
+    def test_display_paths_are_repo_relative(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        modules, _ = parse_modules([tmp_path], repo_root=tmp_path)
+        assert [m.path for m in modules] == ["pkg/mod.py"]
+
+    def test_alias_resolution_canonicalizes_roots(self):
+        import ast
+        tree = ast.parse("import numpy as np\n"
+                         "from time import sleep as pause\n")
+        aliases = import_aliases(tree)
+        call = ast.parse("np.random.rand()").body[0].value
+        assert resolve_call_name(call.func, aliases) == "numpy.random.rand"
+        call = ast.parse("pause(1)").body[0].value
+        assert resolve_call_name(call.func, aliases) == "time.sleep"
+
+
+SWALLOW = """
+def teardown(conn):
+    try:
+        conn.close()
+    except Exception:{comment}
+        pass
+"""
+
+
+class TestSuppression:
+    @pytest.mark.parametrize("comment", [
+        "  # lint: allow[swallow]",
+        "  # lint: allow[REPRO-E401]",
+        "  # lint: allow[repro-e401] - reason text after",
+        "  # lint: allow[determinism, swallow]",
+    ])
+    def test_allow_comment_on_except_line_silences(self, lint, comment):
+        findings = lint({"mod.py": SWALLOW.format(comment=comment)},
+                        [SwallowChecker()])
+        assert findings == []
+
+    @pytest.mark.parametrize("comment", [
+        "",
+        "  # lint: allow[determinism]",
+        "  # allow[swallow]",
+    ])
+    def test_wrong_or_missing_token_does_not_silence(self, lint, comment):
+        findings = lint({"mod.py": SWALLOW.format(comment=comment)},
+                        [SwallowChecker()])
+        assert codes(findings) == ["REPRO-E401"]
+
+    def test_comment_on_a_different_line_does_not_silence(self, lint):
+        source = ("# lint: allow[swallow]\n"
+                  "def teardown(conn):\n"
+                  "    try:\n"
+                  "        conn.close()\n"
+                  "    except Exception:\n"
+                  "        pass\n")
+        findings = lint({"mod.py": source}, [SwallowChecker()])
+        assert codes(findings) == ["REPRO-E401"]
+
+
+class TestRunCheckers:
+    def test_findings_sorted_and_deduplicated(self, tmp_path):
+        class Repeater:
+            name = "rep"
+
+            def check_module(self, module):
+                yield _finding(path=module.path, line=2, code="Z")
+                yield _finding(path=module.path, line=1, code="A")
+                yield _finding(path=module.path, line=1, code="A")
+
+            def check_project(self, modules):
+                return iter(())
+
+        (tmp_path / "m.py").write_text("x = 1\ny = 2\n")
+        modules, _ = parse_modules([tmp_path], repo_root=tmp_path)
+        findings = run_checkers(modules, [Repeater()])
+        assert [(f.line, f.code) for f in findings] == [(1, "A"), (2, "Z")]
+
+
+class TestBaseline:
+    def test_round_trip_collapses_duplicates_into_counts(self, tmp_path):
+        findings = [_finding(line=1), _finding(line=9), _finding(code="X")]
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        payload = json.loads(path.read_text())
+        by_code = {entry["code"]: entry for entry in payload["findings"]}
+        assert by_code["REPRO-E401"]["count"] == 2
+        assert "count" not in by_code["X"]
+        counts = load_baseline(path)
+        assert counts[("a.py", "REPRO-E401", "m")] == 2
+        assert counts[("a.py", "X", "m")] == 1
+
+    def test_payload_is_deterministic(self):
+        forward = [_finding(code=c) for c in ("B", "A", "C")]
+        assert (baseline_payload(forward)
+                == baseline_payload(list(reversed(forward))))
+        assert [e["code"] for e in baseline_payload(forward)["findings"]] \
+            == ["A", "B", "C"]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_corrupt_baseline_raises_value_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_apply_baseline_is_multiset_consumption(self):
+        findings = [_finding(line=1), _finding(line=2), _finding(line=3)]
+        baseline = {findings[0].key: 2, ("b.py", "X", "m"): 1}
+        new, baselined, stale = apply_baseline(findings, baseline)
+        assert len(baselined) == 2
+        assert len(new) == 1
+        assert stale == 1
+
+
+class TestReport:
+    def test_report_fails_only_on_new_findings(self):
+        finding = _finding()
+        clean = build_report([finding], {finding.key: 1})
+        assert not clean.failed
+        dirty = build_report([finding], {})
+        assert dirty.failed
+
+    def test_as_json_summary_and_baselined_flags(self):
+        first, second = _finding(line=1), _finding(line=2)
+        report = build_report([first, second], {first.key: 1})
+        payload = report.as_json()
+        assert payload["summary"] == {"total": 2, "new": 1,
+                                      "baselined": 1, "stale_baseline": 0}
+        assert [e["baselined"] for e in payload["findings"]] == [True, False]
+        assert isinstance(report, LintReport)

@@ -1,0 +1,189 @@
+"""Event-loop checker: no blocking calls on the shard-server loop."""
+
+from __future__ import annotations
+
+from repro.analysis import EventLoopChecker
+
+from .conftest import codes
+
+LOOP_PREAMBLE = """
+import selectors
+import socket
+import threading
+import time
+
+
+"""
+
+
+def _lint_transport(lint, body):
+    return lint({"transport.py": LOOP_PREAMBLE + body},
+                [EventLoopChecker()])
+
+
+class TestBlockingCalls:
+    def test_time_sleep_on_the_loop_fires_b301(self, lint):
+        findings = _lint_transport(lint, """
+class Server:
+    def __init__(self):
+        self._selector = selectors.DefaultSelector()
+
+    def serve(self):
+        while True:
+            self._selector.select(1.0)
+            time.sleep(0.1)
+""")
+        assert codes(findings) == ["REPRO-B301"]
+        assert "Server.serve" in findings[0].message
+
+    def test_blocking_recv_without_deadline_fires_b302(self, lint):
+        findings = _lint_transport(lint, """
+class Server:
+    def __init__(self, sock):
+        self._selector = selectors.DefaultSelector()
+        self.sock = sock
+
+    def serve(self):
+        self._selector.select(1.0)
+        return self.sock.recv(4096)
+""")
+        assert codes(findings) == ["REPRO-B302"]
+        assert "setblocking" in findings[0].message
+
+    def test_file_io_on_the_loop_fires_b303(self, lint):
+        findings = _lint_transport(lint, """
+class Server:
+    def serve(self):
+        self._selector = selectors.DefaultSelector()
+        while True:
+            self._selector.select(1.0)
+            with open("/tmp/audit.log") as handle:
+                handle.read()
+""")
+        assert codes(findings) == ["REPRO-B303"]
+
+
+class TestNonBlockingSockets:
+    def test_setblocking_false_clears_the_socket(self, lint):
+        findings = _lint_transport(lint, """
+class Server:
+    def __init__(self, sock):
+        self._selector = selectors.DefaultSelector()
+        sock.setblocking(False)
+        self.sock = sock
+
+    def serve(self):
+        self._selector.select(1.0)
+        return self.sock.recv(4096)
+""")
+        assert findings == []
+
+    def test_finite_settimeout_clears_the_socket(self, lint):
+        findings = _lint_transport(lint, """
+class Server:
+    def __init__(self, sock):
+        self._selector = selectors.DefaultSelector()
+        sock.settimeout(5.0)
+        self.sock = sock
+
+    def serve(self):
+        self._selector.select(1.0)
+        return self.sock.recv(4096)
+""")
+        assert findings == []
+
+    def test_settimeout_none_does_not_clear(self, lint):
+        findings = _lint_transport(lint, """
+class Server:
+    def __init__(self, sock):
+        self._selector = selectors.DefaultSelector()
+        sock.settimeout(None)
+        self.sock = sock
+
+    def serve(self):
+        self._selector.select(1.0)
+        return self.sock.recv(4096)
+""")
+        assert codes(findings) == ["REPRO-B302"]
+
+
+class TestReachability:
+    def test_thread_offloaded_methods_are_out_of_scope(self, lint):
+        findings = _lint_transport(lint, """
+class Server:
+    def __init__(self):
+        self._selector = selectors.DefaultSelector()
+        threading.Thread(target=self._worker_main, daemon=True).start()
+
+    def serve(self):
+        self._selector.select(1.0)
+
+    def _worker_main(self):
+        while True:
+            time.sleep(1.0)
+""")
+        assert findings == []
+
+    def test_helpers_called_from_the_loop_are_in_scope(self, lint):
+        findings = _lint_transport(lint, """
+def _flush(sock, data):
+    sock.sendall(data)
+
+
+class Server:
+    def serve(self):
+        self._selector = selectors.DefaultSelector()
+        self._selector.select(1.0)
+        _flush(self.conn, b"x")
+""")
+        assert codes(findings) == ["REPRO-B302"]
+        assert "sendall" in findings[0].message
+
+    def test_loop_constructed_classes_join_the_walk(self, lint):
+        findings = _lint_transport(lint, """
+class Connection:
+    def __init__(self, sock):
+        self.sock = sock
+
+    def pump(self):
+        return self.sock.recv(4096)
+
+
+class Server:
+    def serve(self):
+        self._selector = selectors.DefaultSelector()
+        self._selector.select(1.0)
+        conn = Connection(self.listener)
+        return conn.pump()
+""")
+        assert codes(findings) == ["REPRO-B302"]
+
+
+class TestScope:
+    def test_modules_without_a_selector_loop_are_quiet(self, lint):
+        findings = _lint_transport(lint, """
+class Client:
+    def fetch(self, sock):
+        return sock.recv(4096)
+""")
+        assert findings == []
+
+    def test_non_target_modules_are_out_of_scope(self, lint):
+        findings = lint({"other.py": LOOP_PREAMBLE + """
+class Server:
+    def serve(self):
+        self._selector = selectors.DefaultSelector()
+        self._selector.select(1.0)
+        time.sleep(1.0)
+"""}, [EventLoopChecker()])
+        assert findings == []
+
+    def test_real_transport_module_is_clean(self):
+        from pathlib import Path
+
+        import repro.fl.transport as transport
+        from repro.analysis.engine import parse_modules, run_checkers
+
+        modules, errors = parse_modules([Path(transport.__file__)])
+        assert errors == []
+        assert run_checkers(modules, [EventLoopChecker()]) == []

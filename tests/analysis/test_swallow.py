@@ -1,0 +1,122 @@
+"""Swallow checker: silent broad handlers fire, diagnosed ones don't."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SwallowChecker
+
+from .conftest import codes
+
+
+def _lint_mod(lint, body):
+    return lint({"mod.py": body}, [SwallowChecker()])
+
+
+class TestSilentPass:
+    def test_except_exception_pass_fires_e401(self, lint):
+        findings = _lint_mod(lint, """
+            def teardown(conn):
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            """)
+        assert codes(findings) == ["REPRO-E401"]
+        assert findings[0].line == 5
+        assert findings[0].severity == "warning"
+
+    @pytest.mark.parametrize("clause", [
+        "except:",
+        "except BaseException:",
+        "except (ValueError, Exception):",
+    ])
+    def test_other_broad_forms_fire_e401(self, lint, clause):
+        findings = _lint_mod(lint, f"""
+            def teardown(conn):
+                try:
+                    conn.close()
+                {clause}
+                    pass
+            """)
+        assert codes(findings) == ["REPRO-E401"]
+
+    def test_bare_continue_fires_e402(self, lint):
+        findings = _lint_mod(lint, """
+            def drain(conns):
+                for conn in conns:
+                    try:
+                        conn.close()
+                    except Exception:
+                        continue
+            """)
+        assert codes(findings) == ["REPRO-E402"]
+
+
+class TestAcceptedHandlers:
+    def test_narrow_handlers_are_fine(self, lint):
+        findings = _lint_mod(lint, """
+            def teardown(conn):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            """)
+        assert findings == []
+
+    def test_a_handler_that_logs_is_fine(self, lint):
+        findings = _lint_mod(lint, """
+            import sys
+
+            def teardown(conn):
+                try:
+                    conn.close()
+                except Exception as exc:
+                    print(f"swallowed: {exc!r}", file=sys.stderr)
+            """)
+        assert findings == []
+
+    def test_a_handler_that_reraises_is_fine(self, lint):
+        findings = _lint_mod(lint, """
+            def teardown(conn):
+                try:
+                    conn.close()
+                except Exception:
+                    raise
+            """)
+        assert findings == []
+
+    def test_continue_after_logging_is_fine(self, lint):
+        findings = _lint_mod(lint, """
+            def drain(conns, log):
+                for conn in conns:
+                    try:
+                        conn.close()
+                    except Exception as exc:
+                        log(exc)
+                        continue
+            """)
+        assert findings == []
+
+
+class TestExecutorDiagnostics:
+    """The PR's satellite fix: executor teardown paths now diagnose."""
+
+    def test_executor_has_no_silent_swallows_left(self):
+        from pathlib import Path
+
+        import repro.fl.executor as executor
+        from repro.analysis.engine import parse_modules, run_checkers
+
+        modules, errors = parse_modules([Path(executor.__file__)])
+        assert errors == []
+        assert run_checkers(modules, [SwallowChecker()]) == []
+
+    def test_note_swallowed_writes_one_stderr_line(self, capsys):
+        from repro.fl.executor import _note_swallowed
+
+        _note_swallowed("testing the helper", RuntimeError("boom"))
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "testing the helper" in err
+        assert "boom" in err

@@ -1,0 +1,150 @@
+"""Wire-kind checker: the registry must stay total across the layers."""
+
+from __future__ import annotations
+
+from repro.analysis import WireKindChecker
+
+from .conftest import codes
+
+CODEC_OK = """
+KIND_PING = "ping"
+KIND_PONG = "pong"
+KIND_RUN = "run"
+
+WIRE_KINDS: dict = {
+    KIND_PING: "control",
+    KIND_PONG: "reply",
+    KIND_RUN: "request",
+}
+"""
+
+TRANSPORT_OK = """
+from codec import KIND_PING, KIND_PONG
+
+
+def loop(kind):
+    if kind == KIND_PING:
+        return (KIND_PONG, {})
+    return None
+"""
+
+EXECUTOR_OK = """
+from codec import KIND_RUN
+
+
+def dispatch(kind, payload):
+    if kind == KIND_RUN:
+        return payload
+    return None
+"""
+
+
+def _lint(lint, codec=CODEC_OK, transport=TRANSPORT_OK,
+          executor=EXECUTOR_OK):
+    return lint({"codec.py": codec, "transport.py": transport,
+                 "executor.py": executor}, [WireKindChecker()])
+
+
+class TestCleanRegistry:
+    def test_fully_wired_registry_is_quiet(self, lint):
+        assert _lint(lint) == []
+
+    def test_annotated_assignment_form_is_recognized(self, lint):
+        # The real codec spells it ``WIRE_KINDS: Dict[str, str] = {…}``;
+        # a plain assignment must parse identically.
+        plain = CODEC_OK.replace("WIRE_KINDS: dict =", "WIRE_KINDS =")
+        assert _lint(lint, codec=plain) == []
+
+
+class TestMissingOrMalformed:
+    def test_absent_registry_fires_w201(self, lint):
+        codec = "KIND_PING = \"ping\"\n"
+        transport = "def loop(kind):\n    return kind == \"ping\"\n"
+        findings = _lint(lint, codec=codec, transport=transport,
+                         executor="")
+        assert "REPRO-W201" in codes(findings)
+        assert any("not found" in f.message for f in findings)
+
+    def test_bad_role_value_fires_w201(self, lint):
+        codec = CODEC_OK.replace('KIND_PING: "control"', "KIND_PING: 7")
+        findings = _lint(lint, codec=codec)
+        assert "REPRO-W201" in codes(findings)
+
+    def test_non_dict_registry_fires_w201(self, lint):
+        codec = ("KIND_PING = \"ping\"\n"
+                 "WIRE_KINDS = [\"ping\"]\n")
+        findings = _lint(lint, codec=codec,
+                         transport="", executor="")
+        assert codes(findings) == ["REPRO-W201"]
+
+
+class TestUnknownKinds:
+    def test_deleting_a_registered_kind_fires_w202(self, lint):
+        # Acceptance criterion: remove ``run`` from the registry while
+        # executor.py still dispatches on it.
+        codec = CODEC_OK.replace('    KIND_RUN: "request",\n', "")
+        findings = _lint(lint, codec=codec)
+        w202 = [f for f in findings if f.code == "REPRO-W202"]
+        assert w202, codes(findings)
+        assert any(f.path == "executor.py" and "'run'" in f.message
+                   for f in w202)
+        assert all(f.severity == "error" for f in w202)
+
+    def test_unregistered_kind_string_fires_w202(self, lint):
+        # Acceptance criterion: a new kind spoken in one layer only.
+        executor = EXECUTOR_OK + ("\n\ndef probe(kind):\n"
+                                  "    return kind == \"snapshot\"\n")
+        findings = _lint(lint, executor=executor)
+        assert codes(findings) == ["REPRO-W202"]
+        assert "'snapshot'" in findings[0].message
+
+    def test_kind_keyword_arguments_are_sites(self, lint):
+        executor = EXECUTOR_OK + ("\n\ndef send(encode):\n"
+                                  "    return encode(kind=\"snapshot\")\n")
+        findings = _lint(lint, executor=executor)
+        assert codes(findings) == ["REPRO-W202"]
+
+    def test_membership_tests_are_sites(self, lint):
+        transport = TRANSPORT_OK + ("\n\ndef is_control(kind):\n"
+                                    "    return kind in (\"ping\", "
+                                    "\"snapshot\")\n")
+        findings = _lint(lint, transport=transport)
+        assert "REPRO-W202" in codes(findings)
+
+
+class TestLiteralsAndDeadEntries:
+    def test_raw_literal_of_registered_kind_fires_w203(self, lint):
+        executor = EXECUTOR_OK.replace("kind == KIND_RUN",
+                                       "kind == \"run\"")
+        findings = _lint(lint, executor=executor)
+        assert codes(findings) == ["REPRO-W203"]
+        assert findings[0].severity == "warning"
+
+    def test_literals_inside_the_registry_module_are_fine(self, lint):
+        codec = CODEC_OK + ("\n\ndef is_request(kind):\n"
+                            "    return kind == \"run\"\n")
+        assert _lint(lint, codec=codec) == []
+
+    def test_unreferenced_registry_entry_fires_w204(self, lint):
+        transport = TRANSPORT_OK.replace("return (KIND_PONG, {})",
+                                         "return None")
+        findings = _lint(lint, transport=transport)
+        assert codes(findings) == ["REPRO-W204"]
+        assert findings[0].path == "codec.py"
+        assert "'pong'" in findings[0].message
+
+
+class TestScope:
+    def test_non_layer_modules_are_ignored(self, lint):
+        findings = lint({
+            "codec.py": CODEC_OK,
+            "transport.py": TRANSPORT_OK,
+            "executor.py": EXECUTOR_OK,
+            "helpers.py": "def f(kind):\n    return kind == \"bogus\"\n",
+        }, [WireKindChecker()])
+        assert findings == []
+
+    def test_without_the_registry_module_nothing_runs(self, lint):
+        findings = lint({"transport.py": TRANSPORT_OK},
+                        [WireKindChecker()])
+        assert findings == []
