@@ -36,8 +36,11 @@ class SynchronousFLStrategy(StragglerAwareStrategy):
             indices, base_cycle=cycle, partial=False)
         durations: List[float] = [sim.client_cycle_seconds(index)
                                   for index in indices]
-        mean_loss = float(np.mean([summary.train_loss
-                                   for summary in summaries]))
+        # Degrade-mode failovers may drop every scheduled client in a
+        # cycle; report a zero loss instead of np.mean's nan-on-empty.
+        mean_loss = (float(np.mean([summary.train_loss
+                                    for summary in summaries]))
+                     if summaries else 0.0)
         return CycleOutcome(
             duration_s=float(max(durations)),
             participating_clients=len(summaries),

@@ -10,7 +10,11 @@ Usage::
         --on-shard-failure rebalance --heartbeat-interval 10
     python -m repro run fig6 --backend sharded --workers 2 \
         --aggregation hierarchical
+    python -m repro run fig6 --backend sharded --workers 2 \
+        --failover-attempts 4 --retry-backoff 0.2 --retry-jitter 0.5
     python -m repro shard-worker --host 0.0.0.0 --port 7600
+    python -m repro scenario run examples/scenario_shard_kill.json \
+        --assert-serial --events-out events.jsonl
     python -m repro scales
     python -m repro lint --format json
 
@@ -25,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from typing import List, Optional
 
@@ -130,8 +135,63 @@ def build_parser() -> argparse.ArgumentParser:
                                  "one batched-GEMM pass (requires "
                                  "--backend sharded or persistent; results "
                                  "are bit-identical either way)")
+    run_parser.add_argument("--failover-attempts", type=int, default=None,
+                            metavar="N",
+                            help="per-batch cap on failover retries of the "
+                                 "worker-resident backends (default: one "
+                                 "attempt per (shard, failure-policy) "
+                                 "combination; see RetryPolicy)")
+    run_parser.add_argument("--drain-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="how long a failover waits for a "
+                                 "wounded worker/shard to drain before "
+                                 "abandoning it (default: 5)")
+    run_parser.add_argument("--reconnect-attempts", type=int, default=None,
+                            metavar="N",
+                            help="reconnect attempts before an external "
+                                 "shard address is declared dead "
+                                 "(requires --backend sharded; default: 1)")
+    run_parser.add_argument("--connect-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="TCP connect timeout per shard "
+                                 "(requires --backend sharded; default: 30)")
+    run_parser.add_argument("--retry-backoff", type=float, default=None,
+                            metavar="SECONDS",
+                            help="base delay of the exponential backoff "
+                                 "between failover attempts (default: 0 = "
+                                 "retry immediately)")
+    run_parser.add_argument("--retry-jitter", type=float, default=None,
+                            metavar="FRACTION",
+                            help="seeded jitter fraction applied to each "
+                                 "backoff delay, 0..1 (deterministic per "
+                                 "seed; default: 0)")
     run_parser.add_argument("--output", default=None,
                             help="also write the formatted output to a file")
+
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="execute a declarative chaos scenario (fault injection, "
+             "fleet churn, retry policies) from a JSON spec")
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario spec and print its event log")
+    scenario_run.add_argument("spec",
+                              help="path to the scenario JSON (see "
+                                   "examples/scenario_*.json)")
+    scenario_run.add_argument("--seed", type=int, default=None,
+                              help="override the spec's seed")
+    scenario_run.add_argument("--events-out", default=None, metavar="PATH",
+                              help="write the per-run event log as JSON "
+                                   "Lines to this file")
+    scenario_run.add_argument("--assert-serial", action="store_true",
+                              help="re-run the scenario on the serial "
+                                   "backend without fault injection and "
+                                   "fail unless both histories are "
+                                   "bit-identical (requires a non-degrade "
+                                   "failure policy)")
+    scenario_run.add_argument("--output", default=None,
+                              help="also write the printed summary to a "
+                                   "file")
 
     shard_parser = subparsers.add_parser(
         "shard-worker",
@@ -212,7 +272,13 @@ def _run(experiment: str, scale: str, seed: int,
          delta_shipping: Optional[bool] = None,
          aggregation: Optional[str] = None,
          weight_arena: Optional[str] = None,
-         fusion: Optional[str] = None) -> int:
+         fusion: Optional[str] = None,
+         failover_attempts: Optional[int] = None,
+         drain_timeout: Optional[float] = None,
+         reconnect_attempts: Optional[int] = None,
+         connect_timeout: Optional[float] = None,
+         retry_backoff: Optional[float] = None,
+         retry_jitter: Optional[float] = None) -> int:
     if workers is not None and workers <= 0:
         raise ValueError(f"--workers must be positive (got {workers})")
     if heartbeat_interval is not None and heartbeat_interval <= 0:
@@ -242,6 +308,25 @@ def _run(experiment: str, scale: str, seed: int,
     if fusion is not None and backend not in ("sharded", "persistent"):
         raise ValueError("--fusion requires --backend sharded or "
                          "--backend persistent")
+    # Retry knobs assemble into one RetryPolicy spec; RetryPolicy and
+    # make_backend own the value validation (one-line ValueErrors).
+    retry_spec = {}
+    for key, value in (("max_attempts", failover_attempts),
+                       ("drain_timeout_s", drain_timeout),
+                       ("reconnect_attempts", reconnect_attempts),
+                       ("backoff_base_s", retry_backoff),
+                       ("jitter", retry_jitter)):
+        if value is not None:
+            retry_spec[key] = value
+    if retry_spec and backend not in ("sharded", "persistent"):
+        raise ValueError("--failover-attempts/--drain-timeout/"
+                         "--reconnect-attempts/--retry-backoff/"
+                         "--retry-jitter require --backend sharded or "
+                         "--backend persistent")
+    if retry_spec:
+        retry_spec["seed"] = seed
+    if connect_timeout is not None and backend != "sharded":
+        raise ValueError("--connect-timeout requires --backend sharded")
     kwargs = {"scale": scale}
     entry = get_experiment(experiment)
     # Profiling-only experiments take neither a seed nor a training
@@ -256,7 +341,7 @@ def _run(experiment: str, scale: str, seed: int,
               f"trainings; ignoring --backend/--workers/--shards/"
               f"--on-shard-failure/--heartbeat-interval/"
               f"--wire-compression/--no-delta-shipping/--aggregation/"
-              f"--weight-arena/--fusion",
+              f"--weight-arena/--fusion and the retry/connect knobs",
               file=sys.stderr)
     elif backend == "serial" and workers is not None:
         print("warning: --workers has no effect with the serial backend",
@@ -271,7 +356,9 @@ def _run(experiment: str, scale: str, seed: int,
                                       delta_shipping=delta_shipping,
                                       aggregation=aggregation,
                                       weight_arena=weight_arena,
-                                      fusion=fusion)
+                                      fusion=fusion,
+                                      retry_policy=retry_spec or None,
+                                      connect_timeout=connect_timeout)
         kwargs["backend"] = shared_backend
     try:
         _, text = run_experiment(experiment, **kwargs)
@@ -284,6 +371,51 @@ def _run(experiment: str, scale: str, seed: int,
             handle.write(text + "\n")
         print(f"\n(written to {output})")
     return 0
+
+
+def _run_scenario(spec_path: str, seed: Optional[int],
+                  events_out: Optional[str], assert_serial: bool,
+                  output: Optional[str]) -> int:
+    """Execute one chaos scenario spec; exit 1 on a serial mismatch."""
+    # Imported lazily so the base CLI stays importable without the
+    # chaos/scenario stack (and 'repro list' stays fast).
+    from .fl.scenario import compare_histories, load_spec, run_scenario
+
+    spec = load_spec(spec_path)
+    if assert_serial and spec.get("backend", {}).get("on_failure") == \
+            "degrade":
+        raise ValueError(
+            "--assert-serial requires a lossless failure policy "
+            "('rebalance'); under 'degrade' the history legitimately "
+            "diverges from the serial reference")
+    result = run_scenario(spec, seed=seed)
+    lines = [f"scenario {result.name!r} (seed {result.seed}): "
+             f"{len(result.history.records)} cycles, "
+             f"final accuracy {result.history.final_accuracy():.4f}"]
+    for event in result.events:
+        lines.append("  " + json.dumps(event, sort_keys=True))
+    status = 0
+    if assert_serial:
+        reference = run_scenario(spec, seed=seed,
+                                 backend_override="serial", inject=False)
+        problems = compare_histories(result.history, reference.history)
+        if problems:
+            lines.append("serial check FAILED:")
+            lines.extend("  " + problem for problem in problems)
+            status = 1
+        else:
+            lines.append("serial check passed: history is bit-identical "
+                         "to the fault-free serial run")
+    text = "\n".join(lines)
+    print(text)
+    if events_out:
+        result.write_events(events_out)
+        print(f"(event log written to {events_out})")
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"(written to {output})")
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -308,7 +440,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                                         else None),
                         aggregation=args.aggregation,
                         weight_arena=args.weight_arena,
-                        fusion=args.fusion)
+                        fusion=args.fusion,
+                        failover_attempts=args.failover_attempts,
+                        drain_timeout=args.drain_timeout,
+                        reconnect_attempts=args.reconnect_attempts,
+                        connect_timeout=args.connect_timeout,
+                        retry_backoff=args.retry_backoff,
+                        retry_jitter=args.retry_jitter)
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "scenario":
+        if args.scenario_command != "run":
+            parser.parse_args(["scenario", "--help"])
+            return 1
+        try:
+            return _run_scenario(args.spec, seed=args.seed,
+                                 events_out=args.events_out,
+                                 assert_serial=args.assert_serial,
+                                 output=args.output)
         except (KeyError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

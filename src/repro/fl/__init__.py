@@ -4,14 +4,15 @@ from .aggregation import (ModelStructure, PartialAggregate, aggregate_full,
                           aggregate_partial, finalize_partials, fold_updates,
                           merge_partials, normalize_weights,
                           sample_count_weights)
+from .chaos import ChaosController, FaultPlan, seeded_jitter
 from .client import (ClientConfig, ClientSpec, ClientState, ClientUpdate,
                      FLClient, TrainingSummary)
 from .executor import (AGGREGATION_MODES, FAILURE_POLICIES, FUSION_MODES,
                        WEIGHT_ARENA_MODES, ExecutionBackend,
                        PersistentProcessBackend, ProcessPoolBackend,
-                       SerialBackend, ShardError, ShardedSocketBackend,
-                       ThreadPoolBackend, TrainingJob, available_backends,
-                       make_backend)
+                       RetryPolicy, SerialBackend, ShardError,
+                       ShardedSocketBackend, ThreadPoolBackend, TrainingJob,
+                       available_backends, make_backend)
 from .history import CycleRecord, TrainingHistory
 from .sampling import (ClientSampler, FullParticipation, RandomSampling,
                        ResourceAwareSampling)
@@ -52,6 +53,10 @@ __all__ = [
     "PersistentProcessBackend",
     "ShardedSocketBackend",
     "ShardError",
+    "RetryPolicy",
+    "ChaosController",
+    "FaultPlan",
+    "seeded_jitter",
     "AGGREGATION_MODES",
     "FAILURE_POLICIES",
     "FUSION_MODES",

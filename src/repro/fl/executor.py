@@ -97,6 +97,7 @@ from . import codec as wire_codec
 from .aggregation import (NUM_LEVELS, ModelStructure, PartialAggregate,
                           fold_updates, level_sums, merge_partials)
 from .arena import WEIGHT_ARENA_MODES, ArenaReader, WeightArenaWriter
+from .chaos import seeded_jitter
 from .client import ClientSpec, ClientUpdate, FLClient
 from .codec import (DeltaDecoderState, DeltaEncoderState, KIND_BYE,
                     KIND_CLOSE, KIND_ERROR, KIND_FOLD, KIND_MAP, KIND_OK,
@@ -116,6 +117,7 @@ __all__ = [
     "PersistentProcessBackend",
     "ShardedSocketBackend",
     "ShardError",
+    "RetryPolicy",
     "AGGREGATION_MODES",
     "FAILURE_POLICIES",
     "FUSION_MODES",
@@ -162,10 +164,132 @@ def _note_swallowed(context: str, exc: BaseException) -> None:
 
 #: Policies of the worker-resident backends when a slot's transport dies
 #: mid-operation: ``abort`` (historical behavior — fail the batch, close
-#: the backend, raise the slot-identified error) or ``rebalance``
-#: (repair the topology and retry the batch — see
+#: the backend, raise the slot-identified error), ``rebalance`` (repair
+#: the topology and retry the batch bit-identically) or ``degrade``
+#: (finish the cycle without the dead slot: its clients are dropped,
+#: aggregation re-weights over the survivors, and the dropped-client
+#: set is recorded in the run history — see
 #: :class:`_ResidentFleetBackend`).
-FAILURE_POLICIES = ("abort", "rebalance")
+FAILURE_POLICIES = ("abort", "rebalance", "degrade")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery knobs of the worker-resident backends, in one place.
+
+    Replaces the hardcoded ``DRAIN_TIMEOUT_S`` / attempt-limit /
+    single-reconnect constants.  The defaults reproduce the historical
+    behavior exactly (no backoff, legacy attempt cap, one reconnect for
+    external shards, 600 s drain), so a backend constructed without a
+    policy is indistinguishable from earlier releases.
+
+    Attributes
+    ----------
+    max_attempts:
+        Per-batch recovery-attempt budget.  ``None`` keeps the legacy
+        cap ``max(2 * num_slots, 4)``.
+    backoff_base_s:
+        First retry's backoff delay; ``0`` (default) disables backoff
+        sleeping entirely.  Attempt *n* waits
+        ``min(backoff_base_s * backoff_multiplier**(n-1), backoff_max_s)``
+        scaled by the jitter term below.
+    backoff_multiplier:
+        Exponential growth factor between consecutive backoff delays.
+    backoff_max_s:
+        Ceiling on a single backoff delay.
+    jitter:
+        Jitter fraction in ``[0, 1]``: the delay is scaled by
+        ``1 + jitter * (u - 0.5)`` where ``u`` is the *seed-derived*
+        uniform draw of :func:`repro.fl.chaos.seeded_jitter` — two
+        replays of one run back off identically, so retry timing never
+        leaks wall-clock entropy into anything observable.
+    seed:
+        Seed of the jitter stream.
+    budget_s:
+        Cap on the *cumulative* backoff sleep per batch (``None`` =
+        uncapped).  Once exhausted, retries continue without delay
+        until ``max_attempts`` runs out — the budget bounds added
+        latency, never correctness.
+    drain_timeout_s:
+        Upper bound on waiting for one surviving slot's owed reply
+        while failing over (the former ``DRAIN_TIMEOUT_S``).
+    reconnect_attempts:
+        Reconnects an externally addressed shard is granted before its
+        slot is declared dead and its clients rebalance (the former
+        single hardcoded attempt).
+    breaker_threshold:
+        Circuit breaker: total transport failures a slot may accumulate
+        across the backend's lifetime (*not* reset by successful
+        batches) before it is declared dead outright — a flapping shard
+        stops being retried instead of failing every other cycle.
+        ``None`` disables the breaker.
+    """
+
+    max_attempts: Optional[int] = None
+    backoff_base_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter: float = 0.0
+    seed: int = 0
+    budget_s: Optional[float] = None
+    drain_timeout_s: float = 600.0
+    reconnect_attempts: int = 1
+    breaker_threshold: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be at least 1")
+        if self.backoff_max_s <= 0:
+            raise ValueError("backoff_max_s must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.budget_s is not None and self.budget_s <= 0:
+            raise ValueError("budget_s must be positive")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
+        if self.reconnect_attempts <= 0:
+            raise ValueError("reconnect_attempts must be positive")
+        if self.breaker_threshold is not None and self.breaker_threshold <= 0:
+            raise ValueError("breaker_threshold must be positive")
+
+    @classmethod
+    def from_spec(cls, spec: Optional[Dict[str, Any]]) -> "RetryPolicy":
+        """Build a policy from a JSON-style dict (scenario specs, CLI).
+
+        Unknown keys are rejected with a one-line error naming the key.
+        """
+        spec = dict(spec or {})
+        fields = ("max_attempts", "backoff_base_s", "backoff_multiplier",
+                  "backoff_max_s", "jitter", "seed", "budget_s",
+                  "drain_timeout_s", "reconnect_attempts",
+                  "breaker_threshold")
+        kwargs = {name: spec.pop(name) for name in fields if name in spec}
+        if spec:
+            raise ValueError(f"unknown retry policy key {sorted(spec)[0]!r}; "
+                             f"available: {', '.join(fields)}")
+        return cls(**kwargs)
+
+    def attempt_limit(self, num_slots: int) -> int:
+        """Recovery attempts allowed per batch on an N-slot backend."""
+        if self.max_attempts is not None:
+            return self.max_attempts
+        return max(2 * num_slots, 4)
+
+    def backoff_delay(self, attempt: int, slot: int = 0) -> float:
+        """Backoff seconds before retry ``attempt`` (1-based), jittered."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        delay = min(self.backoff_base_s
+                    * self.backoff_multiplier ** (attempt - 1),
+                    self.backoff_max_s)
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * (seeded_jitter(self.seed, attempt,
+                                                        slot) - 0.5)
+        return delay
 
 #: Aggregation topologies of :func:`make_backend`: ``flat`` ships every
 #: trained update back to the parent (historical behavior);
@@ -382,6 +506,28 @@ class ExecutionBackend:
         action.
         """
 
+    def attach_chaos(self, controller: Any) -> None:
+        """Adopt a :class:`~repro.fl.chaos.ChaosController`.
+
+        Only the worker-resident backends have a substrate to injure
+        (worker processes to kill, sockets to sever, wire frames to
+        corrupt); everything else rejects the attachment loudly so a
+        scenario never *silently* runs without its faults.
+        """
+        raise RuntimeError(
+            f"backend {self.name!r} does not support fault injection; "
+            f"use a worker-resident backend ('persistent', 'sharded')")
+
+    def consume_dropped_clients(self) -> Tuple[int, ...]:
+        """Clients dropped by ``degrade`` failovers since the last call.
+
+        Drained by :meth:`FederatedSimulation.run` after every cycle and
+        recorded in the cycle's :class:`~repro.fl.history.CycleRecord`,
+        which is what keeps degraded runs auditable.  Backends without a
+        degrade mode never drop anyone.
+        """
+        return ()
+
     def dispatch_payload_bytes(self, clients: Sequence[FLClient],
                                jobs: Sequence[TrainingJob]) -> int:
         """Bytes this backend would pickle to dispatch ``jobs`` right now.
@@ -592,12 +738,15 @@ class _WireBatch:
     ``fusion`` selects the in-worker training engine: ``"off"`` runs the
     classic per-client loop, ``"stacked"`` fuses topology-homogeneous
     clients into batched multi-client GEMMs (see :mod:`repro.fl.fusion`)
-    — bit-identical either way.
+    — bit-identical either way.  ``straggle_s`` is an injected
+    slowdown slept inside the worker before training (chaos scenarios'
+    straggler waves; 0 in production).
     """
 
     weights_table: List[Dict[str, np.ndarray]]
     groups: List[_WireGroup]
     fusion: str = "off"
+    straggle_s: float = 0.0
 
 
 @dataclass
@@ -619,6 +768,7 @@ class _WireFoldBatch:
     partial: bool
     structure: Optional[ModelStructure]
     fusion: str = "off"
+    straggle_s: float = 0.0
 
 
 @dataclass
@@ -865,6 +1015,20 @@ def _train_groups_stacked(residents: Dict[int, FLClient],
     return outcomes
 
 
+def _straggle(batch: Any) -> None:
+    """Sleep out a batch's injected straggler delay (worker side).
+
+    Chaos scenarios' straggler waves ride inside the wire batch, so the
+    parent genuinely blocks on a slow slot — the same shape an
+    overloaded shard produces.  Pure wall-clock: nothing numerical ever
+    depends on it.  ``getattr`` keeps old peers compatible with batches
+    that predate the field.
+    """
+    seconds = getattr(batch, "straggle_s", 0.0)
+    if seconds > 0:
+        time.sleep(seconds)
+
+
 def _train_batch_groups(residents: Dict[int, FLClient],
                         weights_table: List[Dict[str, np.ndarray]],
                         groups: List[_WireGroup],
@@ -879,6 +1043,7 @@ def _train_batch_groups(residents: Dict[int, FLClient],
 def _run_wire_batch(residents: Dict[int, FLClient],
                     batch: _WireBatch) -> List[Tuple]:
     """Train every group of a worker batch against the resident fleet."""
+    _straggle(batch)
     results: List[Tuple] = []
     outcomes = _train_batch_groups(residents, batch.weights_table,
                                    batch.groups,
@@ -903,6 +1068,7 @@ def _run_fold_batch(residents: Dict[int, FLClient],
     the parent raises the group error anyway, and a partial aggregate
     over a *subset* of the batch must never look like a finished one.
     """
+    _straggle(batch)
     results: List[Tuple] = []
     folded_updates: List[ClientUpdate] = []
     folded_factors: List[float] = []
@@ -1049,7 +1215,13 @@ class _ResidentFleetBackend(ExecutionBackend):
     transport failure on any slot either aborts the whole batch —
     closing the backend (no orphan workers or sockets) and raising the
     subclass's slot-identified error — or, under
-    ``on_failure="rebalance"``, repairs the topology and retries it.
+    ``on_failure="rebalance"``, repairs the topology and retries it,
+    or, under ``on_failure="degrade"``, finishes the cycle without the
+    dead slot: its clients are dropped (their result positions come
+    back ``None``, aggregation re-weighted over the survivors) and
+    recorded for :meth:`consume_dropped_clients`.  Recovery pacing —
+    attempt caps, exponential backoff with seeded jitter, drain
+    timeouts, the circuit breaker — is owned by :class:`RetryPolicy`.
 
     Failure recovery
     ----------------
@@ -1084,7 +1256,8 @@ class _ResidentFleetBackend(ExecutionBackend):
     def __init__(self, on_failure: str = "abort",
                  wire_compression: str = "none",
                  delta_shipping: bool = True,
-                 fusion: str = "off") -> None:
+                 fusion: str = "off",
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if on_failure not in FAILURE_POLICIES:
             raise ValueError(
                 f"unknown failure policy {on_failure!r}; "
@@ -1096,7 +1269,14 @@ class _ResidentFleetBackend(ExecutionBackend):
         if fusion not in FUSION_MODES:
             raise ValueError(f"unknown fusion mode {fusion!r}; "
                              f"available: {FUSION_MODES}")
+        if retry_policy is not None and not isinstance(retry_policy,
+                                                       RetryPolicy):
+            raise ValueError(f"retry_policy must be a RetryPolicy, "
+                             f"not {retry_policy!r}")
         self.on_failure = on_failure
+        #: Recovery knobs (attempt cap, backoff, drain timeout, breaker)
+        #: — defaults reproduce the historical constants exactly.
+        self.retry_policy = retry_policy or RetryPolicy()
         #: In-worker training engine (``"off"``/``"stacked"``) shipped
         #: with every wire batch — see :mod:`repro.fl.fusion`.
         self.fusion = fusion
@@ -1127,6 +1307,25 @@ class _ResidentFleetBackend(ExecutionBackend):
         #: successful batch (the sharded backend's give-up threshold
         #: for externally addressed shards reads it).
         self._slot_failures: Dict[int, int] = {}
+        #: Slots excluded from the *current* batch under
+        #: ``on_failure="degrade"`` — their clients are dropped for the
+        #: cycle instead of migrating.  Cleared at the start of every
+        #: batch, so the next cycle probes the slot again.
+        self._degraded_slots: set = set()
+        #: Client indices dropped by the current batch attempt (filled
+        #: while payloads are built under ``degrade``).
+        self._attempt_dropped: List[int] = []
+        #: Client indices dropped by *committed* batches since the last
+        #: :meth:`consume_dropped_clients` — the audit trail
+        #: :meth:`FederatedSimulation.run` mirrors into the history.
+        self._dropped_log: List[int] = []
+        #: Lifetime transport failures per slot (never reset by a
+        #: successful batch — only by :meth:`close`); the circuit
+        #: breaker's evidence that a slot is flapping.
+        self._slot_strikes: Dict[int, int] = {}
+        #: Attached :class:`~repro.fl.chaos.ChaosController` (fault
+        #: injection; ``None`` in production).
+        self._chaos: Optional[Any] = None
         self._close_lock = threading.Lock()
         #: Bumped by every :meth:`close`; an in-flight batch that sees
         #: the epoch move refuses to fail over (it would resurrect a
@@ -1172,6 +1371,20 @@ class _ResidentFleetBackend(ExecutionBackend):
         return [slot for slot in range(self.num_slots)
                 if slot not in self._dead_slots]
 
+    def _eligible_slots(self) -> List[int]:
+        """Active slots minus the ones degraded out of this batch."""
+        return [slot for slot in self._active_slots()
+                if slot not in self._degraded_slots]
+
+    def attach_chaos(self, controller: Any) -> None:
+        self._chaos = controller
+        controller.bind(self)
+
+    def consume_dropped_clients(self) -> Tuple[int, ...]:
+        dropped = tuple(sorted(set(self._dropped_log)))
+        self._dropped_log.clear()
+        return dropped
+
     def _failover(self, failure: _SlotFailed) -> bool:
         """Repair the topology after a slot's transport died.
 
@@ -1181,14 +1394,29 @@ class _ResidentFleetBackend(ExecutionBackend):
         """
         return False
 
-    #: Upper bound on waiting for one surviving slot's owed reply while
-    #: failing over.  Generous — the survivor is usually just finishing
-    #: its legitimate chunk of the aborted batch — but finite, so a
-    #: survivor that silently vanished (network partition, host power
-    #: loss, no RST) cannot hang the recovery machinery forever; on
-    #: expiry the slot loses its transport and is judged like any other
-    #: failure on the retry.
-    DRAIN_TIMEOUT_S = 600.0
+    def _degrade(self, failure: _SlotFailed) -> bool:
+        """Exclude the dead slot from this batch instead of repairing it.
+
+        The survivors' owed replies are drained exactly like a
+        rebalance; the dead slot keeps its placements (that is what
+        makes its clients identifiable as *dropped* rather than
+        migrated) but is barred from the batch, so the retry re-trains
+        only the survivors — bit-identical to a run that never
+        scheduled the dropped clients, since parent-side state is only
+        mirrored after full success.  ``False`` means no capacity
+        survives and the caller must abort.
+        """
+        self._drain_pending(failure.pending)
+        self._discard_slot_transport(failure.slot)
+        self._degraded_slots.add(failure.slot)
+        return bool(self._eligible_slots())
+
+    @property
+    def DRAIN_TIMEOUT_S(self) -> float:
+        """Bound on waiting for a survivor's owed reply while failing
+        over (see :attr:`RetryPolicy.drain_timeout_s`, which now owns
+        the knob; this alias keeps the historical spelling readable)."""
+        return self.retry_policy.drain_timeout_s
 
     def _discard_slot_transport(self, slot: int) -> None:
         """Drop one slot's transport so it is rebuilt on next use."""
@@ -1217,7 +1445,7 @@ class _ResidentFleetBackend(ExecutionBackend):
 
     def _failover_attempt_limit(self) -> int:
         """Cap on recovery attempts per batch (runaway-loop backstop)."""
-        return max(2 * self.num_slots, 4)
+        return self.retry_policy.attempt_limit(self.num_slots)
 
     def _maybe_check_health(self) -> None:
         """Pre-batch health hook (heartbeat probing, where supported).
@@ -1290,15 +1518,43 @@ class _ResidentFleetBackend(ExecutionBackend):
         for state in self._tx_states.values():
             state.reset()
 
+    def _note_strike(self, slot: int) -> None:
+        """Count a lifetime failure; trip the circuit breaker if due.
+
+        A tripped slot is declared dead outright: under ``rebalance``
+        its clients migrate to survivors on the next payload build
+        (placement purged, like a struck-out external shard); under
+        ``degrade`` the placements stay so its clients keep showing up
+        in the dropped-client audit trail.
+        """
+        self._slot_strikes[slot] = self._slot_strikes.get(slot, 0) + 1
+        threshold = self.retry_policy.breaker_threshold
+        if (threshold is None or slot in self._dead_slots
+                or self._slot_strikes[slot] < threshold):
+            return
+        self._dead_slots.add(slot)
+        if self.on_failure != "degrade":
+            for index, placed in list(self._placement.items()):
+                if placed == slot:
+                    self._placement.pop(index)
+                    self._resident.pop(index, None)
+
     def _recover_or_raise(self, failure: _SlotFailed,
                           attempts: int) -> None:
         """Fail over after a slot death, or abort the batch loudly."""
         # Build the error before any teardown wipes the slot bookkeeping
         # (it carries the slot identity, e.g. the shard's address).
         error = self._slot_error(failure.slot, failure.context)
-        recoverable = (self.on_failure == "rebalance"
-                       and attempts <= self._failover_attempt_limit()
-                       and self._failover(failure))
+        if self.on_failure == "degrade":
+            recoverable = (attempts <= self._failover_attempt_limit()
+                           and self._degrade(failure))
+        else:
+            recoverable = (self.on_failure == "rebalance"
+                           and attempts <= self._failover_attempt_limit()
+                           and self._failover(failure))
+        if recoverable:
+            self._note_strike(failure.slot)
+            recoverable = bool(self._eligible_slots())
         if not recoverable:
             self.close()
             raise error from failure.cause
@@ -1306,6 +1562,9 @@ class _ResidentFleetBackend(ExecutionBackend):
     def _with_failover(self, attempt: Callable[[], Any]) -> Any:
         """Run one batch attempt under the configured failure policy."""
         attempts = 0
+        backoff_spent = 0.0
+        self._degraded_slots.clear()
+        self._attempt_dropped = []
         while True:
             epoch = self._close_epoch
             try:
@@ -1329,8 +1588,19 @@ class _ResidentFleetBackend(ExecutionBackend):
                 self._reset_tx_states()
                 attempts += 1
                 self._recover_or_raise(failure, attempts)
+                delay = self.retry_policy.backoff_delay(attempts,
+                                                        failure.slot)
+                budget = self.retry_policy.budget_s
+                if budget is not None:
+                    delay = min(delay, budget - backoff_spent)
+                if delay > 0:
+                    backoff_spent += delay
+                    time.sleep(delay)
                 continue
             self._slot_failures.clear()
+            if self._attempt_dropped:
+                self._dropped_log.extend(self._attempt_dropped)
+                self._attempt_dropped = []
             return result
 
     # ------------------------------------------------------------------ #
@@ -1371,16 +1641,31 @@ class _ResidentFleetBackend(ExecutionBackend):
         """
         placement = self._placement if commit else dict(self._placement)
         next_slot = self._next_slot
-        active = self._active_slots()
+        degrading = self.on_failure == "degrade"
+        active = self._eligible_slots() if degrading else self._active_slots()
         if not active:
             raise self._slot_error(
-                next(iter(sorted(self._dead_slots)), 0),
+                next(iter(sorted(self._dead_slots
+                                 | self._degraded_slots)), 0),
                 "partitioning the fleet (every slot is dead)")
+        if commit:
+            self._attempt_dropped = []
+        dropped: List[int] = []
         batches: Dict[int, _WireBatch] = {}
         weight_refs: Dict[int, Dict[int, int]] = {}
         order: List[Tuple[int, List[int]]] = []
         for index, positions, client_jobs in _group_jobs(jobs):
             slot = placement.get(index)
+            if degrading and slot is not None and (
+                    slot in self._dead_slots
+                    or slot in self._degraded_slots):
+                # Graceful degradation: the client's slot is down, so it
+                # sits this cycle out instead of migrating — the
+                # retained placement is exactly what identifies it as
+                # *dropped* in the cycle's audit record, and the
+                # aggregation re-weights over the survivors.
+                dropped.append(index)
+                continue
             if slot is None or slot in self._dead_slots:
                 # First appearance — or the placed slot was declared
                 # dead, in which case the client moves to a survivor
@@ -1391,7 +1676,10 @@ class _ResidentFleetBackend(ExecutionBackend):
                 placement[index] = slot
             batch = batches.setdefault(
                 slot, _WireBatch(weights_table=[], groups=[],
-                                 fusion=self.fusion))
+                                 fusion=self.fusion,
+                                 straggle_s=(
+                                     self._chaos.straggle_seconds(slot)
+                                     if self._chaos is not None else 0.0)))
             refs = weight_refs.setdefault(slot, {})
             wire_jobs = []
             for job in client_jobs:
@@ -1411,6 +1699,7 @@ class _ResidentFleetBackend(ExecutionBackend):
             order.append((index, positions))
         if commit:
             self._next_slot = next_slot
+            self._attempt_dropped = dropped
         return batches, order
 
     # ------------------------------------------------------------------ #
@@ -1592,13 +1881,24 @@ class _ResidentFleetBackend(ExecutionBackend):
             slot: _WireFoldBatch(weights_table=batch.weights_table,
                                  groups=batch.groups, factors=[],
                                  partial=partial, structure=structure,
-                                 fusion=batch.fusion)
+                                 fusion=batch.fusion,
+                                 straggle_s=batch.straggle_s)
             for slot, batch in batches.items()}
         # Per-slot factor rows line up with the slot's groups because
         # both follow the submission order of ``order``.
         for index, positions in order:
             fold_batches[self._placement[index]].factors.append(
                 [float(weight_factors[position]) for position in positions])
+        if self._attempt_dropped:
+            # Graceful degradation re-weights over the survivors: the
+            # dropped jobs' factors are gone, so the remaining ones are
+            # re-normalized to sum to 1 before the in-slot folds run.
+            included = sum(factor for batch in fold_batches.values()
+                           for row in batch.factors for factor in row)
+            if included > 0:
+                for batch in fold_batches.values():
+                    batch.factors = [[factor / included for factor in row]
+                                     for row in batch.factors]
         replies = self._exchange(fold_batches, KIND_FOLD,
                                  "running a fold batch")
         partials: List[PartialAggregate] = []
@@ -1647,10 +1947,14 @@ class _ResidentFleetBackend(ExecutionBackend):
                              structure: Optional[ModelStructure],
                              return_updates: bool
                              ) -> Tuple[List[Any], np.ndarray, int]:
-        active = self._active_slots()
+        # Degrade never drops virtual clients: the fold is partition-
+        # independent, so the fleet simply re-partitions over whatever
+        # slots survive — bit-identical either way.
+        active = self._eligible_slots()
         if not active:
             raise self._slot_error(
-                next(iter(sorted(self._dead_slots)), 0),
+                next(iter(sorted(self._dead_slots
+                                 | self._degraded_slots)), 0),
                 "partitioning a virtual fleet (every slot is dead)")
         # Contiguous id ranges keep the dispatch O(shards): each slot
         # receives a (lo, hi) recipe, never a client list.
@@ -1696,10 +2000,11 @@ class _ResidentFleetBackend(ExecutionBackend):
 
     def _map_ordered_attempt(self, fn: Callable[[Any], Any],
                              items: List[Any]) -> List[Any]:
-        active = self._active_slots()
+        active = self._eligible_slots()
         if not active:
             raise self._slot_error(
-                next(iter(sorted(self._dead_slots)), 0),
+                next(iter(sorted(self._dead_slots
+                                 | self._degraded_slots)), 0),
                 "partitioning map_ordered (every slot is dead)")
         chunks: Dict[int, List[Tuple[int, Any]]] = {}
         for position, item in enumerate(items):
@@ -1789,6 +2094,9 @@ class _ResidentFleetBackend(ExecutionBackend):
             self._resident.clear()
             self._dead_slots.clear()
             self._slot_failures.clear()
+            self._degraded_slots.clear()
+            self._attempt_dropped = []
+            self._slot_strikes.clear()
             self._reset_tx_states()
             self._next_slot = 0
 
@@ -1822,11 +2130,13 @@ class PersistentProcessBackend(_ResidentFleetBackend):
                  wire_compression: str = "none",
                  delta_shipping: bool = True,
                  weight_arena: str = "off",
-                 fusion: str = "off") -> None:
+                 fusion: str = "off",
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         super().__init__(on_failure=on_failure,
                          wire_compression=wire_compression,
                          delta_shipping=delta_shipping,
-                         fusion=fusion)
+                         fusion=fusion,
+                         retry_policy=retry_policy)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if weight_arena not in WEIGHT_ARENA_MODES:
@@ -2062,6 +2372,10 @@ class ShardedSocketBackend(_ResidentFleetBackend):
       and resident fleets (their owed replies are drained, not reset);
       the session handshake lets even an abruptly dropped connection
       resume its residents on reconnect.
+    * ``on_failure="degrade"`` — the cycle finishes without the dead
+      shard: its clients are dropped (recorded in the run history via
+      :meth:`consume_dropped_clients`), aggregation re-weights over
+      the survivors, and the next cycle probes the shard again.
 
     ``heartbeat_interval`` (seconds, ``None`` = off) additionally probes
     every connected shard with a ``ping`` between batches, so a silently
@@ -2074,11 +2388,6 @@ class ShardedSocketBackend(_ResidentFleetBackend):
     #: count are given (interpreter spawns are not free; stay modest).
     DEFAULT_LOCAL_SHARDS = 2
 
-    #: Transport failures an externally addressed shard is allowed
-    #: before its slot is declared dead (the first failure kills the
-    #: live connection, the second exhausts the reconnect attempt).
-    EXTERNAL_SHARD_STRIKES = 2
-
     def __init__(self, shards: Union[None, int, str,
                                      Sequence[Any]] = None,
                  max_workers: Optional[int] = None,
@@ -2089,13 +2398,17 @@ class ShardedSocketBackend(_ResidentFleetBackend):
                  heartbeat_timeout: float = 5.0,
                  wire_compression: str = "none",
                  delta_shipping: bool = True,
-                 fusion: str = "off") -> None:
+                 fusion: str = "off",
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         super().__init__(on_failure=on_failure,
                          wire_compression=wire_compression,
                          delta_shipping=delta_shipping,
-                         fusion=fusion)
+                         fusion=fusion,
+                         retry_policy=retry_policy)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
         if heartbeat_interval is not None and heartbeat_interval < 0:
             raise ValueError("heartbeat_interval must be non-negative")
         if heartbeat_timeout <= 0:
@@ -2153,6 +2466,14 @@ class ShardedSocketBackend(_ResidentFleetBackend):
     def autospawn(self) -> bool:
         """Whether this backend spawns its own localhost shard workers."""
         return self._addresses is None
+
+    @property
+    def EXTERNAL_SHARD_STRIKES(self) -> int:
+        """Transport failures an externally addressed shard is allowed
+        before its slot is declared dead: the failure that kills the
+        live connection plus the policy's reconnect attempts (the
+        historical constant 2 = one reconnect)."""
+        return self.retry_policy.reconnect_attempts + 1
 
     def shard_address(self, slot: int) -> Optional[Tuple[str, int]]:
         """The ``(host, port)`` a slot is (or would be) served from."""
@@ -2214,6 +2535,11 @@ class ShardedSocketBackend(_ResidentFleetBackend):
                     f"shard {format_address(parse_address(address))} "
                     f"did not acknowledge the wire codec in its "
                     f"hello-ack")
+            if self._chaos is not None:
+                # Chaos scenarios corrupt this slot's outgoing codec
+                # frames; installing per connection means a failover's
+                # fresh channel is automatically re-armed.
+                channel.fault_injector = self._chaos.frame_injector(slot)
             self._channels[slot] = channel
             self._live_addresses[slot] = parse_address(address)
             # A connection that did not resume our session must never
@@ -2303,6 +2629,16 @@ class ShardedSocketBackend(_ResidentFleetBackend):
                     self._placement.pop(index)
                     self._resident.pop(index, None)
         return bool(self._active_slots())
+
+    def _degrade(self, failure: _SlotFailed) -> bool:
+        # The slot sits this cycle out (base class bookkeeping); its
+        # process and address handle are released so the next cycle's
+        # probe respawns/reconnects instead of talking to a corpse.
+        self._live_addresses.pop(failure.slot, None)
+        proc = self._procs.pop(failure.slot, None)
+        if proc is not None:
+            _reap_shard_process(proc, timeout=0.0)
+        return super()._degrade(failure)
 
     # ------------------------------------------------------------------ #
     # health checking
@@ -2434,7 +2770,10 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                  delta_shipping: Optional[bool] = None,
                  aggregation: Optional[str] = None,
                  weight_arena: Optional[str] = None,
-                 fusion: Optional[str] = None
+                 fusion: Optional[str] = None,
+                 retry_policy: Union[None, RetryPolicy,
+                                     Dict[str, Any]] = None,
+                 connect_timeout: Optional[float] = None
                  ) -> ExecutionBackend:
     """Resolve a backend specification into an :class:`ExecutionBackend`.
 
@@ -2463,7 +2802,10 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         the batch with a slot-identified error and closes the backend;
         ``"rebalance"`` repairs the topology — respawning a localhost
         slot or moving a dead external shard's clients onto survivors —
-        and retries the batch bit-identically.
+        and retries the batch bit-identically; ``"degrade"`` finishes
+        the cycle without the dead slot, dropping its clients (recorded
+        in the run history) and re-weighting aggregation over the
+        survivors.
     heartbeat_interval:
         Seconds between pre-batch ``ping`` probes of every connected
         shard (``"sharded"`` only; ``None`` = no probing).  A probe
@@ -2498,6 +2840,15 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         clients sharing a model topology and batch schedule train as
         one batched-GEMM pass — bit-identical to serial; see
         :mod:`repro.fl.fusion`.
+    retry_policy:
+        Recovery knobs of the worker-resident backends — a
+        :class:`RetryPolicy` or a plain dict for
+        :meth:`RetryPolicy.from_spec` (attempt cap, exponential backoff
+        with seeded jitter, drain timeout, reconnect attempts, circuit
+        breaker).  ``None`` keeps the historical constants.
+    connect_timeout:
+        Seconds to wait for a shard connection/spawn (``"sharded"``
+        only; default 30).  Must be positive.
     """
     if isinstance(spec, ExecutionBackend):
         if max_workers is not None:
@@ -2531,7 +2882,15 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 f"weight_arena/fusion cannot be applied to an already-"
                 f"constructed backend instance {spec!r}; construct the "
                 f"backend with the desired execution plane instead")
+        if retry_policy is not None or connect_timeout is not None:
+            raise ValueError(
+                f"retry_policy/connect_timeout cannot be applied to an "
+                f"already-constructed backend instance {spec!r}; "
+                f"construct the backend with the desired recovery knobs "
+                f"instead")
         return spec
+    if isinstance(retry_policy, dict):
+        retry_policy = RetryPolicy.from_spec(retry_policy)
     if aggregation is not None and aggregation not in AGGREGATION_MODES:
         raise ValueError(
             f"unknown aggregation mode {aggregation!r}; "
@@ -2563,6 +2922,15 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         raise ValueError(
             f"fusion only applies to the worker-resident backends "
             f"('sharded', 'persistent'), not {spec!r}")
+    if retry_policy is not None and spec not in (
+            ShardedSocketBackend.name, PersistentProcessBackend.name):
+        raise ValueError(
+            f"retry_policy only applies to the worker-resident backends "
+            f"('sharded', 'persistent'), not {spec!r}")
+    if connect_timeout is not None and spec != ShardedSocketBackend.name:
+        raise ValueError(
+            f"connect_timeout only applies to the 'sharded' backend, "
+            f"not {spec!r}")
     if spec is None:
         if max_workers is not None:
             # Mirrors the instance rejection above: a defaulted (serial)
@@ -2588,12 +2956,15 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
         elif factory is ShardedSocketBackend:
             backend = ShardedSocketBackend(
                 shards=shards, max_workers=max_workers,
+                connect_timeout=(connect_timeout
+                                 if connect_timeout is not None else 30.0),
                 on_failure=on_shard_failure or "abort",
                 heartbeat_interval=heartbeat_interval,
                 wire_compression=wire_compression or "none",
                 delta_shipping=(delta_shipping
                                 if delta_shipping is not None else True),
-                fusion=fusion or "off")
+                fusion=fusion or "off",
+                retry_policy=retry_policy)
         elif factory is PersistentProcessBackend:
             backend = PersistentProcessBackend(
                 max_workers=max_workers,
@@ -2602,7 +2973,8 @@ def make_backend(spec: Union[None, str, ExecutionBackend] = None,
                 delta_shipping=(delta_shipping
                                 if delta_shipping is not None else True),
                 weight_arena=weight_arena or "off",
-                fusion=fusion or "off")
+                fusion=fusion or "off",
+                retry_policy=retry_policy)
         else:
             backend = factory(max_workers=max_workers)
     else:

@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["CycleRecord", "TrainingHistory"]
 
 
 @dataclass
 class CycleRecord:
-    """Metrics captured at the end of one parameter-aggregation cycle."""
+    """Metrics captured at the end of one parameter-aggregation cycle.
+
+    ``dropped_clients`` is the audit trail of graceful degradation
+    (``on_shard_failure="degrade"``): exactly which client indices were
+    excluded from this cycle because their shard was down — empty on
+    every undisturbed cycle, so abort/rebalance histories are unchanged.
+    """
 
     cycle: int
     sim_time_s: float
@@ -19,6 +25,7 @@ class CycleRecord:
     participating_clients: int
     straggler_fraction_trained: float = 1.0
     extra: Dict[str, float] = field(default_factory=dict)
+    dropped_clients: Tuple[int, ...] = ()
 
 
 @dataclass

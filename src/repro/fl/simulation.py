@@ -149,6 +149,11 @@ class FederatedSimulation:
         self.backend.invalidate_client()
         self._cost_models: Dict[int, TrainingCostModel] = {}
         self._cycle_cost_cache: Dict[_CostKey, float] = {}
+        #: Client indices currently churned out of the collaboration
+        #: (scenario fleet churn) — excluded from :meth:`client_indices`
+        #: but never removed from :attr:`clients`, so indices stay
+        #: stable and a departed client can rejoin with its state.
+        self._departed: set = set()
 
     # ------------------------------------------------------------------ #
     # client access
@@ -162,8 +167,37 @@ class FederatedSimulation:
         return self.clients[index]
 
     def client_indices(self) -> List[int]:
-        """All client indices."""
-        return list(range(len(self.clients)))
+        """Indices of the clients currently in the collaboration.
+
+        Excludes clients churned out via :meth:`deactivate_client`
+        (scenario fleet churn); with no churn this is every client.
+        """
+        return [index for index in range(len(self.clients))
+                if index not in self._departed]
+
+    def deactivate_client(self, index: int) -> None:
+        """Churn a client out of the collaboration (scenario churn).
+
+        The client object stays in the fleet (stable indices, state
+        preserved for a later :meth:`reactivate_client`); it simply
+        stops appearing in :meth:`client_indices`, so strategies skip
+        it.  Refuses to empty the fleet — a collaboration of zero
+        clients cannot aggregate anything.
+        """
+        if not 0 <= index < len(self.clients):
+            raise IndexError(f"no client with index {index} "
+                             f"(fleet size {len(self.clients)})")
+        remaining = set(self.client_indices()) - {index}
+        if not remaining:
+            raise ValueError("cannot deactivate the last active client")
+        self._departed.add(index)
+
+    def reactivate_client(self, index: int) -> None:
+        """Churn a previously deactivated client back in."""
+        if not 0 <= index < len(self.clients):
+            raise IndexError(f"no client with index {index} "
+                             f"(fleet size {len(self.clients)})")
+        self._departed.discard(index)
 
     def client_specs(self) -> List[ClientSpec]:
         """The picklable spec of every fleet member (current identities)."""
@@ -196,7 +230,9 @@ class FederatedSimulation:
                     delta_shipping: Optional[bool] = None,
                     aggregation: Optional[str] = None,
                     weight_arena: Optional[str] = None,
-                    fusion: Optional[str] = None
+                    fusion: Optional[str] = None,
+                    retry_policy=None,
+                    connect_timeout: Optional[float] = None
                     ) -> ExecutionBackend:
         """Swap the execution backend, closing the previous pooled one.
 
@@ -213,10 +249,13 @@ class FederatedSimulation:
         ``shards`` (addresses or a localhost count, ``"sharded"`` backend
         only) selects the shard topology — see
         :class:`~repro.fl.executor.ShardedSocketBackend`.
-        ``on_shard_failure`` (``"abort"``/``"rebalance"``, worker-
-        resident backends only) selects what a dead worker or shard does
-        to a running collaboration, and ``heartbeat_interval`` enables
-        between-batch liveness probing of connected shards.
+        ``on_shard_failure`` (``"abort"``/``"rebalance"``/``"degrade"``,
+        worker-resident backends only) selects what a dead worker or
+        shard does to a running collaboration, ``retry_policy`` (a
+        :class:`~repro.fl.executor.RetryPolicy` or spec dict) tunes the
+        recovery pacing, ``connect_timeout`` bounds shard connections,
+        and ``heartbeat_interval`` enables between-batch liveness
+        probing of connected shards.
         ``wire_compression`` (``"none"``/``"zlib"``) and
         ``delta_shipping`` configure the worker-resident backends' wire
         codec (see :mod:`repro.fl.codec`), and ``aggregation``
@@ -238,7 +277,9 @@ class FederatedSimulation:
                                    delta_shipping=delta_shipping,
                                    aggregation=aggregation,
                                    weight_arena=weight_arena,
-                                   fusion=fusion)
+                                   fusion=fusion,
+                                   retry_policy=retry_policy,
+                                   connect_timeout=connect_timeout)
         if new_backend is self.backend:
             return new_backend
         old_backend = self.backend
@@ -455,7 +496,13 @@ class FederatedSimulation:
             updates = self.train_clients(indices, masks=masks,
                                          local_epochs=local_epochs,
                                          base_cycle=base_cycle)
-            self.server.aggregate(updates, partial=partial)
+            # Graceful degradation (``on_shard_failure="degrade"``)
+            # returns ``None`` at a dropped client's position; the
+            # aggregation runs over the survivors, whose sample-count
+            # weights re-normalize automatically inside the server.
+            updates = [update for update in updates if update is not None]
+            if updates:
+                self.server.aggregate(updates, partial=partial)
             return [TrainingSummary(client_id=update.client_id,
                                     client_name=update.client_name,
                                     num_samples=update.num_samples,
@@ -480,13 +527,16 @@ class FederatedSimulation:
         partials, summaries = self.backend.run_fold(
             self.clients, jobs, factors,
             structure=self.server.structure, partial=fold_partial)
-        self.server.install_partials(partials)
+        if partials:
+            self.server.install_partials(partials)
+        # Dropped clients (degrade mode) have ``None`` summaries — the
+        # in-slot folds already re-weighted over the survivors.
         return [TrainingSummary(client_id=self.clients[index].client_id,
                                 client_name=self.clients[index].name,
-                                num_samples=num_samples,
-                                train_loss=train_loss)
-                for index, (num_samples, train_loss)
-                in zip(indices, summaries)]
+                                num_samples=summary[0],
+                                train_loss=summary[1])
+                for index, summary in zip(indices, summaries)
+                if summary is not None]
 
     def run_virtual_cycle(self, fleet: VirtualFleet) -> Tuple[float, int]:
         """Train every logical client of ``fleet`` and aggregate uniformly.
@@ -567,6 +617,9 @@ class FederatedSimulation:
                 participating_clients=outcome.participating_clients,
                 straggler_fraction_trained=outcome.straggler_fraction_trained,
                 extra=dict(outcome.extra),
+                # Degrade-mode audit trail: exactly which clients sat
+                # this cycle out because their shard was down.
+                dropped_clients=self.backend.consume_dropped_clients(),
             ))
             if verbose:
                 print(f"[{strategy.name}] cycle {cycle:3d} "

@@ -308,6 +308,14 @@ class MessageChannel:
         #: (set by :func:`connect_to_shard`; shard servers always answer
         #: ``False`` — arenas are single-host).
         self.arena = False
+        #: Chaos-engineering hook (``None`` in production): a callable
+        #: ``(frame_kind, total_bytes) -> Optional[FrameFault]``
+        #: consulted before every :meth:`send_frame`.  Only codec
+        #: frames pass through it — never :meth:`send_bytes` control
+        #: blobs (pings, byes), whose wall-clock-paced traffic must not
+        #: consume the injector's deterministic fault stream.  See
+        #: :mod:`repro.fl.chaos`.
+        self.fault_injector: Optional[Callable[[str, int], Any]] = None
 
     @property
     def closed(self) -> bool:
@@ -348,6 +356,10 @@ class MessageChannel:
                 f"refusing to send a {frame.kind!r} frame of {total} bytes "
                 f"(max_frame_bytes={self.max_frame_bytes}; "
                 f"{frame.describe()})")
+        if self.fault_injector is not None:
+            fault = self.fault_injector(frame.kind, total)
+            if fault is not None:
+                self._apply_fault(fault, frame, total)
         sock = self._socket()
         buffers: List[Any] = [_HEADER.pack(total)]
         buffers.extend(frame.buffers())
@@ -369,6 +381,50 @@ class MessageChannel:
     def send(self, message: Tuple[str, Any]) -> None:
         """Pickle and send one ``(kind, payload)`` message."""
         self.send_bytes(pickle.dumps(message, _PICKLE_PROTOCOL))
+
+    def _apply_fault(self, fault: Any, frame: Any, total: int) -> None:
+        """Execute one injected wire fault (see :mod:`repro.fl.chaos`).
+
+        ``delay`` stalls the send and then proceeds normally; the other
+        actions destroy the connection mid-protocol — exactly the
+        failure shapes (clean close, mid-frame truncation, hard RST)
+        the recovery machinery must absorb — and raise the transport
+        error a real peer death would have produced.
+        """
+        action = fault.action
+        if action == "delay":
+            time.sleep(fault.seconds)
+            return
+        sock = self._socket()
+        if action == "truncate":
+            # The header promises ``total`` bytes; shipping only a
+            # prefix leaves the peer mid-frame, the worst kind of wire
+            # corruption a dying sender produces.
+            try:
+                sock.sendall(_HEADER.pack(total))
+                keep = int(getattr(fault, "keep_bytes", 0))
+                if keep > 0:
+                    for buffer in frame.buffers():
+                        view = memoryview(buffer).cast("B")[:keep]
+                        sock.sendall(view)
+                        keep -= len(view)
+                        if keep <= 0:
+                            break
+            except OSError:
+                pass
+        elif action == "reset":
+            # RST instead of FIN: the peer sees a connection reset with
+            # data in flight, not a polite close.
+            try:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0))
+            except OSError:
+                pass
+        self.close()
+        raise ConnectionClosedError(
+            f"chaos: injected {action} while sending a "
+            f"{frame.kind!r} frame")
 
     def _recv_exact(self, num_bytes: int, *, mid_frame: bool) -> memoryview:
         """Read exactly ``num_bytes`` into a fresh writable buffer.
